@@ -1,0 +1,117 @@
+//! Criterion performance benches for the hot computational kernels behind
+//! the figure harness: the 4096-point VNA transform, information-rate
+//! computation, the NoC analytic model and DES, and BP/window decoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wi_channel::geometry::BoardLink;
+use wi_channel::rays::TwoBoardScene;
+use wi_channel::vna::SyntheticVna;
+use wi_ldpc::ber::ebn0_db_to_sigma;
+use wi_ldpc::decoder::{awgn_llrs, BpConfig, BpDecoder};
+use wi_ldpc::window::{CoupledCode, WindowDecoder};
+use wi_ldpc::LdpcCode;
+use wi_noc::analytic::{AnalyticModel, RouterParams};
+use wi_noc::des::{simulate, DesConfig};
+use wi_noc::topology::Topology;
+use wi_num::fft::{dft, Direction};
+use wi_num::rng::{seeded_rng, Gaussian};
+use wi_num::window::WindowKind;
+use wi_num::Complex64;
+use wi_quantrx::info_rate::{
+    sequence_information_rate, snr_db_to_sigma, symbolwise_information_rate,
+    SequenceRateOptions,
+};
+use wi_quantrx::modulation::AskModulation;
+use wi_quantrx::presets;
+use wi_quantrx::trellis::ChannelTrellis;
+
+fn bench_fft(c: &mut Criterion) {
+    let x: Vec<Complex64> = (0..4096)
+        .map(|k| Complex64::cis(k as f64 * 0.01))
+        .collect();
+    c.bench_function("fft_4096", |b| {
+        b.iter(|| dft(black_box(&x), Direction::Forward))
+    });
+}
+
+fn bench_vna(c: &mut Criterion) {
+    let scene = TwoBoardScene::copper_boards(BoardLink::ahead(0.05, 0.01));
+    let channel = scene.trace();
+    let vna = SyntheticVna::paper_default();
+    c.bench_function("vna_sweep_4096", |b| b.iter(|| vna.measure(black_box(&channel))));
+    let resp = vna.measure(&channel);
+    c.bench_function("vna_impulse_response", |b| {
+        b.iter(|| resp.impulse_response(WindowKind::Hann))
+    });
+}
+
+fn bench_info_rate(c: &mut Criterion) {
+    let modu = AskModulation::four_ask();
+    let trellis = ChannelTrellis::new(&modu, &presets::sequence_filter());
+    let sigma = snr_db_to_sigma(15.0);
+    c.bench_function("symbolwise_rate_exact", |b| {
+        b.iter(|| symbolwise_information_rate(black_box(&trellis), sigma))
+    });
+    let mc = SequenceRateOptions {
+        num_symbols: 2_000,
+        seed: 1,
+    };
+    c.bench_function("sequence_rate_2k_symbols", |b| {
+        b.iter(|| sequence_information_rate(black_box(&trellis), sigma, mc))
+    });
+}
+
+fn bench_noc(c: &mut Criterion) {
+    let topo = Topology::mesh3d(4, 4, 4);
+    c.bench_function("analytic_model_build_64", |b| {
+        b.iter(|| AnalyticModel::new(black_box(&topo), RouterParams::default()))
+    });
+    let model = AnalyticModel::new(&topo, RouterParams::default());
+    c.bench_function("analytic_latency_point", |b| {
+        b.iter(|| model.mean_latency(black_box(0.3)))
+    });
+    c.bench_function("des_4x4_2k_packets", |b| {
+        b.iter(|| {
+            simulate(
+                black_box(&Topology::mesh2d(4, 4)),
+                &DesConfig {
+                    injection_rate: 0.1,
+                    warmup_packets: 200,
+                    measured_packets: 2_000,
+                    ..DesConfig::default()
+                },
+            )
+        })
+    });
+}
+
+fn bench_ldpc(c: &mut Criterion) {
+    let code = LdpcCode::paper_block(100, 1);
+    let sigma = ebn0_db_to_sigma(3.0, 0.5);
+    let mut rng = seeded_rng(7);
+    let mut gauss = Gaussian::new();
+    let rx: Vec<f64> = (0..code.len())
+        .map(|_| 1.0 + gauss.sample_with(&mut rng, 0.0, sigma))
+        .collect();
+    let llr = awgn_llrs(&rx, sigma);
+    let decoder = BpDecoder::new(&code, BpConfig::default());
+    c.bench_function("bp_decode_n200", |b| b.iter(|| decoder.decode(black_box(&llr))));
+
+    let cc = CoupledCode::paper_cc(25, 10, 2);
+    let rx_cc: Vec<f64> = (0..cc.code().len())
+        .map(|_| 1.0 + gauss.sample_with(&mut rng, 0.0, sigma))
+        .collect();
+    let llr_cc = awgn_llrs(&rx_cc, sigma);
+    let wd = WindowDecoder::new(4, 20);
+    c.bench_function("window_decode_n25_l10", |b| {
+        b.iter(|| wd.decode(black_box(&cc), black_box(&llr_cc)))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fft, bench_vna, bench_info_rate, bench_noc, bench_ldpc
+}
+criterion_main!(kernels);

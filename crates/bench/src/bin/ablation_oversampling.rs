@@ -1,0 +1,42 @@
+//! Ablation: oversampling factor M of the 1-bit receiver.
+//!
+//! §III: "we found 5-fold oversampling as the smallest sampling rate, which
+//! enables unique detection" — this sweep shows why: unique detection of
+//! 4-ASK fails below M = 5 for the designed ramp-plus-bias family, and the
+//! symbolwise information rate grows with M.
+
+use wi_bench::{fmt, print_table};
+use wi_quantrx::design::{design_suboptimal, DesignOptions};
+use wi_quantrx::info_rate::{snr_db_to_sigma, symbolwise_information_rate};
+use wi_quantrx::modulation::AskModulation;
+use wi_quantrx::trellis::ChannelTrellis;
+use wi_quantrx::unique::unique_detection;
+
+fn main() {
+    let modu = AskModulation::four_ask();
+    let sigma = snr_db_to_sigma(25.0);
+    let mut rows = Vec::new();
+    for m in [1usize, 2, 3, 4, 5, 6, 8] {
+        let opts = DesignOptions {
+            oversampling: m,
+            max_evals: 400,
+            ..DesignOptions::default()
+        };
+        let design = design_suboptimal(&modu, &opts);
+        let trellis = ChannelTrellis::new(&modu, &design.filter);
+        let unique = unique_detection(&trellis).is_unique();
+        let rate = symbolwise_information_rate(&trellis, sigma);
+        rows.push(vec![
+            m.to_string(),
+            if unique { "yes" } else { "no" }.to_string(),
+            fmt(design.objective, 4),
+            fmt(rate, 3),
+        ]);
+    }
+    print_table(
+        "ablation — oversampling factor (4-ASK, designed ISI, 25 dB)",
+        &["M", "unique detection", "margin", "symbolwise rate/bpcu"],
+        &rows,
+    );
+    println!("\npaper: M = 5 is the smallest factor enabling unique detection of 4-ASK.");
+}

@@ -1,0 +1,29 @@
+//! Ablation: partial TSV pillars in a 3D mesh (§IV future work) — "the
+//! large area of TSVs will probably not allow to equip every router with a
+//! vertical link".
+
+use wi_bench::{fmt, print_table};
+use wi_noc::analytic::RouterParams;
+use wi_noc::irregular::PillarMesh3d;
+
+fn main() {
+    let params = RouterParams::default();
+    let rows: Vec<Vec<String>> = [1usize, 2, 4]
+        .iter()
+        .map(|&pitch| {
+            let mesh = PillarMesh3d::new(4, 4, 4, pitch);
+            vec![
+                pitch.to_string(),
+                mesh.pillar_count().to_string(),
+                fmt(mesh.zero_load_latency(params), 2),
+            ]
+        })
+        .collect();
+    print_table(
+        "ablation — TSV pillar pitch in a 4x4x4 mesh",
+        &["pitch", "TSV pillars", "zero-load latency/cyc"],
+        &rows,
+    );
+    println!("\nshape: thinning the vertical links (16 -> 4 -> 1 pillars) buys TSV area");
+    println!("at a growing latency cost, motivating the heterogeneous-link future work.");
+}

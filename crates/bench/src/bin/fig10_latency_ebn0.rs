@@ -1,0 +1,85 @@
+//! Fig. 10: required Eb/N0 to reach the target BER as a function of the
+//! structural decoding latency — LDPC-CC (N ∈ {25, 40, 60}, W sweeps)
+//! versus the LDPC block codes they are derived from.
+//!
+//! Default preset targets BER 1e-3 with moderate frame counts (minutes);
+//! `--full` targets the paper's 1e-5 (much slower). Absolute dB values are
+//! implementation-dependent; the reproduced *shape* is: required Eb/N0
+//! falls with window size and lifting factor, and the spatially coupled
+//! codes beat the block codes as latency grows.
+
+use wi_bench::{fmt, has_flag, print_table};
+use wi_ldpc::ber::{required_ebn0_db, simulate_bc_ber, simulate_cc_ber, BerSimOptions};
+use wi_ldpc::decoder::BpConfig;
+use wi_ldpc::window::{CoupledCode, WindowDecoder};
+use wi_ldpc::LdpcCode;
+
+fn main() {
+    let full = has_flag("--full");
+    let target_ber = if full { 1e-5 } else { 1e-3 };
+    // Window decoding fails in bursts (a wrong pinned block corrupts its
+    // successors), so the error budget must cover several independent
+    // failure events or the estimate degenerates to a frame-error rate.
+    // The default preset (~2-4 burst events per estimate) sweeps all 19
+    // points in roughly half an hour; --full is an overnight run.
+    let opts = BerSimOptions {
+        target_errors: if full { 600 } else { 120 },
+        max_frames: if full { 20_000 } else { 150 },
+        min_frames: 30,
+        seed: 0xF10,
+    };
+    let term_length = 20;
+    let iters = 50;
+
+    println!("Fig. 10 — required Eb/N0 for BER {target_ber:.0e} vs structural latency");
+    println!("(paper targets 1e-5; default preset 1e-3 for runtime, --full for 1e-5)");
+
+    let mut rows = Vec::new();
+    let cc_sweeps: [(usize, Vec<usize>); 3] = [
+        (25, (3..=8).collect()),
+        (40, (3..=8).collect()),
+        (60, (4..=6).collect()),
+    ];
+    for (n, windows) in &cc_sweeps {
+        let code = CoupledCode::paper_cc(*n, term_length, 0xCC00 + *n as u64);
+        for &w in windows {
+            let wd = WindowDecoder::new(w, iters);
+            let req = required_ebn0_db(
+                |e| simulate_cc_ber(&code, &wd, e, &opts).ber,
+                target_ber,
+                0.5,
+                8.0,
+                0.1,
+            );
+            rows.push(vec![
+                format!("LDPC-CC N={n}"),
+                w.to_string(),
+                fmt(code.window_latency_bits(w), 0),
+                req.map(|v| fmt(v, 2)).unwrap_or_else(|| "n/a".into()),
+            ]);
+        }
+    }
+    for n in [50usize, 100, 200, 400] {
+        let code = LdpcCode::paper_block(n, 0xBC00 + n as u64);
+        let req = required_ebn0_db(
+            |e| simulate_bc_ber(&code, BpConfig { max_iterations: iters }, e, 0.5, &opts).ber,
+            target_ber,
+            0.5,
+            8.0,
+            0.1,
+        );
+        rows.push(vec![
+            format!("LDPC-BC N={n}"),
+            "-".into(),
+            fmt(n as f64, 0),
+            req.map(|v| fmt(v, 2)).unwrap_or_else(|| "n/a".into()),
+        ]);
+    }
+    print_table(
+        "required Eb/N0 / dB",
+        &["code", "W", "latency/info bits", "req. Eb/N0"],
+        &rows,
+    );
+    println!("\npaper anchor: at Eb/N0 = 3 dB the LDPC-CC needs 200 info bits of latency");
+    println!("while the LDPC-BC needs 400 — a 200-bit latency gain from coupling.");
+}

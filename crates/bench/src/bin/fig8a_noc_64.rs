@@ -1,0 +1,73 @@
+//! Fig. 8(a): average packet latency versus injection rate at 64 modules —
+//! 8×8 2D mesh vs 4×4(×4) star-mesh vs 4×4×4 3D mesh.
+//!
+//! With `--des`, cross-validates each analytic point with the
+//! discrete-event simulator.
+
+use wi_bench::{fmt, fmt_opt, has_flag, print_table};
+use wi_noc::analytic::{AnalyticModel, RouterParams};
+use wi_noc::des::{simulate, DesConfig};
+use wi_noc::topology::Topology;
+
+fn main() {
+    let mesh2d = Topology::mesh2d(8, 8);
+    let star = Topology::star_mesh(4, 4, 4);
+    let mesh3d = Topology::mesh3d(4, 4, 4);
+    let params = RouterParams::default();
+    let models = [
+        ("2D-Mesh", AnalyticModel::new(&mesh2d, params)),
+        ("Star-Mesh", AnalyticModel::new(&star, params)),
+        ("3D-Mesh", AnalyticModel::new(&mesh3d, params)),
+    ];
+
+    let rates: Vec<f64> = (1..=80).map(|k| 0.01 * k as f64).collect();
+    let mut rows = Vec::new();
+    for &rate in &rates {
+        // Keep the table readable: print every 0.05 plus fine steps near
+        // the knees.
+        if !((rate * 100.0) as usize).is_multiple_of(5) && rate > 0.05 {
+            continue;
+        }
+        let mut row = vec![fmt(rate, 2)];
+        for (_, m) in &models {
+            row.push(fmt_opt(m.mean_latency(rate), 2));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 8a — average packet latency / cycles (64 modules)",
+        &["inj. rate", "2D-Mesh", "Star-Mesh", "3D-Mesh"],
+        &rows,
+    );
+
+    println!("\nlow-load latency / saturation rate:");
+    for (name, m) in &models {
+        println!(
+            "  {name:10}: {:5.1} cycles / {:.2} flits/cycle/module",
+            m.zero_load_latency(),
+            m.saturation_rate()
+        );
+    }
+    println!("  paper     : 2D 13 cy / 0.41, star 7 cy / 0.19, 3D 10 cy / 0.75");
+
+    if has_flag("--des") {
+        println!("\nDES cross-validation (exponential service):");
+        for (name, topo) in [("2D-Mesh", &mesh2d), ("Star-Mesh", &star), ("3D-Mesh", &mesh3d)] {
+            for rate in [0.05, 0.15] {
+                let des = simulate(
+                    topo,
+                    &DesConfig {
+                        injection_rate: rate,
+                        measured_packets: 30_000,
+                        ..DesConfig::default()
+                    },
+                );
+                println!(
+                    "  {name:10} @ {rate:.2}: DES {:.2} +/- {:.2} cycles",
+                    des.mean_latency,
+                    2.0 * des.stderr
+                );
+            }
+        }
+    }
+}

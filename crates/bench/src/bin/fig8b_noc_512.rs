@@ -1,0 +1,49 @@
+//! Fig. 8(b): average packet latency versus injection rate at 512 modules —
+//! 32×16 2D mesh vs 8×8×8 3D mesh; the latency gap widens with scale.
+
+use wi_bench::{fmt, fmt_opt, print_table};
+use wi_noc::analytic::{AnalyticModel, RouterParams};
+use wi_noc::topology::Topology;
+
+fn main() {
+    let params = RouterParams::default();
+    let mesh2d_512 = Topology::mesh2d(32, 16);
+    let mesh3d_512 = Topology::mesh3d(8, 8, 8);
+    let mesh2d_64 = Topology::mesh2d(8, 8);
+    let mesh3d_64 = Topology::mesh3d(4, 4, 4);
+
+    let m2_512 = AnalyticModel::new(&mesh2d_512, params);
+    let m3_512 = AnalyticModel::new(&mesh3d_512, params);
+    let m2_64 = AnalyticModel::new(&mesh2d_64, params);
+    let m3_64 = AnalyticModel::new(&mesh3d_64, params);
+
+    let rates: Vec<f64> = (1..=14).map(|k| 0.05 * k as f64).collect();
+    let rows: Vec<Vec<String>> = rates
+        .iter()
+        .map(|&r| {
+            vec![
+                fmt(r, 2),
+                fmt_opt(m2_512.mean_latency(r), 2),
+                fmt_opt(m3_512.mean_latency(r), 2),
+                fmt_opt(m2_64.mean_latency(r), 2),
+                fmt_opt(m3_64.mean_latency(r), 2),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 8b — average packet latency / cycles",
+        &[
+            "inj. rate",
+            "2D 512 mod.",
+            "3D 512 mod.",
+            "2D 64 mod.",
+            "3D 64 mod.",
+        ],
+        &rows,
+    );
+
+    let gap64 = m2_64.zero_load_latency() - m3_64.zero_load_latency();
+    let gap512 = m2_512.zero_load_latency() - m3_512.zero_load_latency();
+    println!("\nlow-load 2D-3D latency gap: {gap64:.1} cycles at 64 modules,");
+    println!("{gap512:.1} cycles at 512 modules — the gap increases significantly (paper's claim).");
+}

@@ -1,0 +1,88 @@
+//! Figure/table regeneration harness for the DATE'13 reproduction.
+//!
+//! Each binary in `src/bin/` regenerates one exhibit of the paper
+//! (`fig1_pathloss` … `fig10_latency_ebn0`, `table1_link_budget`) or one
+//! ablation (`ablation_*`), printing the same rows/series the paper
+//! reports. `benches/kernels.rs` holds the Criterion performance benches
+//! for the hot computational kernels.
+//!
+//! Runners accept a `--full` flag where a higher-fidelity (slower) preset
+//! exists; the default presets finish in seconds to a few minutes.
+
+use std::fmt::Write as _;
+
+/// Prints a fixed-width table with a header rule.
+///
+/// # Panics
+///
+/// Panics if any row has a different arity than the header.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ");
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().saturating_sub(2)));
+    for row in rows {
+        let mut out = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(out, "{cell:>w$}  ");
+        }
+        println!("{out}");
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn fmt(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Formats an optional float ("-" when absent, e.g. past saturation).
+pub fn fmt_opt(x: Option<f64>, prec: usize) -> String {
+    match x {
+        Some(v) => fmt(v, prec),
+        None => "-".to_string(),
+    }
+}
+
+/// True when the CLI was invoked with the given flag.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_variants() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt_opt(None, 2), "-");
+        assert_eq!(fmt_opt(Some(2.5), 1), "2.5");
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["30".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn ragged_rows_panic() {
+        print_table("demo", &["a", "b"], &[vec!["1".into()]]);
+    }
+}

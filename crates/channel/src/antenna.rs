@@ -1,0 +1,247 @@
+//! Antenna gain models.
+//!
+//! Two antenna families appear in the paper:
+//!
+//! * **Standard-gain horns** on the VNA ports (≈ 10 dB nominal gain; the
+//!   paper's fits use an effective 9.5 dB after phase-center correction).
+//! * **4×4 patch arrays** proposed for the actual interconnect (12 dB array
+//!   gain in ~2×2 mm² at > 200 GHz), optionally behind a Butler matrix.
+//!
+//! Gain patterns use the standard `cos^q θ` rotationally-symmetric model,
+//! with `q` chosen so that the pattern integrates to the stated boresight
+//! gain (`G₀ = 2(q+1)` for a half-space radiator).
+
+use serde::{Deserialize, Serialize};
+use wi_num::db::{db_to_lin, lin_to_db};
+
+/// Common interface of all antenna models: gain as a function of the
+/// off-boresight angle.
+pub trait Antenna {
+    /// Boresight gain in dBi.
+    fn boresight_gain_db(&self) -> f64;
+
+    /// Gain in dBi at off-boresight angle `theta_rad` (radians, 0 =
+    /// boresight). Implementations must be monotonically non-increasing in
+    /// `|θ|` over `[0, π/2]`.
+    fn gain_db(&self, theta_rad: f64) -> f64;
+
+    /// Linear power gain at `theta_rad`.
+    fn gain_linear(&self, theta_rad: f64) -> f64 {
+        db_to_lin(self.gain_db(theta_rad))
+    }
+}
+
+/// Exponent of the `cos^q θ` pattern that yields boresight gain `g0_lin`
+/// for a half-space radiator (`G₀ = 2(q+1)`).
+fn pattern_exponent(g0_lin: f64) -> f64 {
+    (g0_lin / 2.0 - 1.0).max(0.0)
+}
+
+fn cos_q_gain_db(g0_db: f64, q: f64, theta_rad: f64) -> f64 {
+    let theta = theta_rad.abs();
+    if theta >= std::f64::consts::FRAC_PI_2 {
+        // Behind the aperture plane: floor the pattern 40 dB down.
+        return g0_db - 40.0;
+    }
+    let c = theta.cos();
+    (g0_db + 10.0 * q * c.log10()).max(g0_db - 40.0)
+}
+
+/// A standard-gain horn antenna, as mounted on the VNA measurement ports.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HornAntenna {
+    /// Boresight gain in dBi.
+    pub gain_dbi: f64,
+}
+
+impl HornAntenna {
+    /// The paper's measurement horn: ≈ 10 dB nominal gain in 220–245 GHz.
+    pub fn paper_nominal() -> Self {
+        HornAntenna { gain_dbi: 10.0 }
+    }
+
+    /// The effective 9.5 dB gain the paper applies after correcting for the
+    /// effective phase center (Fig. 1 fit).
+    pub fn paper_effective() -> Self {
+        HornAntenna { gain_dbi: 9.5 }
+    }
+
+    /// Creates a horn with the given boresight gain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain_dbi` is negative (a horn is a directive antenna).
+    pub fn new(gain_dbi: f64) -> Self {
+        assert!(gain_dbi >= 0.0, "horn gain must be non-negative");
+        HornAntenna { gain_dbi }
+    }
+}
+
+impl Antenna for HornAntenna {
+    fn boresight_gain_db(&self) -> f64 {
+        self.gain_dbi
+    }
+
+    fn gain_db(&self, theta_rad: f64) -> f64 {
+        let q = pattern_exponent(db_to_lin(self.gain_dbi));
+        cos_q_gain_db(self.gain_dbi, q, theta_rad)
+    }
+}
+
+/// A uniform rectangular patch array (the paper proposes 4×4 in 2×2 mm²).
+///
+/// The boresight array gain is `10·log₁₀(nx·ny)` plus the element gain; the
+/// pattern combines the element pattern with the array factor of a
+/// half-wavelength-spaced uniform array steered to `steer_rad`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PatchArray {
+    /// Number of elements along x.
+    pub nx: usize,
+    /// Number of elements along y.
+    pub ny: usize,
+    /// Per-element boresight gain in dBi.
+    pub element_gain_dbi: f64,
+    /// Electrical steering angle in radians (0 = broadside).
+    pub steer_rad: f64,
+}
+
+impl PatchArray {
+    /// The paper's 4×4 array: 12 dB array gain (16 elements) with a modest
+    /// patch element, unsteered.
+    pub fn paper_4x4() -> Self {
+        PatchArray {
+            nx: 4,
+            ny: 4,
+            element_gain_dbi: 0.0,
+            steer_rad: 0.0,
+        }
+    }
+
+    /// Creates an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(nx: usize, ny: usize, element_gain_dbi: f64) -> Self {
+        assert!(nx > 0 && ny > 0, "array dimensions must be non-zero");
+        PatchArray {
+            nx,
+            ny,
+            element_gain_dbi,
+            steer_rad: 0.0,
+        }
+    }
+
+    /// Returns a copy steered to `steer_rad` radians off broadside.
+    pub fn steered(mut self, steer_rad: f64) -> Self {
+        self.steer_rad = steer_rad;
+        self
+    }
+
+    /// Array gain over a single element, in dB (`10·log₁₀ N`).
+    pub fn array_gain_db(&self) -> f64 {
+        lin_to_db((self.nx * self.ny) as f64)
+    }
+
+    /// Normalized array factor power (1 at the steered direction) for a
+    /// uniform λ/2-spaced linear array of `n` elements.
+    fn array_factor(n: usize, theta_rad: f64, steer_rad: f64) -> f64 {
+        let psi = std::f64::consts::PI * (theta_rad.sin() - steer_rad.sin());
+        if psi.abs() < 1e-12 {
+            return 1.0;
+        }
+        let num = (n as f64 * psi / 2.0).sin();
+        let den = n as f64 * (psi / 2.0).sin();
+        let af = num / den;
+        af * af
+    }
+}
+
+impl Antenna for PatchArray {
+    fn boresight_gain_db(&self) -> f64 {
+        self.element_gain_dbi + self.array_gain_db()
+    }
+
+    fn gain_db(&self, theta_rad: f64) -> f64 {
+        // Element pattern (cos^q) times the x-axis array factor; the y factor
+        // is evaluated at broadside for this azimuth-cut model.
+        let q = pattern_exponent(db_to_lin(self.element_gain_dbi).max(1.0));
+        let elem_db = cos_q_gain_db(self.element_gain_dbi, q, theta_rad);
+        let af = Self::array_factor(self.nx, theta_rad, self.steer_rad).max(1e-4);
+        elem_db + self.array_gain_db() + 10.0 * af.log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horn_boresight_matches_nominal() {
+        let h = HornAntenna::paper_nominal();
+        assert_eq!(h.gain_db(0.0), 10.0);
+        assert_eq!(h.boresight_gain_db(), 10.0);
+    }
+
+    #[test]
+    fn horn_pattern_monotone_decreasing() {
+        let h = HornAntenna::paper_effective();
+        let mut prev = h.gain_db(0.0);
+        for k in 1..=90 {
+            let g = h.gain_db(k as f64 * std::f64::consts::PI / 180.0);
+            assert!(g <= prev + 1e-12, "gain rose at {k} deg");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn horn_backlobe_floor() {
+        let h = HornAntenna::paper_nominal();
+        assert_eq!(h.gain_db(std::f64::consts::PI), h.gain_db(0.0) - 40.0);
+    }
+
+    #[test]
+    fn paper_array_gain_is_12db() {
+        // §I: "a 4x4 antenna array ... array gain of each 12 dB".
+        let a = PatchArray::paper_4x4();
+        assert!((a.array_gain_db() - 12.04).abs() < 0.01);
+        assert!((a.boresight_gain_db() - 12.04).abs() < 0.01);
+    }
+
+    #[test]
+    fn steering_moves_the_beam() {
+        let steer = 20f64.to_radians();
+        let a = PatchArray::paper_4x4().steered(steer);
+        // Gain at the steered angle should exceed gain at broadside.
+        assert!(a.gain_db(steer) > a.gain_db(0.0));
+    }
+
+    #[test]
+    fn array_factor_peak_is_unity() {
+        for n in [2usize, 4, 8] {
+            let af = PatchArray::array_factor(n, 0.3, 0.3);
+            assert!((af - 1.0).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn array_nulls_exist_off_boresight() {
+        // First null of a 4-element λ/2 array at sin θ = 1/2.
+        let theta = (0.5f64).asin();
+        let af = PatchArray::array_factor(4, theta, 0.0);
+        assert!(af < 1e-6, "af = {af}");
+    }
+
+    #[test]
+    fn linear_gain_consistent_with_db() {
+        let h = HornAntenna::paper_nominal();
+        let g_lin = h.gain_linear(0.2);
+        assert!((lin_to_db(g_lin) - h.gain_db(0.2)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "array dimensions must be non-zero")]
+    fn zero_array_panics() {
+        PatchArray::new(0, 4, 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Board and antenna geometry.
+//!
+//! The paper's measurement setup places two printed circuit boards in
+//! parallel at a 50 mm separation (a lower bound on board spacing) and
+//! realizes "diagonal" links by rotating the boards on their z-axis, which
+//! laterally offsets the two antennas. This module models that geometry with
+//! plain Cartesian points so that the ray tracer can compute image paths.
+
+use serde::{Deserialize, Serialize};
+
+/// A point (or vector) in 3-D space, in metres.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Point3 {
+    /// x coordinate (lateral, in the board plane).
+    pub x: f64,
+    /// y coordinate (lateral, in the board plane).
+    pub y: f64,
+    /// z coordinate (normal to the boards).
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Creates a point from coordinates in metres.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Vector difference `self − other`.
+    pub fn sub(&self, other: &Point3) -> Point3 {
+        Point3::new(self.x - other.x, self.y - other.y, self.z - other.z)
+    }
+
+    /// Euclidean norm of the point interpreted as a vector.
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Mirrors the point across the horizontal plane `z = plane_z`.
+    pub fn mirror_z(&self, plane_z: f64) -> Point3 {
+        Point3::new(self.x, self.y, 2.0 * plane_z - self.z)
+    }
+}
+
+/// Geometry of one wireless link between two parallel boards.
+///
+/// Board A occupies the plane `z = 0`, board B the plane `z = separation`.
+/// Antenna phase centers sit `standoff` in front of their board (horn
+/// apertures protrude into the gap), and the receive antenna may be laterally
+/// offset to form a diagonal link.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BoardLink {
+    /// Board separation in metres (the paper uses 50 mm as the lower bound).
+    pub separation_m: f64,
+    /// Antenna phase-center standoff from its board surface, metres.
+    pub standoff_m: f64,
+    /// Lateral offset of the receiver in the board plane, metres
+    /// (0 for the "ahead" link).
+    pub lateral_offset_m: f64,
+}
+
+impl BoardLink {
+    /// An "ahead" link: antennas directly facing each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the standoffs leave no air gap (`2·standoff ≥ separation`)
+    /// or any dimension is non-positive.
+    pub fn ahead(separation_m: f64, standoff_m: f64) -> Self {
+        Self::diagonal(separation_m, standoff_m, 0.0)
+    }
+
+    /// A diagonal link with the given lateral offset between the antennas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the standoffs leave no air gap or any dimension is negative.
+    pub fn diagonal(separation_m: f64, standoff_m: f64, lateral_offset_m: f64) -> Self {
+        assert!(separation_m > 0.0, "separation must be positive");
+        assert!(standoff_m >= 0.0, "standoff must be non-negative");
+        assert!(lateral_offset_m >= 0.0, "lateral offset must be non-negative");
+        assert!(
+            2.0 * standoff_m < separation_m,
+            "standoffs {standoff_m} m leave no air gap at separation {separation_m} m"
+        );
+        BoardLink {
+            separation_m,
+            standoff_m,
+            lateral_offset_m,
+        }
+    }
+
+    /// Builds the diagonal link whose *antenna-to-antenna* distance is
+    /// `link_distance_m` at the given board separation, as in the paper's
+    /// 150 mm and 300 mm diagonal links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_distance_m` is shorter than the direct gap between the
+    /// antennas (no such diagonal exists).
+    pub fn with_link_distance(separation_m: f64, standoff_m: f64, link_distance_m: f64) -> Self {
+        let gap = separation_m - 2.0 * standoff_m;
+        assert!(
+            link_distance_m >= gap,
+            "link distance {link_distance_m} m shorter than the board gap {gap} m"
+        );
+        let lateral = (link_distance_m * link_distance_m - gap * gap).sqrt();
+        Self::diagonal(separation_m, standoff_m, lateral)
+    }
+
+    /// Transmit antenna phase center (on board A, facing +z).
+    pub fn tx(&self) -> Point3 {
+        Point3::new(0.0, 0.0, self.standoff_m)
+    }
+
+    /// Receive antenna phase center (on board B, facing −z).
+    pub fn rx(&self) -> Point3 {
+        Point3::new(
+            self.lateral_offset_m,
+            0.0,
+            self.separation_m - self.standoff_m,
+        )
+    }
+
+    /// Line-of-sight distance between the antenna phase centers.
+    pub fn los_distance(&self) -> f64 {
+        self.tx().distance(&self.rx())
+    }
+
+    /// Off-boresight angle (radians) of the line of sight as seen from
+    /// either antenna (both point along ±z).
+    pub fn los_angle(&self) -> f64 {
+        let v = self.rx().sub(&self.tx());
+        (v.x.hypot(v.y)).atan2(v.z.abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(-1.0, 0.5, 9.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn mirror_round_trip() {
+        let p = Point3::new(0.3, -0.2, 0.07);
+        let m = p.mirror_z(0.05).mirror_z(0.05);
+        assert!((m.z - p.z).abs() < 1e-15);
+        assert_eq!(m.x, p.x);
+    }
+
+    #[test]
+    fn ahead_link_distance_is_gap() {
+        let link = BoardLink::ahead(0.05, 0.01);
+        assert!((link.los_distance() - 0.03).abs() < 1e-12);
+        assert_eq!(link.los_angle(), 0.0);
+    }
+
+    #[test]
+    fn paper_diagonal_150mm() {
+        // Fig. 3: 150 mm antenna distance at 50 mm board separation.
+        let link = BoardLink::with_link_distance(0.05, 0.0, 0.150);
+        assert!((link.los_distance() - 0.150).abs() < 1e-9);
+        assert!(link.lateral_offset_m > 0.14);
+    }
+
+    #[test]
+    fn diagonal_angle_increases_with_offset() {
+        let near = BoardLink::diagonal(0.05, 0.005, 0.02);
+        let far = BoardLink::diagonal(0.05, 0.005, 0.2);
+        assert!(far.los_angle() > near.los_angle());
+    }
+
+    #[test]
+    #[should_panic(expected = "no air gap")]
+    fn overlapping_standoffs_panic() {
+        BoardLink::ahead(0.05, 0.025);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the board gap")]
+    fn impossible_link_distance_panics() {
+        BoardLink::with_link_distance(0.05, 0.0, 0.01);
+    }
+}

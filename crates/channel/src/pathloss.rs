@@ -1,0 +1,231 @@
+//! The log-distance pathloss model of Eq. (1).
+//!
+//! `PL(d) [dB] = PL(d₀) [dB] + 10·n·log₁₀(d/d₀)`
+//!
+//! with the reference loss `PL(d₀)` anchored to the Friis free-space value at
+//! the carrier frequency. The paper validates `n = 2.000` for free space and
+//! fits `n = 2.0454` for the parallel-copper-board scenario.
+
+use serde::{Deserialize, Serialize};
+use wi_num::db::{wavelength_m, SPEED_OF_LIGHT};
+use wi_num::fit::{linear_fit, LineFit};
+
+/// Pathloss exponent fitted by the paper for free space.
+pub const PAPER_EXPONENT_FREE_SPACE: f64 = 2.000;
+/// Pathloss exponent fitted by the paper for parallel copper boards.
+pub const PAPER_EXPONENT_COPPER_BOARDS: f64 = 2.0454;
+/// Centre frequency of the measured 220–245 GHz band.
+pub const PAPER_CENTER_FREQUENCY_HZ: f64 = 232.5e9;
+
+/// A log-distance pathloss model (Eq. (1) of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PathlossModel {
+    /// Pathloss exponent `n`.
+    pub exponent: f64,
+    /// Reference distance `d₀` in metres.
+    pub reference_distance_m: f64,
+    /// Pathloss at the reference distance, in dB.
+    pub reference_loss_db: f64,
+}
+
+impl PathlossModel {
+    /// Free-space model (`n = 2`) at carrier `freq_hz`, anchored to the
+    /// Friis value at a 1 m reference distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not positive.
+    pub fn free_space(freq_hz: f64) -> Self {
+        Self::with_exponent(freq_hz, 2.0)
+    }
+
+    /// Log-distance model with a custom exponent, anchored to the Friis
+    /// free-space value at a 1 m reference distance (the convention used for
+    /// near-free-space fits such as the paper's copper-board exponent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` or `exponent` is not positive.
+    pub fn with_exponent(freq_hz: f64, exponent: f64) -> Self {
+        assert!(freq_hz > 0.0, "carrier frequency must be positive");
+        assert!(exponent > 0.0, "pathloss exponent must be positive");
+        let d0 = 1.0;
+        let reference_loss_db = friis_pathloss_db(freq_hz, d0);
+        PathlossModel {
+            exponent,
+            reference_distance_m: d0,
+            reference_loss_db,
+        }
+    }
+
+    /// The paper's copper-board model: exponent 2.0454 at 232.5 GHz.
+    pub fn paper_copper_boards() -> Self {
+        Self::with_exponent(PAPER_CENTER_FREQUENCY_HZ, PAPER_EXPONENT_COPPER_BOARDS)
+    }
+
+    /// The paper's free-space model at 232.5 GHz.
+    pub fn paper_free_space() -> Self {
+        Self::with_exponent(PAPER_CENTER_FREQUENCY_HZ, PAPER_EXPONENT_FREE_SPACE)
+    }
+
+    /// Pathloss in dB at distance `d_m` metres (Eq. (1)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_m` is not positive.
+    pub fn pathloss_db(&self, d_m: f64) -> f64 {
+        assert!(d_m > 0.0, "distance must be positive, got {d_m}");
+        self.reference_loss_db + 10.0 * self.exponent * (d_m / self.reference_distance_m).log10()
+    }
+
+    /// Linear power attenuation (≤ 1) at distance `d_m`.
+    pub fn attenuation(&self, d_m: f64) -> f64 {
+        10f64.powf(-self.pathloss_db(d_m) / 10.0)
+    }
+}
+
+/// Friis free-space pathloss in dB: `20·log₁₀(4πd/λ)`.
+///
+/// # Panics
+///
+/// Panics if `freq_hz` or `d_m` is not positive.
+pub fn friis_pathloss_db(freq_hz: f64, d_m: f64) -> f64 {
+    assert!(freq_hz > 0.0 && d_m > 0.0, "frequency and distance must be positive");
+    let lambda = wavelength_m(freq_hz);
+    20.0 * (4.0 * std::f64::consts::PI * d_m / lambda).log10()
+}
+
+/// Result of fitting Eq. (1) to measured (distance, pathloss) samples.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PathlossFit {
+    /// Fitted pathloss exponent `n`.
+    pub exponent: f64,
+    /// Fitted pathloss at 1 m, in dB.
+    pub loss_at_1m_db: f64,
+    /// Coefficient of determination of the underlying linear fit.
+    pub r_squared: f64,
+}
+
+impl PathlossFit {
+    /// Converts the fit back into a usable [`PathlossModel`].
+    pub fn into_model(self) -> PathlossModel {
+        PathlossModel {
+            exponent: self.exponent,
+            reference_distance_m: 1.0,
+            reference_loss_db: self.loss_at_1m_db,
+        }
+    }
+}
+
+/// Fits the log-distance model to measured `(distance_m, pathloss_db)`
+/// samples by least squares on `log₁₀(d)`, the same regression the paper
+/// uses to report `n = 2.000` / `n = 2.0454`.
+///
+/// # Panics
+///
+/// Panics if fewer than two samples are given or any distance is
+/// non-positive.
+pub fn fit_pathloss_exponent(samples: &[(f64, f64)]) -> PathlossFit {
+    assert!(samples.len() >= 2, "need at least two samples to fit");
+    let xs: Vec<f64> = samples
+        .iter()
+        .map(|&(d, _)| {
+            assert!(d > 0.0, "distance must be positive, got {d}");
+            d.log10()
+        })
+        .collect();
+    let ys: Vec<f64> = samples.iter().map(|&(_, pl)| pl).collect();
+    let LineFit {
+        slope,
+        intercept,
+        r_squared,
+    } = linear_fit(&xs, &ys);
+    PathlossFit {
+        exponent: slope / 10.0,
+        loss_at_1m_db: intercept,
+        r_squared,
+    }
+}
+
+/// Wavelength helper re-exported for convenience (speed of light over
+/// frequency).
+pub fn carrier_wavelength_m(freq_hz: f64) -> f64 {
+    SPEED_OF_LIGHT / freq_hz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_values() {
+        // Table I: 59.8 dB @ 0.1 m and 69.3 dB @ 0.3 m at 232.5 GHz, n = 2.
+        let m = PathlossModel::paper_free_space();
+        assert!((m.pathloss_db(0.1) - 59.8).abs() < 0.1, "{}", m.pathloss_db(0.1));
+        assert!((m.pathloss_db(0.3) - 69.3).abs() < 0.1, "{}", m.pathloss_db(0.3));
+    }
+
+    #[test]
+    fn exponent_two_gives_20db_per_decade() {
+        let m = PathlossModel::free_space(232.5e9);
+        let d1 = m.pathloss_db(0.01);
+        let d2 = m.pathloss_db(0.1);
+        assert!((d2 - d1 - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn copper_board_model_is_slightly_steeper() {
+        let fs = PathlossModel::paper_free_space();
+        let cb = PathlossModel::paper_copper_boards();
+        // Same anchor at 1 m, steeper slope below 1 m means *less* loss at
+        // short range in the anchored convention, but the per-decade slope
+        // must exceed free space.
+        let slope_fs = fs.pathloss_db(1.0) - fs.pathloss_db(0.1);
+        let slope_cb = cb.pathloss_db(1.0) - cb.pathloss_db(0.1);
+        assert!(slope_cb > slope_fs);
+        assert!((slope_cb - 20.454).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attenuation_matches_db() {
+        let m = PathlossModel::paper_free_space();
+        let att = m.attenuation(0.1);
+        assert!((10.0 * att.log10() + m.pathloss_db(0.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_recovers_synthetic_exponent() {
+        let truth = PathlossModel::with_exponent(232.5e9, 2.0454);
+        let samples: Vec<(f64, f64)> = (1..=20)
+            .map(|i| {
+                let d = 0.01 * i as f64;
+                (d, truth.pathloss_db(d))
+            })
+            .collect();
+        let fit = fit_pathloss_exponent(&samples);
+        assert!((fit.exponent - 2.0454).abs() < 1e-9);
+        assert!((fit.loss_at_1m_db - truth.reference_loss_db).abs() < 1e-6);
+        assert!(fit.r_squared > 0.999999);
+        let m = fit.into_model();
+        assert!((m.pathloss_db(0.05) - truth.pathloss_db(0.05)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn friis_reference_value() {
+        // At 232.5 GHz and 0.1 m: 20·log10(4π·0.1/1.2894e-3) ≈ 59.78 dB.
+        let pl = friis_pathloss_db(232.5e9, 0.1);
+        assert!((pl - 59.78).abs() < 0.05, "{pl}");
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be positive")]
+    fn zero_distance_panics() {
+        PathlossModel::paper_free_space().pathloss_db(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two samples")]
+    fn fit_needs_samples() {
+        fit_pathloss_exponent(&[(0.1, 60.0)]);
+    }
+}

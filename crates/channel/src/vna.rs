@@ -1,0 +1,332 @@
+//! Synthetic vector network analyser.
+//!
+//! The paper measures S21 of the board-to-board channel with an R&S ZVA24
+//! plus 220–245 GHz extenders: 4096 frequency-domain samples, calibrated at
+//! the waveguide flanges, converted to impulse responses by discrete Fourier
+//! transformation. This module reproduces that instrument over the
+//! [`RayChannel`] model: a frequency sweep with a
+//! seeded additive noise floor, and a windowed inverse DFT to the time
+//! domain.
+
+use crate::rays::RayChannel;
+use serde::{Deserialize, Serialize};
+use wi_num::db::db_to_amplitude;
+use wi_num::fft::{dft_in_place, Direction};
+use wi_num::rng::{seeded_rng, Gaussian};
+use wi_num::window::WindowKind;
+use wi_num::Complex64;
+
+/// Sweep configuration of the synthetic VNA.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VnaConfig {
+    /// Sweep start frequency in Hz.
+    pub f_start_hz: f64,
+    /// Sweep stop frequency in Hz.
+    pub f_stop_hz: f64,
+    /// Number of frequency points (the paper uses 4096).
+    pub n_points: usize,
+    /// Additive measurement noise floor per frequency point, in dB relative
+    /// to unity S21.
+    pub noise_floor_db: f64,
+    /// Seed for the measurement noise.
+    pub seed: u64,
+}
+
+impl Default for VnaConfig {
+    /// The paper's sweep: 220–245 GHz, 4096 points.
+    fn default() -> Self {
+        VnaConfig {
+            f_start_hz: 220e9,
+            f_stop_hz: 245e9,
+            n_points: 4096,
+            noise_floor_db: -85.0,
+            seed: 0x5749_5245, // "WIRE"
+        }
+    }
+}
+
+/// A synthetic vector network analyser.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticVna {
+    config: VnaConfig,
+}
+
+impl SyntheticVna {
+    /// Creates a VNA with the given sweep configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep is empty or the frequency range is not increasing.
+    pub fn new(config: VnaConfig) -> Self {
+        assert!(config.n_points >= 2, "sweep needs at least two points");
+        assert!(
+            config.f_stop_hz > config.f_start_hz && config.f_start_hz > 0.0,
+            "invalid sweep range"
+        );
+        SyntheticVna { config }
+    }
+
+    /// The paper's instrument: 220–245 GHz, 4096 points.
+    pub fn paper_default() -> Self {
+        Self::new(VnaConfig::default())
+    }
+
+    /// Sweep configuration.
+    pub fn config(&self) -> &VnaConfig {
+        &self.config
+    }
+
+    /// Centre frequency of the sweep.
+    pub fn center_frequency_hz(&self) -> f64 {
+        0.5 * (self.config.f_start_hz + self.config.f_stop_hz)
+    }
+
+    /// Span of the sweep in Hz.
+    pub fn span_hz(&self) -> f64 {
+        self.config.f_stop_hz - self.config.f_start_hz
+    }
+
+    /// Measures S21 of a channel across the sweep, adding the instrument
+    /// noise floor. Deterministic for a given `(config, channel)` pair.
+    pub fn measure(&self, channel: &RayChannel) -> FrequencyResponse {
+        let n = self.config.n_points;
+        let df = self.span_hz() / (n - 1) as f64;
+        let mut rng = seeded_rng(self.config.seed);
+        let mut gauss = Gaussian::new();
+        let sigma = db_to_amplitude(self.config.noise_floor_db) / std::f64::consts::SQRT_2;
+        let mut freqs = Vec::with_capacity(n);
+        let mut s21 = Vec::with_capacity(n);
+        for k in 0..n {
+            let f = self.config.f_start_hz + k as f64 * df;
+            let noise = Complex64::new(
+                gauss.sample_with(&mut rng, 0.0, sigma),
+                gauss.sample_with(&mut rng, 0.0, sigma),
+            );
+            freqs.push(f);
+            s21.push(channel.transfer_at(f) + noise);
+        }
+        FrequencyResponse { freqs_hz: freqs, s21 }
+    }
+}
+
+/// A measured (synthetic) frequency response.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyResponse {
+    /// Frequency of each sample in Hz.
+    pub freqs_hz: Vec<f64>,
+    /// Complex S21 at each frequency.
+    pub s21: Vec<Complex64>,
+}
+
+impl FrequencyResponse {
+    /// Mean |S21|² across the band, in dB.
+    pub fn mean_power_db(&self) -> f64 {
+        let p: f64 = self.s21.iter().map(|z| z.norm_sqr()).sum::<f64>() / self.s21.len() as f64;
+        10.0 * p.log10()
+    }
+
+    /// Band-averaged pathloss in dB with the nominal antenna gains removed —
+    /// the quantity plotted as "measured data" in Fig. 1. S21 includes the
+    /// antenna gains, so `PL = −10·log₁₀(mean|S21|²) + G_tx + G_rx`.
+    pub fn pathloss_db(&self, tx_gain_db: f64, rx_gain_db: f64) -> f64 {
+        -self.mean_power_db() + tx_gain_db + rx_gain_db
+    }
+
+    /// Converts the sweep to an impulse response by windowed inverse DFT.
+    ///
+    /// The delay resolution is `1/span` (40 ps for the paper's 25 GHz sweep)
+    /// and the unambiguous range is `n/span`.
+    pub fn impulse_response(&self, window: WindowKind) -> ImpulseResponse {
+        let n = self.s21.len();
+        let coeffs = window.coefficients(n);
+        let gain = window.coherent_gain(n).max(1e-12);
+        let mut data: Vec<Complex64> = self
+            .s21
+            .iter()
+            .zip(&coeffs)
+            .map(|(z, &w)| z.scale(w / gain))
+            .collect();
+        dft_in_place(&mut data, Direction::Inverse);
+        let span = self.freqs_hz[n - 1] - self.freqs_hz[0];
+        let dt = 1.0 / span / (n as f64 / (n - 1) as f64);
+        let delays_s: Vec<f64> = (0..n).map(|k| k as f64 * dt).collect();
+        // The inverse DFT divides by N; undo it so a flat unit spectrum maps
+        // to a unit-amplitude impulse.
+        let magnitude_db: Vec<f64> = data
+            .iter()
+            .map(|z| 20.0 * (z.norm() * n as f64).max(1e-30).log10())
+            .collect();
+        ImpulseResponse {
+            delays_s,
+            magnitude_db,
+        }
+    }
+}
+
+/// A time-domain impulse response (magnitude only, in dB).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ImpulseResponse {
+    /// Delay axis in seconds.
+    pub delays_s: Vec<f64>,
+    /// Magnitude of each tap in dB.
+    pub magnitude_db: Vec<f64>,
+}
+
+impl ImpulseResponse {
+    /// The strongest tap as `(delay_s, magnitude_db)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the response is empty.
+    pub fn peak(&self) -> (f64, f64) {
+        let (idx, &db) = self
+            .magnitude_db
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("empty impulse response");
+        (self.delays_s[idx], db)
+    }
+
+    /// Local maxima at least `min_rel_db` below the main peak but above
+    /// `floor_db`, returned as `(delay_s, magnitude_db)` sorted by delay.
+    pub fn peaks(&self, floor_db: f64) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        for i in 1..self.magnitude_db.len().saturating_sub(1) {
+            let m = self.magnitude_db[i];
+            if m > floor_db && m >= self.magnitude_db[i - 1] && m >= self.magnitude_db[i + 1] {
+                out.push((self.delays_s[i], m));
+            }
+        }
+        out
+    }
+
+    /// Magnitude (dB) of the strongest tap that arrives at least `guard_s`
+    /// after the main peak, relative to the main peak. `None` when no sample
+    /// lies beyond the guard. This is the "reflections are ≥ 15 dB below
+    /// LOS" metric of the paper.
+    pub fn strongest_echo_rel_db(&self, guard_s: f64) -> Option<f64> {
+        let (t0, p0) = self.peak();
+        self.delays_s
+            .iter()
+            .zip(&self.magnitude_db)
+            .filter(|(&t, _)| t > t0 + guard_s)
+            .map(|(_, &m)| m - p0)
+            .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Restricts the response to delays `≤ max_delay_s` (for plotting).
+    pub fn truncated(&self, max_delay_s: f64) -> ImpulseResponse {
+        let keep = self
+            .delays_s
+            .iter()
+            .take_while(|&&t| t <= max_delay_s)
+            .count();
+        ImpulseResponse {
+            delays_s: self.delays_s[..keep].to_vec(),
+            magnitude_db: self.magnitude_db[..keep].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::BoardLink;
+    use crate::rays::TwoBoardScene;
+    use wi_num::db::SPEED_OF_LIGHT;
+
+    fn scene_50mm() -> TwoBoardScene {
+        TwoBoardScene::copper_boards(BoardLink::ahead(0.05, 0.01))
+    }
+
+    #[test]
+    fn sweep_axis_is_correct() {
+        let vna = SyntheticVna::paper_default();
+        let resp = vna.measure(&scene_50mm().trace());
+        assert_eq!(resp.freqs_hz.len(), 4096);
+        assert_eq!(resp.freqs_hz[0], 220e9);
+        assert!((resp.freqs_hz[4095] - 245e9).abs() < 1.0);
+        assert!((vna.center_frequency_hz() - 232.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn los_peak_at_geometric_delay() {
+        let scene = scene_50mm();
+        let ch = scene.trace();
+        let vna = SyntheticVna::paper_default();
+        let ir = vna.measure(&ch).impulse_response(WindowKind::Hann);
+        let (t_peak, _) = ir.peak();
+        let t_geo = ch.los().path_length_m / SPEED_OF_LIGHT;
+        // Resolution is 40 ps; peak must land within one bin.
+        assert!(
+            (t_peak - t_geo).abs() < 50e-12,
+            "peak at {t_peak:.3e}, geometric {t_geo:.3e}"
+        );
+    }
+
+    #[test]
+    fn echoes_at_least_15db_down() {
+        let ir = SyntheticVna::paper_default()
+            .measure(&scene_50mm().trace())
+            .impulse_response(WindowKind::Hann);
+        let rel = ir.strongest_echo_rel_db(80e-12).expect("has echoes");
+        assert!(rel <= -15.0, "echo {rel:.1} dB");
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let vna = SyntheticVna::paper_default();
+        let ch = scene_50mm().trace();
+        let a = vna.measure(&ch);
+        let b = vna.measure(&ch);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pathloss_near_model_value() {
+        // Band-averaged measured pathloss should sit near the free-space
+        // model at the LOS distance (30 mm gap here).
+        let link = BoardLink::ahead(0.05, 0.01);
+        let ch = TwoBoardScene::free_space(link).trace();
+        let vna = SyntheticVna::paper_default();
+        let g = 9.5;
+        let pl = vna.measure(&ch).pathloss_db(g, g);
+        let want = crate::pathloss::PathlossModel::free_space(232.5e9).pathloss_db(0.03);
+        assert!((pl - want).abs() < 1.5, "{pl} vs {want}");
+    }
+
+    #[test]
+    fn truncation_keeps_prefix() {
+        let ir = SyntheticVna::paper_default()
+            .measure(&scene_50mm().trace())
+            .impulse_response(WindowKind::Hann);
+        let cut = ir.truncated(2e-9);
+        assert!(cut.delays_s.len() < ir.delays_s.len());
+        assert!(cut.delays_s.iter().all(|&t| t <= 2e-9));
+        assert_eq!(cut.magnitude_db[0], ir.magnitude_db[0]);
+    }
+
+    #[test]
+    fn peaks_are_sorted_and_above_floor() {
+        let ir = SyntheticVna::paper_default()
+            .measure(&scene_50mm().trace())
+            .impulse_response(WindowKind::Hann);
+        let peaks = ir.peaks(-80.0);
+        assert!(!peaks.is_empty());
+        for w in peaks.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert!(peaks.iter().all(|&(_, m)| m > -80.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sweep range")]
+    fn bad_sweep_panics() {
+        SyntheticVna::new(VnaConfig {
+            f_start_hz: 245e9,
+            f_stop_hz: 220e9,
+            ..VnaConfig::default()
+        });
+    }
+}

@@ -1,0 +1,277 @@
+//! System configuration types: chip stacks, boards and the multi-board box.
+//!
+//! The paper's vision (§I): chip stacks with up to millions of processing
+//! elements, several stacks per 10 cm × 10 cm board, 4–5 boards per litre —
+//! "a billion processors in a liter" — connected by direct wireless
+//! board-to-board links instead of a backplane.
+
+use serde::{Deserialize, Serialize};
+use wi_linkbudget::budget::Beamforming;
+use wi_linkbudget::datarate::Polarization;
+use wi_noc::topology::Topology;
+
+/// A 3D chip stack: stacked dies with a Network-in-Chip-Stack (§IV).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StackConfig {
+    /// Cores per die along x.
+    pub cores_x: usize,
+    /// Cores per die along y.
+    pub cores_y: usize,
+    /// Number of stacked dies (the z dimension of the 3D mesh).
+    pub layers: usize,
+    /// Modules concentrated per router (1 = plain 3D mesh, >1 = ciliated).
+    pub concentration: usize,
+    /// NoC clock in GHz (converts cycles to wall-clock latency).
+    pub clock_ghz: f64,
+}
+
+impl StackConfig {
+    /// The paper's 64-module reference stack: 4×4×4 3D mesh at 1 GHz.
+    pub fn paper_64() -> Self {
+        StackConfig {
+            cores_x: 4,
+            cores_y: 4,
+            layers: 4,
+            concentration: 1,
+            clock_ghz: 1.0,
+        }
+    }
+
+    /// The paper's 512-module scaling point: 8×8×8 3D mesh.
+    pub fn paper_512() -> Self {
+        StackConfig {
+            cores_x: 8,
+            cores_y: 8,
+            layers: 8,
+            concentration: 1,
+            clock_ghz: 1.0,
+        }
+    }
+
+    /// Total modules in the stack.
+    pub fn cores(&self) -> usize {
+        self.cores_x * self.cores_y * self.layers * self.concentration
+    }
+
+    /// Builds the intra-stack NoC topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn topology(&self) -> Topology {
+        if self.concentration > 1 {
+            Topology::ciliated_mesh3d(self.cores_x, self.cores_y, self.layers, self.concentration)
+        } else {
+            Topology::mesh3d(self.cores_x, self.cores_y, self.layers)
+        }
+    }
+}
+
+/// A printed circuit board carrying a grid of chip stacks with wireless
+/// nodes on the interposer.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BoardConfig {
+    /// Stacks along x.
+    pub stacks_x: usize,
+    /// Stacks along y.
+    pub stacks_y: usize,
+    /// Stack grid pitch in metres.
+    pub pitch_m: f64,
+}
+
+impl BoardConfig {
+    /// The paper's 10 cm × 10 cm board with a 3×3 grid of stacks.
+    pub fn paper_10cm() -> Self {
+        BoardConfig {
+            stacks_x: 3,
+            stacks_y: 3,
+            pitch_m: 0.033,
+        }
+    }
+
+    /// Stacks on the board.
+    pub fn stacks(&self) -> usize {
+        self.stacks_x * self.stacks_y
+    }
+}
+
+/// Physical-layer configuration of the wireless board-to-board links (§II).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WirelessLinkConfig {
+    /// Carrier frequency in Hz (paper: 200 GHz band, measured 220–245 GHz).
+    pub carrier_hz: f64,
+    /// Signal bandwidth in Hz (paper: 25 GHz).
+    pub bandwidth_hz: f64,
+    /// Transmit power per link in dBm.
+    pub tx_power_dbm: f64,
+    /// Array-weight realization (beamsteering or Butler matrix).
+    pub beamforming: Beamforming,
+    /// Polarization multiplexing.
+    pub polarization: Polarization,
+    /// Receiver / modulation model used to map SNR to spectral efficiency.
+    pub receiver: ReceiverModel,
+}
+
+impl WirelessLinkConfig {
+    /// The paper's design point: 232.5 GHz carrier, 25 GHz bandwidth,
+    /// 0 dBm transmit power, beamsteering, dual polarization, 1-bit
+    /// oversampled sequence receiver.
+    pub fn paper_default() -> Self {
+        WirelessLinkConfig {
+            carrier_hz: 232.5e9,
+            bandwidth_hz: 25e9,
+            tx_power_dbm: 0.0,
+            beamforming: Beamforming::Beamsteering,
+            polarization: Polarization::Dual,
+            receiver: ReceiverModel::OneBitSequence,
+        }
+    }
+}
+
+/// How SNR maps to spectral efficiency per polarization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReceiverModel {
+    /// 1-bit, 5× oversampled receiver with the sequence-optimal designed
+    /// ISI filter (§III, the paper's proposal).
+    OneBitSequence,
+    /// 1-bit, 5× oversampled receiver with symbol-by-symbol detection.
+    OneBitSymbolwise,
+    /// Ideal Shannon capacity (upper-bound reference).
+    Shannon,
+}
+
+/// Error-correction configuration (§V).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CodingConfig {
+    /// Lifting factor `N` of the (4,8)-regular LDPC-CC.
+    pub lifting: usize,
+    /// Window size `W` of the decoder.
+    pub window: usize,
+}
+
+impl CodingConfig {
+    /// The paper's 3 dB operating point: N = 40, W = 5 → 200 information
+    /// bits of structural latency.
+    pub fn paper_default() -> Self {
+        CodingConfig {
+            lifting: 40,
+            window: 5,
+        }
+    }
+
+    /// Structural latency of the window decoder in information bits
+    /// (Eq. 4 with nv = 2, R = 1/2).
+    pub fn structural_latency_bits(&self) -> f64 {
+        self.window as f64 * self.lifting as f64 * 2.0 * 0.5
+    }
+}
+
+/// The full multi-board system.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of parallel boards in the box.
+    pub boards: usize,
+    /// Board-to-board spacing in metres (paper lower bound: 50 mm).
+    pub board_spacing_m: f64,
+    /// Per-board stack layout.
+    pub board: BoardConfig,
+    /// Per-stack compute/NoC configuration.
+    pub stack: StackConfig,
+    /// Wireless link physical layer.
+    pub link: WirelessLinkConfig,
+    /// Error-correction coding.
+    pub coding: CodingConfig,
+}
+
+impl SystemConfig {
+    /// The paper's reference system: 4 boards at 50 mm spacing, 3×3 stacks
+    /// of 64 cores each, 232.5 GHz links, LDPC-CC coding.
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            boards: 4,
+            board_spacing_m: 0.05,
+            board: BoardConfig::paper_10cm(),
+            stack: StackConfig::paper_64(),
+            link: WirelessLinkConfig::paper_default(),
+            coding: CodingConfig::paper_default(),
+        }
+    }
+
+    /// Total cores in the box.
+    pub fn total_cores(&self) -> usize {
+        self.boards * self.board.stacks() * self.stack.cores()
+    }
+
+    /// Validates the configuration, returning a list of human-readable
+    /// problems (empty when valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.boards == 0 {
+            problems.push("system needs at least one board".into());
+        }
+        if self.board_spacing_m <= 0.0 {
+            problems.push("board spacing must be positive".into());
+        }
+        if self.board.stacks() == 0 {
+            problems.push("board needs at least one stack".into());
+        }
+        if self.stack.cores() == 0 {
+            problems.push("stack needs at least one core".into());
+        }
+        if self.stack.clock_ghz <= 0.0 {
+            problems.push("NoC clock must be positive".into());
+        }
+        if self.link.bandwidth_hz <= 0.0 || self.link.carrier_hz <= 0.0 {
+            problems.push("link carrier and bandwidth must be positive".into());
+        }
+        if self.coding.window < 3 {
+            problems.push("window must exceed the coupling memory (mcc = 2)".into());
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let cfg = SystemConfig::paper_default();
+        assert!(cfg.validate().is_empty(), "{:?}", cfg.validate());
+        assert_eq!(cfg.total_cores(), 4 * 9 * 64);
+    }
+
+    #[test]
+    fn stack_topologies() {
+        let flat = StackConfig::paper_64();
+        assert_eq!(flat.topology().num_modules(), 64);
+        let cil = StackConfig {
+            concentration: 2,
+            ..StackConfig::paper_64()
+        };
+        assert_eq!(cil.cores(), 128);
+        assert_eq!(cil.topology().num_modules(), 128);
+        assert_eq!(cil.topology().num_routers(), 64);
+    }
+
+    #[test]
+    fn coding_latency_matches_eq4() {
+        let c = CodingConfig::paper_default();
+        assert_eq!(c.structural_latency_bits(), 200.0);
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.boards = 0;
+        cfg.coding.window = 2;
+        let problems = cfg.validate();
+        assert_eq!(problems.len(), 2, "{problems:?}");
+    }
+
+    #[test]
+    fn scaling_point_512() {
+        assert_eq!(StackConfig::paper_512().cores(), 512);
+    }
+}

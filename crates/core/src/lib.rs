@@ -1,0 +1,38 @@
+//! System-level model of the DATE'13 wireless board/chip interconnect
+//! proposal — the paper's contribution assembled into one evaluable system.
+//!
+//! The paper proposes replacing the backplane of a multi-board electronic
+//! system with **direct wireless links between chip stacks** (beam-steered
+//! 4×4 arrays above 200 GHz on the interposer), feeding **3D
+//! Network-in-Chip-Stack** fabrics inside each stack, with **1-bit
+//! oversampled receivers** on the links and **LDPC convolutional codes**
+//! for low-latency error correction. This crate composes the four
+//! substrate crates into that system:
+//!
+//! * [`config`] — chip stacks, boards, the multi-board box, link PHY and
+//!   coding configuration, with the paper's reference presets.
+//! * [`eval`] — the end-to-end evaluation pipeline: geometry → pathloss →
+//!   link budget → SNR → information rate → link rate, plus NoC latency and
+//!   coding structural latency, aggregated into a [`eval::SystemReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use wi_system::config::{ReceiverModel, SystemConfig};
+//! use wi_system::eval::evaluate;
+//!
+//! let mut cfg = SystemConfig::paper_default();
+//! cfg.link.tx_power_dbm = 10.0;
+//! cfg.link.receiver = ReceiverModel::OneBitSymbolwise; // fast, exact
+//! let report = evaluate(&cfg);
+//! assert_eq!(report.total_cores, 2304);
+//! assert!(report.aggregate_cross_board_gbps > 0.0);
+//! ```
+
+pub mod config;
+pub mod eval;
+
+pub use config::{
+    BoardConfig, CodingConfig, ReceiverModel, StackConfig, SystemConfig, WirelessLinkConfig,
+};
+pub use eval::{evaluate, LinkReport, SystemReport};

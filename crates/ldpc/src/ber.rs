@@ -1,0 +1,277 @@
+//! AWGN/BPSK bit-error-rate simulation and required-Eb/N0 search (Fig. 10).
+//!
+//! Fig. 10 plots the Eb/N0 required to reach BER 10⁻⁵ against the
+//! structural decoding latency. This module provides the Monte-Carlo BER
+//! estimator (all-zero codeword — exact for linear codes on the
+//! output-symmetric AWGN channel with a sign-symmetric decoder) and a
+//! bisection search for the required Eb/N0.
+
+use crate::code::LdpcCode;
+use crate::decoder::{awgn_llrs, BpConfig, BpDecoder};
+use crate::window::{CoupledCode, WindowDecoder};
+use serde::{Deserialize, Serialize};
+use wi_num::rng::{derive_seed, seeded_rng, Gaussian};
+
+/// Noise standard deviation for BPSK at the given `Eb/N0` (dB) and code
+/// rate: `σ² = 1/(2·R·(Eb/N0))`.
+///
+/// # Panics
+///
+/// Panics if `rate` is not in `(0, 1]`.
+pub fn ebn0_db_to_sigma(ebn0_db: f64, rate: f64) -> f64 {
+    assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
+    let ebn0 = 10f64.powf(ebn0_db / 10.0);
+    (1.0 / (2.0 * rate * ebn0)).sqrt()
+}
+
+/// Options for a BER Monte-Carlo run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BerSimOptions {
+    /// Stop after this many bit errors have been observed (statistical
+    /// confidence knob).
+    pub target_errors: u64,
+    /// Hard cap on simulated frames.
+    pub max_frames: u64,
+    /// Minimum frames (avoid lucky early exits).
+    pub min_frames: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BerSimOptions {
+    fn default() -> Self {
+        BerSimOptions {
+            target_errors: 60,
+            max_frames: 400,
+            min_frames: 8,
+            seed: 0xBE5,
+        }
+    }
+}
+
+/// A BER estimate.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BerEstimate {
+    /// Estimated bit error rate.
+    pub ber: f64,
+    /// Observed bit errors.
+    pub bit_errors: u64,
+    /// Simulated bits.
+    pub bits: u64,
+    /// Simulated frames.
+    pub frames: u64,
+}
+
+impl BerEstimate {
+    fn from_counts(bit_errors: u64, bits: u64, frames: u64) -> Self {
+        BerEstimate {
+            ber: if bits == 0 {
+                0.0
+            } else {
+                bit_errors as f64 / bits as f64
+            },
+            bit_errors,
+            bits,
+            frames,
+        }
+    }
+}
+
+/// Simulates the window-decoded LDPC-CC over AWGN/BPSK at `ebn0_db`.
+///
+/// Uses the all-zero codeword and counts errors over all code bits of all
+/// blocks. The design rate (1/2) converts Eb/N0 to noise power, matching
+/// the paper's convention for both code families.
+pub fn simulate_cc_ber(
+    code: &CoupledCode,
+    decoder: &WindowDecoder,
+    ebn0_db: f64,
+    opts: &BerSimOptions,
+) -> BerEstimate {
+    let sigma = ebn0_db_to_sigma(ebn0_db, code.design_rate());
+    let n = code.code().len();
+    let mut errors = 0u64;
+    let mut bits = 0u64;
+    let mut frames = 0u64;
+    let mut gauss = Gaussian::new();
+    while frames < opts.max_frames
+        && (frames < opts.min_frames || errors < opts.target_errors)
+    {
+        let mut rng = seeded_rng(derive_seed(opts.seed, frames));
+        let rx: Vec<f64> = (0..n)
+            .map(|_| 1.0 + gauss.sample_with(&mut rng, 0.0, sigma))
+            .collect();
+        let hard = decoder.decode(code, &awgn_llrs(&rx, sigma));
+        errors += hard.iter().filter(|&&b| b).count() as u64;
+        bits += n as u64;
+        frames += 1;
+    }
+    BerEstimate::from_counts(errors, bits, frames)
+}
+
+/// Simulates the BP-decoded LDPC block code over AWGN/BPSK at `ebn0_db`.
+pub fn simulate_bc_ber(
+    code: &LdpcCode,
+    config: BpConfig,
+    ebn0_db: f64,
+    rate: f64,
+    opts: &BerSimOptions,
+) -> BerEstimate {
+    let sigma = ebn0_db_to_sigma(ebn0_db, rate);
+    let decoder = BpDecoder::new(code, config);
+    let n = code.len();
+    let mut errors = 0u64;
+    let mut bits = 0u64;
+    let mut frames = 0u64;
+    let mut gauss = Gaussian::new();
+    while frames < opts.max_frames
+        && (frames < opts.min_frames || errors < opts.target_errors)
+    {
+        let mut rng = seeded_rng(derive_seed(opts.seed, frames));
+        let rx: Vec<f64> = (0..n)
+            .map(|_| 1.0 + gauss.sample_with(&mut rng, 0.0, sigma))
+            .collect();
+        let dec = decoder.decode(&awgn_llrs(&rx, sigma));
+        errors += dec.hard.iter().filter(|&&b| b).count() as u64;
+        bits += n as u64;
+        frames += 1;
+    }
+    BerEstimate::from_counts(errors, bits, frames)
+}
+
+/// Finds the smallest Eb/N0 (dB) at which `ber_at` falls to `target_ber`,
+/// by bisection over `[lo_db, hi_db]`.
+///
+/// Returns `None` when the target is not bracketed (BER at `hi_db` still
+/// above target, or `lo_db` already below). BER is assumed monotone
+/// decreasing in Eb/N0 — true for these codes in the waterfall region.
+pub fn required_ebn0_db<F: FnMut(f64) -> f64>(
+    mut ber_at: F,
+    target_ber: f64,
+    lo_db: f64,
+    hi_db: f64,
+    tol_db: f64,
+) -> Option<f64> {
+    assert!(lo_db < hi_db, "invalid bracket");
+    assert!(tol_db > 0.0, "tolerance must be positive");
+    if ber_at(hi_db) > target_ber || ber_at(lo_db) <= target_ber {
+        return None;
+    }
+    let mut lo = lo_db;
+    let mut hi = hi_db;
+    while hi - lo > tol_db {
+        let mid = 0.5 * (lo + hi);
+        if ber_at(mid) <= target_ber {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_reference_values() {
+        // Rate 1/2, Eb/N0 = 3 dB: σ² = 1/(2·0.5·10^0.3) ≈ 0.5012.
+        let s = ebn0_db_to_sigma(3.0, 0.5);
+        assert!((s * s - 0.5012).abs() < 1e-3, "{s}");
+        // Uncoded, 0 dB: σ² = 0.5.
+        let s0 = ebn0_db_to_sigma(0.0, 1.0);
+        assert!((s0 * s0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ber_decreases_with_ebn0() {
+        let code = CoupledCode::paper_cc(20, 10, 1);
+        let wd = WindowDecoder::new(4, 12);
+        let opts = BerSimOptions {
+            max_frames: 30,
+            min_frames: 30,
+            ..Default::default()
+        };
+        let low = simulate_cc_ber(&code, &wd, 1.0, &opts);
+        let high = simulate_cc_ber(&code, &wd, 4.0, &opts);
+        assert!(
+            high.ber < low.ber,
+            "BER should drop: {} -> {}",
+            low.ber,
+            high.ber
+        );
+    }
+
+    #[test]
+    fn block_code_ber_reasonable_at_high_snr() {
+        let code = LdpcCode::paper_block(50, 21);
+        let opts = BerSimOptions {
+            max_frames: 40,
+            min_frames: 40,
+            ..Default::default()
+        };
+        let est = simulate_bc_ber(&code, BpConfig::default(), 5.0, 0.5, &opts);
+        assert!(est.ber < 1e-2, "BER {}", est.ber);
+        assert_eq!(est.frames, 40);
+        assert_eq!(est.bits, 40 * 100);
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let code = CoupledCode::paper_cc(15, 8, 2);
+        let wd = WindowDecoder::new(3, 10);
+        let opts = BerSimOptions {
+            max_frames: 10,
+            min_frames: 10,
+            ..Default::default()
+        };
+        let a = simulate_cc_ber(&code, &wd, 2.5, &opts);
+        let b = simulate_cc_ber(&code, &wd, 2.5, &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bisection_on_analytic_curve() {
+        // Mock BER curve: 10^(-x) hits 1e-3 at exactly x = 3.
+        let found = required_ebn0_db(|x| 10f64.powf(-x), 1e-3, 0.0, 6.0, 0.01)
+            .expect("bracketed");
+        assert!((found - 3.0).abs() < 0.02, "{found}");
+    }
+
+    #[test]
+    fn bisection_rejects_unbracketed_targets() {
+        assert_eq!(
+            required_ebn0_db(|_| 1e-2, 1e-5, 0.0, 5.0, 0.1),
+            None,
+            "target below reach"
+        );
+        assert_eq!(
+            required_ebn0_db(|_| 1e-9, 1e-5, 0.0, 5.0, 0.1),
+            None,
+            "already satisfied at lo"
+        );
+    }
+
+    #[test]
+    fn early_exit_on_target_errors() {
+        let code = CoupledCode::paper_cc(15, 8, 3);
+        let wd = WindowDecoder::new(3, 8);
+        let opts = BerSimOptions {
+            target_errors: 5,
+            max_frames: 1000,
+            min_frames: 1,
+            seed: 1,
+        };
+        // At very low Eb/N0 errors arrive immediately.
+        let est = simulate_cc_ber(&code, &wd, -2.0, &opts);
+        assert!(est.frames < 1000, "should stop early, ran {}", est.frames);
+        assert!(est.bit_errors >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in (0, 1]")]
+    fn bad_rate_panics() {
+        ebn0_db_to_sigma(3.0, 0.0);
+    }
+}

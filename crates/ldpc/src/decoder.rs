@@ -1,0 +1,285 @@
+//! Sum-product belief-propagation decoding.
+//!
+//! A standard flooding-schedule log-domain sum-product decoder. Check
+//! updates use forward/backward partial products of `tanh(L/2)` so each
+//! check is processed in O(degree); magnitudes are clamped for numerical
+//! stability. Early termination on a zero syndrome.
+
+use crate::code::LdpcCode;
+use serde::{Deserialize, Serialize};
+
+/// Maximum message magnitude (log-likelihood ratios are clamped here).
+pub const LLR_CLAMP: f64 = 30.0;
+
+/// Belief-propagation decoder configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BpConfig {
+    /// Maximum flooding iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for BpConfig {
+    fn default() -> Self {
+        BpConfig { max_iterations: 50 }
+    }
+}
+
+/// Decoding outcome.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DecodeResult {
+    /// Hard decisions (true = bit 1).
+    pub hard: Vec<bool>,
+    /// Posterior LLRs (positive favours bit 0).
+    pub posterior: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the syndrome was zero at exit.
+    pub converged: bool,
+}
+
+/// A sum-product decoder bound to a code.
+#[derive(Clone, Debug)]
+pub struct BpDecoder<'a> {
+    code: &'a LdpcCode,
+    config: BpConfig,
+}
+
+impl<'a> BpDecoder<'a> {
+    /// Creates a decoder.
+    pub fn new(code: &'a LdpcCode, config: BpConfig) -> Self {
+        BpDecoder { code, config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> BpConfig {
+        self.config
+    }
+
+    /// Decodes channel LLRs (positive favours bit 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_llr.len()` differs from the code length.
+    pub fn decode(&self, channel_llr: &[f64]) -> DecodeResult {
+        let n = self.code.len();
+        assert_eq!(channel_llr.len(), n, "LLR length mismatch");
+        let n_checks = self.code.num_checks();
+
+        // Per-check edge messages; v2c initialized from the channel.
+        let mut v2c: Vec<Vec<f64>> = (0..n_checks)
+            .map(|c| {
+                self.code
+                    .check_neighbors(c)
+                    .iter()
+                    .map(|&v| channel_llr[v as usize].clamp(-LLR_CLAMP, LLR_CLAMP))
+                    .collect()
+            })
+            .collect();
+        let mut c2v: Vec<Vec<f64>> = (0..n_checks)
+            .map(|c| vec![0.0; self.code.check_neighbors(c).len()])
+            .collect();
+        let mut posterior: Vec<f64> = channel_llr.to_vec();
+        let mut hard: Vec<bool> = channel_llr.iter().map(|&l| l < 0.0).collect();
+
+        let mut iterations = 0;
+        let mut converged = self.syndrome_ok(&hard);
+        while iterations < self.config.max_iterations && !converged {
+            iterations += 1;
+
+            // Check update: c2v_j = 2·atanh( Π_{k≠j} tanh(v2c_k / 2) ).
+            #[allow(clippy::needless_range_loop)] // c indexes v2c, c2v and the code in lockstep
+            for c in 0..n_checks {
+                let deg = v2c[c].len();
+                let msgs = &v2c[c];
+                let tanhs: Vec<f64> = msgs
+                    .iter()
+                    .map(|&m| (m / 2.0).tanh().clamp(-0.999_999_999_999, 0.999_999_999_999))
+                    .collect();
+                // Forward/backward partial products.
+                let mut fwd = vec![1.0; deg + 1];
+                for j in 0..deg {
+                    fwd[j + 1] = fwd[j] * tanhs[j];
+                }
+                let mut bwd = 1.0;
+                for j in (0..deg).rev() {
+                    let excl = fwd[j] * bwd;
+                    c2v[c][j] = (2.0 * excl.atanh()).clamp(-LLR_CLAMP, LLR_CLAMP);
+                    bwd *= tanhs[j];
+                }
+            }
+
+            // Variable update and posterior.
+            for (p, &ch) in posterior.iter_mut().zip(channel_llr) {
+                *p = ch.clamp(-LLR_CLAMP, LLR_CLAMP);
+            }
+            for (c, c2v_c) in c2v.iter().enumerate() {
+                for (j, &v) in self.code.check_neighbors(c).iter().enumerate() {
+                    posterior[v as usize] += c2v_c[j];
+                }
+            }
+            for (c, v2c_c) in v2c.iter_mut().enumerate() {
+                for (j, &v) in self.code.check_neighbors(c).iter().enumerate() {
+                    v2c_c[j] =
+                        (posterior[v as usize] - c2v[c][j]).clamp(-LLR_CLAMP, LLR_CLAMP);
+                }
+            }
+
+            for (h, &p) in hard.iter_mut().zip(&posterior) {
+                *h = p < 0.0;
+            }
+            converged = self.syndrome_ok(&hard);
+        }
+
+        DecodeResult {
+            hard,
+            posterior,
+            iterations,
+            converged,
+        }
+    }
+
+    fn syndrome_ok(&self, hard: &[bool]) -> bool {
+        (0..self.code.num_checks()).all(|c| {
+            !self
+                .code
+                .check_neighbors(c)
+                .iter()
+                .fold(false, |acc, &v| acc ^ hard[v as usize])
+        })
+    }
+}
+
+/// Converts AWGN/BPSK observations to channel LLRs: bit 0 ↦ +1, bit 1 ↦ −1,
+/// `LLR = 2·y/σ²` (positive favours bit 0).
+pub fn awgn_llrs(received: &[f64], sigma: f64) -> Vec<f64> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let scale = 2.0 / (sigma * sigma);
+    received.iter().map(|&y| scale * y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::Encoder;
+    use wi_num::rng::{seeded_rng, Gaussian};
+
+    fn bpsk(cw: &[bool]) -> Vec<f64> {
+        cw.iter().map(|&b| if b { -1.0 } else { 1.0 }).collect()
+    }
+
+    #[test]
+    fn noiseless_decoding_is_exact() {
+        let code = LdpcCode::paper_block(25, 3);
+        let enc = Encoder::new(&code);
+        let mut rng = seeded_rng(1);
+        let cw = code.random_codeword(&enc, &mut rng);
+        let llr = awgn_llrs(&bpsk(&cw), 0.5);
+        let dec = BpDecoder::new(&code, BpConfig::default()).decode(&llr);
+        assert!(dec.converged);
+        assert_eq!(dec.hard, cw);
+        assert_eq!(dec.iterations, 0, "syndrome already satisfied");
+    }
+
+    #[test]
+    fn corrects_moderate_noise() {
+        let code = LdpcCode::paper_block(40, 5);
+        let enc = Encoder::new(&code);
+        let mut rng = seeded_rng(2);
+        let mut gauss = Gaussian::new();
+        let sigma = 0.6; // Eb/N0 ≈ 4.4 dB at rate 1/2
+        let decoder = BpDecoder::new(&code, BpConfig::default());
+        let mut failures = 0;
+        for _ in 0..20 {
+            let cw = code.random_codeword(&enc, &mut rng);
+            let rx: Vec<f64> = bpsk(&cw)
+                .iter()
+                .map(|&s| s + gauss.sample_with(&mut rng, 0.0, sigma))
+                .collect();
+            let dec = decoder.decode(&awgn_llrs(&rx, sigma));
+            if dec.hard != cw {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 1, "{failures} failures out of 20");
+    }
+
+    #[test]
+    fn fails_gracefully_under_heavy_noise() {
+        let code = LdpcCode::paper_block(25, 7);
+        let mut rng = seeded_rng(3);
+        let mut gauss = Gaussian::new();
+        let sigma = 3.0;
+        let cw = vec![false; code.len()];
+        let rx: Vec<f64> = bpsk(&cw)
+            .iter()
+            .map(|&s| s + gauss.sample_with(&mut rng, 0.0, sigma))
+            .collect();
+        let dec = BpDecoder::new(&code, BpConfig { max_iterations: 10 }).decode(&awgn_llrs(&rx, sigma));
+        // No panic; may or may not converge, but must report honestly.
+        assert_eq!(dec.iterations <= 10, true);
+        if dec.converged {
+            assert!(code.is_codeword(&dec.hard));
+        }
+    }
+
+    #[test]
+    fn converged_output_is_a_codeword() {
+        let code = LdpcCode::paper_block(30, 9);
+        let mut rng = seeded_rng(4);
+        let mut gauss = Gaussian::new();
+        let sigma = 0.7;
+        let cw = vec![false; code.len()];
+        let decoder = BpDecoder::new(&code, BpConfig::default());
+        for _ in 0..10 {
+            let rx: Vec<f64> = bpsk(&cw)
+                .iter()
+                .map(|&s| s + gauss.sample_with(&mut rng, 0.0, sigma))
+                .collect();
+            let dec = decoder.decode(&awgn_llrs(&rx, sigma));
+            if dec.converged {
+                assert!(code.is_codeword(&dec.hard));
+            }
+        }
+    }
+
+    #[test]
+    fn stronger_code_beats_weaker_code() {
+        // Larger lifting factor -> longer constraint length -> fewer errors
+        // at the same noise level (the N knob of Fig. 10).
+        let sigma = 0.78;
+        let count_errors = |n: usize| -> u64 {
+            let code = LdpcCode::paper_block(n, 13);
+            let decoder = BpDecoder::new(&code, BpConfig::default());
+            let mut rng = seeded_rng(5);
+            let mut gauss = Gaussian::new();
+            let cw = vec![false; code.len()];
+            let mut errs = 0u64;
+            let frames = 4000 / n; // equal bit budget
+            for _ in 0..frames.max(20) {
+                let rx: Vec<f64> = bpsk(&cw)
+                    .iter()
+                    .map(|&s| s + gauss.sample_with(&mut rng, 0.0, sigma))
+                    .collect();
+                let dec = decoder.decode(&awgn_llrs(&rx, sigma));
+                errs += dec.hard.iter().filter(|&&b| b).count() as u64;
+            }
+            errs
+        };
+        let weak = count_errors(20);
+        let strong = count_errors(100);
+        assert!(strong < weak, "strong {strong} vs weak {weak}");
+    }
+
+    #[test]
+    fn llr_sign_convention() {
+        let llr = awgn_llrs(&[0.9, -1.1], 1.0);
+        assert!(llr[0] > 0.0 && llr[1] < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "LLR length mismatch")]
+    fn wrong_length_panics() {
+        let code = LdpcCode::paper_block(10, 1);
+        BpDecoder::new(&code, BpConfig::default()).decode(&[0.0; 3]);
+    }
+}

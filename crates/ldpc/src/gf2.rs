@@ -1,0 +1,251 @@
+//! Dense GF(2) linear algebra.
+//!
+//! The belief-propagation decoders work on sparse structures, but encoding,
+//! rank checks and codeword verification want a dense bit matrix with fast
+//! row operations. Rows are packed into `u64` words; elimination is plain
+//! Gauss–Jordan, which is ample for the lifted code sizes in this workspace
+//! (thousands of columns).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense matrix over GF(2), rows packed into 64-bit words.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        let words_per_row = cols.div_ceil(64);
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            data: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Gets the bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.words_per_row + c / 64] >> (c % 64) & 1 == 1
+    }
+
+    /// Sets the bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        let w = &mut self.data[r * self.words_per_row + c / 64];
+        if v {
+            *w |= 1 << (c % 64);
+        } else {
+            *w &= !(1 << (c % 64));
+        }
+    }
+
+    /// XORs row `src` into row `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range or `src == dst`.
+    pub fn xor_rows(&mut self, dst: usize, src: usize) {
+        assert!(dst < self.rows && src < self.rows && dst != src);
+        let (a, b) = (dst * self.words_per_row, src * self.words_per_row);
+        for i in 0..self.words_per_row {
+            let v = self.data[b + i];
+            self.data[a + i] ^= v;
+        }
+    }
+
+    /// Multiplies by a bit vector: returns `M·x` over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[bool]) -> Vec<bool> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| {
+                let mut acc = false;
+                for (c, &xc) in x.iter().enumerate() {
+                    if xc {
+                        acc ^= self.get(r, c);
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Reduces the matrix in place to reduced row echelon form and returns
+    /// the pivot column of each pivot row (in order).
+    pub fn rref(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut row = 0;
+        for col in 0..self.cols {
+            if row == self.rows {
+                break;
+            }
+            // Find a pivot at or below `row`.
+            let Some(p) = (row..self.rows).find(|&r| self.get(r, col)) else {
+                continue;
+            };
+            if p != row {
+                self.swap_rows(p, row);
+            }
+            for r in 0..self.rows {
+                if r != row && self.get(r, col) {
+                    self.xor_rows(r, row);
+                }
+            }
+            pivots.push(col);
+            row += 1;
+        }
+        pivots
+    }
+
+    /// Rank over GF(2) (consumes a copy).
+    pub fn rank(&self) -> usize {
+        self.clone().rref().len()
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for i in 0..self.words_per_row {
+            self.data
+                .swap(a * self.words_per_row + i, b * self.words_per_row + i);
+        }
+    }
+
+    /// Iterates over the set columns of a row.
+    pub fn row_ones(&self, r: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.cols).filter(move |&c| self.get(r, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut m = BitMatrix::zeros(3, 130);
+        m.set(1, 0, true);
+        m.set(1, 64, true);
+        m.set(2, 129, true);
+        assert!(m.get(1, 0) && m.get(1, 64) && m.get(2, 129));
+        assert!(!m.get(0, 0));
+        m.set(1, 64, false);
+        assert!(!m.get(1, 64));
+    }
+
+    #[test]
+    fn xor_rows_is_gf2_addition() {
+        let mut m = BitMatrix::zeros(2, 8);
+        for c in [0, 2, 5] {
+            m.set(0, c, true);
+        }
+        for c in [2, 3] {
+            m.set(1, c, true);
+        }
+        m.xor_rows(0, 1);
+        let row0: Vec<usize> = m.row_ones(0).collect();
+        assert_eq!(row0, vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn identity_has_full_rank() {
+        let mut m = BitMatrix::zeros(5, 5);
+        for i in 0..5 {
+            m.set(i, i, true);
+        }
+        assert_eq!(m.rank(), 5);
+    }
+
+    #[test]
+    fn dependent_rows_reduce_rank() {
+        let mut m = BitMatrix::zeros(3, 4);
+        for c in [0, 1] {
+            m.set(0, c, true);
+        }
+        for c in [1, 2] {
+            m.set(1, c, true);
+        }
+        // Row 2 = row 0 + row 1.
+        for c in [0, 2] {
+            m.set(2, c, true);
+        }
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn rref_pivots_are_unit_columns() {
+        let mut m = BitMatrix::zeros(3, 6);
+        let entries = [
+            (0, 0), (0, 2), (0, 4),
+            (1, 1), (1, 2),
+            (2, 0), (2, 5),
+        ];
+        for (r, c) in entries {
+            m.set(r, c, true);
+        }
+        let pivots = m.rref();
+        for (i, &p) in pivots.iter().enumerate() {
+            for r in 0..m.rows() {
+                assert_eq!(m.get(r, p), r == i, "pivot col {p} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let mut m = BitMatrix::zeros(2, 3);
+        m.set(0, 0, true);
+        m.set(0, 2, true);
+        m.set(1, 1, true);
+        let y = m.mul_vec(&[true, true, true]);
+        assert_eq!(y, vec![false, true]); // row0: 1^1 = 0, row1: 1
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_bounds_checked() {
+        BitMatrix::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_vec_checks_len() {
+        BitMatrix::zeros(2, 3).mul_vec(&[true]);
+    }
+}

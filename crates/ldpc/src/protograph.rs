@@ -1,0 +1,313 @@
+//! Protographs, edge spreading (Eq. 2) and terminated convolutional
+//! protographs (Eq. 3).
+//!
+//! A protograph is a small bipartite multigraph with `nc` check nodes and
+//! `nv` variable nodes, represented by its bi-adjacency *base matrix* `B`
+//! (entries are edge multiplicities). An LDPC convolutional code spreads
+//! the edges of `B` over component matrices `B₀ … B_mcc` with
+//! `Σᵢ Bᵢ = B` (Eq. 2); terminating after `L` time instants yields the
+//! convolutional protograph `B_[1,L]` of Eq. 3, whose last `mcc·nc` check
+//! rows cause the termination rate loss.
+
+use serde::{Deserialize, Serialize};
+
+/// A protograph base matrix (entries are edge multiplicities).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaseMatrix {
+    nc: usize,
+    nv: usize,
+    entries: Vec<u8>,
+}
+
+impl BaseMatrix {
+    /// Creates a base matrix from rows of multiplicities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty, ragged, or has an empty first row.
+    pub fn new(rows: &[&[u8]]) -> Self {
+        assert!(!rows.is_empty(), "base matrix needs at least one check row");
+        let nv = rows[0].len();
+        assert!(nv > 0, "base matrix needs at least one variable column");
+        assert!(
+            rows.iter().all(|r| r.len() == nv),
+            "ragged base matrix rows"
+        );
+        BaseMatrix {
+            nc: rows.len(),
+            nv,
+            entries: rows.iter().flat_map(|r| r.iter().copied()).collect(),
+        }
+    }
+
+    /// The paper's block-code protograph `B = [4, 4]` ((4,8)-regular,
+    /// rate 1/2).
+    pub fn paper_block() -> Self {
+        BaseMatrix::new(&[&[4, 4]])
+    }
+
+    /// Number of check nodes `nc`.
+    pub fn num_checks(&self) -> usize {
+        self.nc
+    }
+
+    /// Number of variable nodes `nv`.
+    pub fn num_variables(&self) -> usize {
+        self.nv
+    }
+
+    /// Edge multiplicity between check `r` and variable `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        assert!(r < self.nc && c < self.nv, "index out of range");
+        self.entries[r * self.nv + c]
+    }
+
+    /// Design rate `(nv − nc)/nv` (assuming full rank).
+    pub fn design_rate(&self) -> f64 {
+        (self.nv as f64 - self.nc as f64) / self.nv as f64
+    }
+
+    /// Element-wise sum of base matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn sum(mats: &[&BaseMatrix]) -> BaseMatrix {
+        assert!(!mats.is_empty(), "cannot sum zero matrices");
+        let (nc, nv) = (mats[0].nc, mats[0].nv);
+        assert!(
+            mats.iter().all(|m| m.nc == nc && m.nv == nv),
+            "dimension mismatch in base-matrix sum"
+        );
+        let mut out = BaseMatrix {
+            nc,
+            nv,
+            entries: vec![0; nc * nv],
+        };
+        for m in mats {
+            for (o, &e) in out.entries.iter_mut().zip(&m.entries) {
+                *o += e;
+            }
+        }
+        out
+    }
+
+    /// Variable-node degrees (column sums).
+    pub fn variable_degrees(&self) -> Vec<u32> {
+        (0..self.nv)
+            .map(|c| (0..self.nc).map(|r| self.get(r, c) as u32).sum())
+            .collect()
+    }
+
+    /// Check-node degrees (row sums).
+    pub fn check_degrees(&self) -> Vec<u32> {
+        (0..self.nc)
+            .map(|r| (0..self.nv).map(|c| self.get(r, c) as u32).sum())
+            .collect()
+    }
+}
+
+/// An edge spreading of a base matrix over `mcc + 1` components (Eq. 2).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeSpreading {
+    components: Vec<BaseMatrix>,
+}
+
+impl EdgeSpreading {
+    /// Creates an edge spreading and validates `Σ Bᵢ = B` against the
+    /// target base matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the components are empty, mismatched in size, or do not
+    /// sum to `target` (the validity condition of Eq. 2).
+    pub fn new(components: Vec<BaseMatrix>, target: &BaseMatrix) -> Self {
+        assert!(!components.is_empty(), "need at least B0");
+        let refs: Vec<&BaseMatrix> = components.iter().collect();
+        let total = BaseMatrix::sum(&refs);
+        assert_eq!(
+            &total, target,
+            "edge spreading violates Eq. (2): components do not sum to B"
+        );
+        EdgeSpreading { components }
+    }
+
+    /// The paper's spreading for the (4,8)-regular LDPC-CC:
+    /// `B₀ = [2,2]`, `B₁ = B₂ = [1,1]` (mcc = 2).
+    pub fn paper_cc() -> Self {
+        EdgeSpreading::new(
+            vec![
+                BaseMatrix::new(&[&[2, 2]]),
+                BaseMatrix::new(&[&[1, 1]]),
+                BaseMatrix::new(&[&[1, 1]]),
+            ],
+            &BaseMatrix::paper_block(),
+        )
+    }
+
+    /// Coupling memory `mcc` (number of components minus one).
+    pub fn memory(&self) -> usize {
+        self.components.len() - 1
+    }
+
+    /// Component `Bᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > mcc`.
+    pub fn component(&self, i: usize) -> &BaseMatrix {
+        &self.components[i]
+    }
+
+    /// Checks per time instant.
+    pub fn num_checks(&self) -> usize {
+        self.components[0].num_checks()
+    }
+
+    /// Variables per time instant.
+    pub fn num_variables(&self) -> usize {
+        self.components[0].num_variables()
+    }
+
+    /// Builds the terminated convolutional protograph `B_[1,L]` of Eq. 3:
+    /// a `(L + mcc)·nc × L·nv` base matrix with `B₀ … B_mcc` on the block
+    /// diagonals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `term_length == 0`.
+    pub fn coupled(&self, term_length: usize) -> BaseMatrix {
+        assert!(term_length > 0, "termination length must be positive");
+        let nc = self.num_checks();
+        let nv = self.num_variables();
+        let mcc = self.memory();
+        let rows = (term_length + mcc) * nc;
+        let cols = term_length * nv;
+        let mut entries = vec![0u8; rows * cols];
+        for t in 0..term_length {
+            for (i, comp) in self.components.iter().enumerate() {
+                let row_block = t + i;
+                for r in 0..nc {
+                    for c in 0..nv {
+                        let rr = row_block * nc + r;
+                        let cc = t * nv + c;
+                        entries[rr * cols + cc] += comp.get(r, c);
+                    }
+                }
+            }
+        }
+        BaseMatrix {
+            nc: rows,
+            nv: cols,
+            entries,
+        }
+    }
+
+    /// Rate of the terminated code: `1 − (L+mcc)·nc / (L·nv)` — shows the
+    /// termination rate loss that shrinks as `L` grows.
+    pub fn terminated_rate(&self, term_length: usize) -> f64 {
+        let nc = self.num_checks() as f64;
+        let nv = self.num_variables() as f64;
+        let mcc = self.memory() as f64;
+        let l = term_length as f64;
+        1.0 - (l + mcc) * nc / (l * nv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_block_is_4_8_regular() {
+        let b = BaseMatrix::paper_block();
+        assert_eq!(b.variable_degrees(), vec![4, 4]);
+        assert_eq!(b.check_degrees(), vec![8]);
+        assert!((b.design_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_spreading_satisfies_eq2() {
+        // Constructor already validates Eq. (2); also spot-check degrees.
+        let s = EdgeSpreading::paper_cc();
+        assert_eq!(s.memory(), 2);
+        assert_eq!(s.component(0).get(0, 0), 2);
+        assert_eq!(s.component(1).get(0, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates Eq. (2)")]
+    fn invalid_spreading_rejected() {
+        EdgeSpreading::new(
+            vec![
+                BaseMatrix::new(&[&[2, 2]]),
+                BaseMatrix::new(&[&[1, 1]]),
+            ],
+            &BaseMatrix::paper_block(),
+        );
+    }
+
+    #[test]
+    fn coupled_matrix_shape_matches_eq3() {
+        let s = EdgeSpreading::paper_cc();
+        let l = 10;
+        let b = s.coupled(l);
+        assert_eq!(b.num_checks(), (l + 2) * 1);
+        assert_eq!(b.num_variables(), l * 2);
+    }
+
+    #[test]
+    fn coupled_preserves_variable_degrees() {
+        // Every variable node keeps its degree-4 connectivity (Eq. 2 ensures
+        // the edge count is preserved by spreading).
+        let s = EdgeSpreading::paper_cc();
+        let b = s.coupled(8);
+        for (c, d) in b.variable_degrees().iter().enumerate() {
+            assert_eq!(*d, 4, "variable {c}");
+        }
+    }
+
+    #[test]
+    fn coupled_check_degrees_show_termination() {
+        let s = EdgeSpreading::paper_cc();
+        let b = s.coupled(8);
+        let deg = b.check_degrees();
+        // Interior checks see all components: degree 8.
+        assert_eq!(deg[4], 8);
+        // Boundary checks are lighter — that is the termination boost.
+        assert!(deg[0] < 8);
+        assert!(*deg.last().unwrap() < 8);
+    }
+
+    #[test]
+    fn terminated_rate_approaches_half() {
+        let s = EdgeSpreading::paper_cc();
+        let r10 = s.terminated_rate(10);
+        let r100 = s.terminated_rate(100);
+        assert!(r10 < r100 && r100 < 0.5);
+        assert!((r100 - 0.49).abs() < 0.005);
+    }
+
+    #[test]
+    fn diagonal_structure_of_coupled_matrix() {
+        let s = EdgeSpreading::paper_cc();
+        let b = s.coupled(5);
+        // Check row block 0 touches only time-0 variables.
+        assert_eq!(b.get(0, 0), 2);
+        assert_eq!(b.get(0, 2), 0);
+        // Check row block 2 touches times 0..=2.
+        assert_eq!(b.get(2, 0), 1); // B2 of time 0
+        assert_eq!(b.get(2, 2), 1); // B1 of time 1
+        assert_eq!(b.get(2, 4), 2); // B0 of time 2
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        BaseMatrix::new(&[&[1, 2], &[1]]);
+    }
+}

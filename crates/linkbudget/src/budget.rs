@@ -1,0 +1,296 @@
+//! The Table I link budget and its Fig. 4 consequences.
+
+use serde::{Deserialize, Serialize};
+use wi_channel::pathloss::PathlossModel;
+use wi_num::db::thermal_noise_dbm;
+
+/// How the antenna-array weights are realized (§II.B).
+///
+/// The paper distinguishes full digital beamforming/beamsteering (discrete
+/// realization of the beamforming vector, ref \[4\]) from a Butler-matrix
+/// network (ref \[5\]) that trades accuracy for complexity. Only worst-case
+/// links are assumed to suffer the Butler direction mismatch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum Beamforming {
+    /// Discrete beamforming vector: no additional loss.
+    #[default]
+    Beamsteering,
+    /// Butler matrix with the given direction-mismatch loss in dB.
+    ButlerMatrix {
+        /// Worst-case direction mismatch loss, dB (Table I: 5 dB).
+        inaccuracy_db: f64,
+    },
+}
+
+impl Beamforming {
+    /// The paper's Butler matrix with Table I's 5 dB inaccuracy.
+    pub fn paper_butler() -> Self {
+        Beamforming::ButlerMatrix { inaccuracy_db: 5.0 }
+    }
+
+    /// Loss contributed by the realization, dB.
+    pub fn loss_db(&self) -> f64 {
+        match *self {
+            Beamforming::Beamsteering => 0.0,
+            Beamforming::ButlerMatrix { inaccuracy_db } => inaccuracy_db,
+        }
+    }
+}
+
+/// A complete link budget, mirroring Table I of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkBudget {
+    /// Receiver noise figure, dB (Table I: 10 dB).
+    pub rx_noise_figure_db: f64,
+    /// Pathloss of the link, dB.
+    pub pathloss_db: f64,
+    /// Transmit array gain, dB (Table I: 12 dB for the 4×4 array).
+    pub tx_array_gain_db: f64,
+    /// Receive array gain, dB (Table I: 12 dB).
+    pub rx_array_gain_db: f64,
+    /// Beamforming realization (adds the Butler inaccuracy on worst-case
+    /// links).
+    pub beamforming: Beamforming,
+    /// Polarization mismatch, dB (Table I: 3 dB).
+    pub polarization_mismatch_db: f64,
+    /// Implementation loss, dB (Table I: 5 dB).
+    pub implementation_loss_db: f64,
+    /// Receiver temperature, kelvin (Table I: 323 K).
+    pub rx_temperature_k: f64,
+    /// Signal bandwidth, Hz (§II.B: 25 GHz for 100 Gbit/s dual-pol).
+    pub bandwidth_hz: f64,
+}
+
+impl LinkBudget {
+    /// Table I defaults with the pathloss left at the given value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pathloss_db` is negative.
+    pub fn paper_defaults(pathloss_db: f64) -> Self {
+        assert!(pathloss_db >= 0.0, "pathloss must be non-negative");
+        LinkBudget {
+            rx_noise_figure_db: 10.0,
+            pathloss_db,
+            tx_array_gain_db: 12.0,
+            rx_array_gain_db: 12.0,
+            beamforming: Beamforming::Beamsteering,
+            polarization_mismatch_db: 3.0,
+            implementation_loss_db: 5.0,
+            rx_temperature_k: 323.0,
+            bandwidth_hz: 25e9,
+        }
+    }
+
+    /// The shortest (ahead) link of the paper: 100 mm, 59.8 dB pathloss.
+    pub fn paper_shortest_link() -> Self {
+        Self::paper_defaults(59.8)
+    }
+
+    /// The longest (diagonal) link: 300 mm, 69.3 dB pathloss, beamsteering.
+    pub fn paper_longest_link() -> Self {
+        Self::paper_defaults(69.3)
+    }
+
+    /// The longest link with the Butler-matrix direction mismatch, the
+    /// third curve of Fig. 4.
+    pub fn paper_longest_link_butler() -> Self {
+        LinkBudget {
+            beamforming: Beamforming::paper_butler(),
+            ..Self::paper_defaults(69.3)
+        }
+    }
+
+    /// Builds the budget from a pathloss model and link distance, keeping
+    /// all other Table I entries.
+    pub fn from_model(model: &PathlossModel, distance_m: f64) -> Self {
+        Self::paper_defaults(model.pathloss_db(distance_m))
+    }
+
+    /// Thermal noise floor at the receiver input, dBm (`kTB` plus noise
+    /// figure).
+    pub fn noise_floor_dbm(&self) -> f64 {
+        thermal_noise_dbm(self.rx_temperature_k, self.bandwidth_hz) + self.rx_noise_figure_db
+    }
+
+    /// Sum of all losses that are not pathloss, dB.
+    pub fn miscellaneous_losses_db(&self) -> f64 {
+        self.polarization_mismatch_db + self.implementation_loss_db + self.beamforming.loss_db()
+    }
+
+    /// Sum of antenna gains, dB.
+    pub fn total_gains_db(&self) -> f64 {
+        self.tx_array_gain_db + self.rx_array_gain_db
+    }
+
+    /// Required transmit power (dBm) to reach `target_snr_db` at the
+    /// receiver — the quantity plotted in Fig. 4.
+    pub fn required_tx_power_dbm(&self, target_snr_db: f64) -> f64 {
+        target_snr_db + self.noise_floor_dbm() + self.pathloss_db
+            + self.miscellaneous_losses_db()
+            - self.total_gains_db()
+    }
+
+    /// SNR (dB) achieved at the receiver for a given transmit power (dBm).
+    /// Inverse of [`LinkBudget::required_tx_power_dbm`].
+    pub fn snr_db_at(&self, tx_power_dbm: f64) -> f64 {
+        tx_power_dbm - self.noise_floor_dbm() - self.pathloss_db
+            - self.miscellaneous_losses_db()
+            + self.total_gains_db()
+    }
+
+    /// Link margin (dB) at the given transmit power and required SNR.
+    pub fn margin_db(&self, tx_power_dbm: f64, required_snr_db: f64) -> f64 {
+        self.snr_db_at(tx_power_dbm) - required_snr_db
+    }
+
+    /// Required transmit power across a sweep of target SNRs (one Fig. 4
+    /// curve).
+    pub fn tx_power_sweep(&self, snrs_db: &[f64]) -> Vec<f64> {
+        snrs_db
+            .iter()
+            .map(|&s| self.required_tx_power_dbm(s))
+            .collect()
+    }
+
+    /// Itemized ledger reproducing Table I.
+    pub fn table(&self) -> Vec<BudgetLine> {
+        vec![
+            BudgetLine::new("RX noise figure", "dB", self.rx_noise_figure_db),
+            BudgetLine::new("Path loss", "dB", self.pathloss_db),
+            BudgetLine::new("Array gain (TX)", "dB", self.tx_array_gain_db),
+            BudgetLine::new("Array gain (RX)", "dB", self.rx_array_gain_db),
+            BudgetLine::new("Butler matrix inaccuracy", "dB", self.beamforming.loss_db()),
+            BudgetLine::new("Polarization mismatch", "dB", self.polarization_mismatch_db),
+            BudgetLine::new("Implementation loss", "dB", self.implementation_loss_db),
+            BudgetLine::new("RX temperature", "K", self.rx_temperature_k),
+            BudgetLine::new("Bandwidth", "GHz", self.bandwidth_hz / 1e9),
+            BudgetLine::new("Noise floor (kTB + NF)", "dBm", self.noise_floor_dbm()),
+        ]
+    }
+}
+
+/// One line of the Table I ledger.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BudgetLine {
+    /// Parameter name.
+    pub name: String,
+    /// Unit string.
+    pub unit: String,
+    /// Numeric value.
+    pub value: f64,
+}
+
+impl BudgetLine {
+    fn new(name: &str, unit: &str, value: f64) -> Self {
+        BudgetLine {
+            name: name.to_string(),
+            unit: unit.to_string(),
+            value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_floor_matches_ktb_plus_nf() {
+        let b = LinkBudget::paper_shortest_link();
+        // kTB(323 K, 25 GHz) ≈ −69.6 dBm, +10 dB NF → ≈ −59.6 dBm.
+        assert!((b.noise_floor_dbm() + 59.6).abs() < 0.2, "{}", b.noise_floor_dbm());
+    }
+
+    #[test]
+    fn fig4_shortest_link_anchor() {
+        // At SNR = 0 dB: −59.6 + 59.8 + 8 − 24 ≈ −15.8 dBm.
+        let b = LinkBudget::paper_shortest_link();
+        let p = b.required_tx_power_dbm(0.0);
+        assert!((p + 15.8).abs() < 0.3, "P_TX(0 dB) = {p}");
+    }
+
+    #[test]
+    fn fig4_curve_orderings() {
+        // At every SNR: shortest < longest < longest-with-Butler, offset by
+        // exactly the pathloss delta (9.5 dB) and the Butler loss (5 dB).
+        let s = LinkBudget::paper_shortest_link();
+        let l = LinkBudget::paper_longest_link();
+        let lb = LinkBudget::paper_longest_link_butler();
+        for snr in [0.0, 10.0, 25.0, 35.0] {
+            let (ps, pl, plb) = (
+                s.required_tx_power_dbm(snr),
+                l.required_tx_power_dbm(snr),
+                lb.required_tx_power_dbm(snr),
+            );
+            assert!((pl - ps - 9.5).abs() < 1e-9);
+            assert!((plb - pl - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig4_slope_is_unity() {
+        let b = LinkBudget::paper_longest_link();
+        let p0 = b.required_tx_power_dbm(0.0);
+        let p35 = b.required_tx_power_dbm(35.0);
+        assert!((p35 - p0 - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snr_inverts_tx_power() {
+        let b = LinkBudget::paper_longest_link_butler();
+        for snr in [-3.0, 7.0, 22.0] {
+            let p = b.required_tx_power_dbm(snr);
+            assert!((b.snr_db_at(p) - snr).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn margin_sign_convention() {
+        let b = LinkBudget::paper_shortest_link();
+        let p = b.required_tx_power_dbm(15.0);
+        assert!(b.margin_db(p + 3.0, 15.0) > 2.99);
+        assert!(b.margin_db(p - 3.0, 15.0) < -2.99);
+    }
+
+    #[test]
+    fn table_matches_paper_values() {
+        let t = LinkBudget::paper_longest_link_butler().table();
+        let get = |name: &str| {
+            t.iter()
+                .find(|l| l.name == name)
+                .unwrap_or_else(|| panic!("missing line {name}"))
+                .value
+        };
+        assert_eq!(get("RX noise figure"), 10.0);
+        assert_eq!(get("Path loss"), 69.3);
+        assert_eq!(get("Array gain (TX)"), 12.0);
+        assert_eq!(get("Butler matrix inaccuracy"), 5.0);
+        assert_eq!(get("Polarization mismatch"), 3.0);
+        assert_eq!(get("Implementation loss"), 5.0);
+        assert_eq!(get("RX temperature"), 323.0);
+    }
+
+    #[test]
+    fn from_model_uses_model_pathloss() {
+        let model = PathlossModel::paper_free_space();
+        let b = LinkBudget::from_model(&model, 0.1);
+        assert!((b.pathloss_db - 59.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn sweep_matches_pointwise() {
+        let b = LinkBudget::paper_shortest_link();
+        let snrs = [0.0, 5.0, 10.0];
+        let sweep = b.tx_power_sweep(&snrs);
+        for (i, &snr) in snrs.iter().enumerate() {
+            assert_eq!(sweep[i], b.required_tx_power_dbm(snr));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pathloss must be non-negative")]
+    fn negative_pathloss_panics() {
+        LinkBudget::paper_defaults(-1.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Data-rate helpers connecting the link budget to the paper's 100 Gbit/s
+//! design target.
+//!
+//! §II.B: "In order to obtain wireless connections with data rates up to
+//! 100 Gbit/s (using dual polarization) the bandwidth is chosen as 25 GHz" —
+//! i.e. 2 bit/s/Hz per polarization, which is exactly the 4-ASK spectral
+//! efficiency analyzed in §III.
+
+use serde::{Deserialize, Serialize};
+use wi_num::db::db_to_lin;
+
+/// Number of polarizations used by a link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Polarization {
+    /// Single polarization.
+    Single,
+    /// Dual polarization (the paper's 100 Gbit/s assumption).
+    #[default]
+    Dual,
+}
+
+impl Polarization {
+    /// Multiplexing factor (1 or 2).
+    pub fn streams(&self) -> usize {
+        match self {
+            Polarization::Single => 1,
+            Polarization::Dual => 2,
+        }
+    }
+}
+
+/// Shannon capacity in bit/s for an AWGN channel of `bandwidth_hz` at
+/// `snr_db`, across the given number of polarization streams.
+///
+/// # Panics
+///
+/// Panics if `bandwidth_hz` is not positive.
+pub fn shannon_capacity_bps(bandwidth_hz: f64, snr_db: f64, pol: Polarization) -> f64 {
+    assert!(bandwidth_hz > 0.0, "bandwidth must be positive");
+    pol.streams() as f64 * bandwidth_hz * (1.0 + db_to_lin(snr_db)).log2()
+}
+
+/// Achieved data rate in bit/s at spectral efficiency
+/// `bits_per_channel_use` (e.g. an information rate from the 1-bit receiver
+/// analysis) with one channel use per second per hertz.
+pub fn modulated_rate_bps(bandwidth_hz: f64, bits_per_channel_use: f64, pol: Polarization) -> f64 {
+    assert!(bandwidth_hz > 0.0, "bandwidth must be positive");
+    assert!(bits_per_channel_use >= 0.0, "rate must be non-negative");
+    pol.streams() as f64 * bandwidth_hz * bits_per_channel_use
+}
+
+/// Minimum SNR (dB) at which the Shannon capacity reaches `rate_bps`.
+///
+/// # Panics
+///
+/// Panics if arguments are not positive.
+pub fn required_snr_db_for_rate(bandwidth_hz: f64, rate_bps: f64, pol: Polarization) -> f64 {
+    assert!(bandwidth_hz > 0.0 && rate_bps > 0.0, "arguments must be positive");
+    let se = rate_bps / (pol.streams() as f64 * bandwidth_hz);
+    10.0 * (2f64.powf(se) - 1.0).log10()
+}
+
+/// The paper's headline target: 100 Gbit/s.
+pub const PAPER_TARGET_RATE_BPS: f64 = 100e9;
+
+/// The paper's chosen bandwidth: 25 GHz.
+pub const PAPER_BANDWIDTH_HZ: f64 = 25e9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_target_needs_2_bits_per_use() {
+        // 100 Gbit/s over dual-pol 25 GHz = 2 bit/s/Hz per polarization.
+        let r = modulated_rate_bps(PAPER_BANDWIDTH_HZ, 2.0, Polarization::Dual);
+        assert!((r - PAPER_TARGET_RATE_BPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn shannon_snr_for_100g() {
+        // 2 bit/s/Hz needs SNR = 3 (4.77 dB) by Shannon.
+        let snr = required_snr_db_for_rate(
+            PAPER_BANDWIDTH_HZ,
+            PAPER_TARGET_RATE_BPS,
+            Polarization::Dual,
+        );
+        assert!((snr - 4.77).abs() < 0.01, "{snr}");
+        // Round trip.
+        let c = shannon_capacity_bps(PAPER_BANDWIDTH_HZ, snr, Polarization::Dual);
+        assert!((c - PAPER_TARGET_RATE_BPS).abs() / PAPER_TARGET_RATE_BPS < 1e-9);
+    }
+
+    #[test]
+    fn dual_pol_doubles_rate() {
+        let single = shannon_capacity_bps(25e9, 10.0, Polarization::Single);
+        let dual = shannon_capacity_bps(25e9, 10.0, Polarization::Dual);
+        assert!((dual - 2.0 * single).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacity_increases_with_snr() {
+        let lo = shannon_capacity_bps(25e9, 0.0, Polarization::Single);
+        let hi = shannon_capacity_bps(25e9, 20.0, Polarization::Single);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn zero_spectral_efficiency_is_zero_rate() {
+        assert_eq!(modulated_rate_bps(25e9, 0.0, Polarization::Dual), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        shannon_capacity_bps(0.0, 10.0, Polarization::Single);
+    }
+}

@@ -1,0 +1,30 @@
+//! Link budget engine for 200 GHz-band board-to-board wireless interconnects.
+//!
+//! Section II.B of the DATE'13 paper assembles the link budget of Table I
+//! (noise figure, pathloss, array gains, Butler-matrix inaccuracy,
+//! polarization mismatch, implementation loss, receiver temperature) and
+//! derives the required transmit power as a function of the target SNR at
+//! the receiver (Fig. 4) for the two extreme links of the two-board setup:
+//! the 100 mm "ahead" link and the 300 mm diagonal link.
+//!
+//! * [`budget`] — the [`LinkBudget`] ledger with the paper's Table I
+//!   presets, required-TX-power / achieved-SNR arithmetic and an itemized
+//!   table for regeneration of Table I.
+//! * [`datarate`] — Shannon-capacity helpers connecting the budget to the
+//!   100 Gbit/s (dual-polarization, 25 GHz) design target.
+//!
+//! # Example
+//!
+//! ```
+//! use wi_linkbudget::budget::LinkBudget;
+//!
+//! let shortest = LinkBudget::paper_shortest_link();
+//! let p = shortest.required_tx_power_dbm(10.0);
+//! // Fig. 4: around -6 dBm at 10 dB SNR for the 100 mm link.
+//! assert!(p > -10.0 && p < 0.0);
+//! ```
+
+pub mod budget;
+pub mod datarate;
+
+pub use budget::{Beamforming, BudgetLine, LinkBudget};

@@ -1,0 +1,361 @@
+//! Discrete-event NoC simulator.
+//!
+//! Ref \[14\] validates its analytic queueing model against simulation; this
+//! module plays that role here. It simulates the same system the analytic
+//! model describes — Poisson packet injection, deterministic dimension-order
+//! routes, one FIFO server per directed link plus one per ejection port,
+//! and a fixed pipeline delay per traversed router — so the two can be
+//! compared number-for-number in tests and benches.
+
+use crate::analytic::RouterParams;
+use crate::routing::route;
+use crate::topology::Topology;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use wi_num::rng::seeded_rng;
+use wi_num::stats::Running;
+
+/// Service-time distribution of the link servers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceDistribution {
+    /// Exponential with the configured mean — matches the M/M/1 analytic
+    /// model exactly.
+    #[default]
+    Exponential,
+    /// Deterministic (every packet takes exactly the mean) — the more
+    /// hardware-realistic choice; queueing delays then follow M/D/1 and sit
+    /// below the analytic M/M/1 curve.
+    Deterministic,
+}
+
+/// Simulation configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DesConfig {
+    /// Packet injection rate per module (packets/cycle), uniform traffic.
+    pub injection_rate: f64,
+    /// Router timing (shared with the analytic model).
+    pub params: RouterParams,
+    /// Link service-time distribution.
+    pub service: ServiceDistribution,
+    /// Packets to deliver before measurement starts.
+    pub warmup_packets: usize,
+    /// Packets measured after warmup.
+    pub measured_packets: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Hard event-count limit; the run reports `completed = false` when the
+    /// network cannot drain the offered load within it.
+    pub max_events: u64,
+}
+
+impl Default for DesConfig {
+    fn default() -> Self {
+        DesConfig {
+            injection_rate: 0.1,
+            params: RouterParams::default(),
+            service: ServiceDistribution::Exponential,
+            warmup_packets: 2_000,
+            measured_packets: 20_000,
+            seed: 0xDE5,
+            max_events: 50_000_000,
+        }
+    }
+}
+
+/// Simulation outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DesResult {
+    /// Mean end-to-end packet latency in cycles (injection to ejection
+    /// completion) over the measured packets.
+    pub mean_latency: f64,
+    /// Standard error of the mean latency.
+    pub stderr: f64,
+    /// Measured packets actually delivered.
+    pub delivered: usize,
+    /// False when the event limit was hit before all measured packets
+    /// drained (a saturation symptom).
+    pub completed: bool,
+}
+
+/// Total-ordering wrapper for event timestamps.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct TimeKey(f64);
+
+impl Eq for TimeKey {}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// A module's next packet injection.
+    Inject { module: usize },
+    /// A packet is ready to join the queue of its next stage.
+    Ready { packet: usize },
+}
+
+struct Packet {
+    t_inject: f64,
+    /// Link ids along the path.
+    links: Vec<usize>,
+    dst_module: usize,
+    next_stage: usize,
+    measured: bool,
+}
+
+/// Runs the simulation.
+///
+/// # Panics
+///
+/// Panics if the injection rate is not positive or the topology has fewer
+/// than two modules.
+pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
+    assert!(config.injection_rate > 0.0, "injection rate must be positive");
+    let n = topo.num_modules();
+    assert!(n >= 2, "need at least two modules");
+
+    let mut rng = seeded_rng(config.seed);
+    let mut heap: BinaryHeap<Reverse<(TimeKey, u64, usize)>> = BinaryHeap::new();
+    // Events stored separately so the heap stays Copy-friendly.
+    let mut events: Vec<Event> = Vec::new();
+    let mut seq = 0u64;
+    let mut push = |heap: &mut BinaryHeap<_>, events: &mut Vec<Event>, t: f64, e: Event| {
+        events.push(e);
+        let id = events.len() - 1;
+        seq += 1;
+        heap.push(Reverse((TimeKey(t), seq, id)));
+    };
+
+    let mut link_free = vec![0.0f64; topo.num_links()];
+    let mut ej_free = vec![0.0f64; n];
+    let mut packets: Vec<Packet> = Vec::new();
+
+    let mut injected = 0usize;
+    let total_tracked = config.warmup_packets + config.measured_packets;
+    let mut delivered_measured = 0usize;
+    let mut stats = Running::new();
+    let mut event_count = 0u64;
+
+    let exp_sample = |rng: &mut rand::rngs::StdRng, mean: f64| -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -mean * u.ln()
+    };
+
+    // Seed one injection per module.
+    for m in 0..n {
+        let t = exp_sample(&mut rng, 1.0 / config.injection_rate);
+        push(&mut heap, &mut events, t, Event::Inject { module: m });
+    }
+
+    while let Some(Reverse((TimeKey(now), _, eid))) = heap.pop() {
+        event_count += 1;
+        if event_count > config.max_events {
+            return DesResult {
+                mean_latency: stats.mean(),
+                stderr: stats.stderr(),
+                delivered: delivered_measured,
+                completed: false,
+            };
+        }
+        match events[eid] {
+            Event::Inject { module } => {
+                // Uniform destination, excluding self.
+                let mut dst = rng.gen_range(0..n - 1);
+                if dst >= module {
+                    dst += 1;
+                }
+                let path = route(topo, module, dst);
+                let measured =
+                    injected >= config.warmup_packets && injected < total_tracked;
+                packets.push(Packet {
+                    t_inject: now,
+                    links: path.links,
+                    dst_module: dst,
+                    next_stage: 0,
+                    measured,
+                });
+                injected += 1;
+                let pid = packets.len() - 1;
+                // Traverse the source router pipeline, then queue.
+                push(
+                    &mut heap,
+                    &mut events,
+                    now + config.params.routing_delay,
+                    Event::Ready { packet: pid },
+                );
+                // Keep offering load until measurement finishes.
+                if delivered_measured < config.measured_packets {
+                    let t_next = now + exp_sample(&mut rng, 1.0 / config.injection_rate);
+                    push(&mut heap, &mut events, t_next, Event::Inject { module });
+                }
+            }
+            Event::Ready { packet } => {
+                let svc = match config.service {
+                    ServiceDistribution::Exponential => {
+                        exp_sample(&mut rng, config.params.service_time)
+                    }
+                    ServiceDistribution::Deterministic => config.params.service_time,
+                };
+                let stage = packets[packet].next_stage;
+                if stage < packets[packet].links.len() {
+                    // Inter-router link stage.
+                    let l = packets[packet].links[stage];
+                    let start = now.max(link_free[l]);
+                    let finish = start + svc;
+                    link_free[l] = finish;
+                    packets[packet].next_stage += 1;
+                    // Next router pipeline, then next queue.
+                    push(
+                        &mut heap,
+                        &mut events,
+                        finish + config.params.routing_delay,
+                        Event::Ready { packet },
+                    );
+                } else {
+                    // Ejection stage.
+                    let m = packets[packet].dst_module;
+                    let start = now.max(ej_free[m]);
+                    let finish = start + svc;
+                    ej_free[m] = finish;
+                    if packets[packet].measured {
+                        stats.push(finish - packets[packet].t_inject);
+                        delivered_measured += 1;
+                        if delivered_measured >= config.measured_packets {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    DesResult {
+        mean_latency: stats.mean(),
+        stderr: stats.stderr(),
+        delivered: delivered_measured,
+        completed: delivered_measured >= config.measured_packets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::AnalyticModel;
+
+    fn quick(rate: f64, seed: u64) -> DesConfig {
+        DesConfig {
+            injection_rate: rate,
+            warmup_packets: 1_000,
+            measured_packets: 8_000,
+            seed,
+            ..DesConfig::default()
+        }
+    }
+
+    #[test]
+    fn matches_analytic_at_low_load() {
+        let topo = Topology::mesh2d(4, 4);
+        let analytic = AnalyticModel::new(&topo, RouterParams::default());
+        let want = analytic.mean_latency(0.05).expect("below saturation");
+        let got = simulate(&topo, &quick(0.05, 1)).mean_latency;
+        assert!(
+            (got - want).abs() / want < 0.08,
+            "DES {got:.2} vs analytic {want:.2}"
+        );
+    }
+
+    #[test]
+    fn matches_analytic_at_medium_load() {
+        let topo = Topology::mesh2d(4, 4);
+        let analytic = AnalyticModel::new(&topo, RouterParams::default());
+        let rate = 0.25; // ~half of the 4x4 saturation
+        let want = analytic.mean_latency(rate).expect("below saturation");
+        let got = simulate(&topo, &quick(rate, 2)).mean_latency;
+        assert!(
+            (got - want).abs() / want < 0.12,
+            "DES {got:.2} vs analytic {want:.2}"
+        );
+    }
+
+    #[test]
+    fn deterministic_service_is_faster_than_exponential() {
+        // M/D/1 waits are half the M/M/1 waits, so deterministic service
+        // must reduce latency at meaningful load.
+        let topo = Topology::mesh2d(4, 4);
+        let exp = simulate(&topo, &quick(0.3, 3));
+        let det = simulate(
+            &topo,
+            &DesConfig {
+                service: ServiceDistribution::Deterministic,
+                ..quick(0.3, 3)
+            },
+        );
+        assert!(
+            det.mean_latency < exp.mean_latency,
+            "det {} vs exp {}",
+            det.mean_latency,
+            exp.mean_latency
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let topo = Topology::mesh3d(3, 3, 3);
+        let lo = simulate(&topo, &quick(0.05, 4)).mean_latency;
+        let hi = simulate(&topo, &quick(0.5, 4)).mean_latency;
+        assert!(hi > lo, "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let topo = Topology::mesh2d(4, 4);
+        let a = simulate(&topo, &quick(0.1, 9));
+        let b = simulate(&topo, &quick(0.1, 9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overload_reports_incomplete() {
+        let topo = Topology::mesh2d(8, 8);
+        let cfg = DesConfig {
+            injection_rate: 2.0, // far beyond saturation (~0.41)
+            max_events: 200_000,
+            ..quick(2.0, 5)
+        };
+        let r = simulate(&topo, &cfg);
+        assert!(!r.completed);
+    }
+
+    #[test]
+    fn star_mesh_local_traffic_is_fast() {
+        // Pairs sharing a router skip the mesh entirely, so star-mesh
+        // latency at low load is below the 2D mesh of equal module count.
+        let star = simulate(&Topology::star_mesh(4, 4, 4), &quick(0.02, 6));
+        let mesh = simulate(&Topology::mesh2d(8, 8), &quick(0.02, 6));
+        assert!(star.mean_latency < mesh.mean_latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "injection rate must be positive")]
+    fn zero_rate_panics() {
+        let topo = Topology::mesh2d(2, 2);
+        simulate(
+            &topo,
+            &DesConfig {
+                injection_rate: 0.0,
+                ..DesConfig::default()
+            },
+        );
+    }
+}

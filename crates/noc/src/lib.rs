@@ -1,0 +1,44 @@
+//! 3D Network-in-Chip-Stack (NiCS) substrate — §IV of the DATE'13 paper.
+//!
+//! The paper argues that stacking chips lets a network-on-chip use the third
+//! dimension, and compares a 3D mesh against the classical 2D mesh and the
+//! concentrated star-mesh with an analytic queueing model (ref \[14\]):
+//! the 3D mesh combines good latency (short wires, high concentration) with
+//! the highest saturation throughput, and scales best to 512 modules
+//! (Figs. 7–8).
+//!
+//! * [`topology`] — the four topology families of Fig. 7 as graphs.
+//! * [`routing`] — deterministic dimension-order routing.
+//! * [`analytic`] — the queueing-theory latency model (per-link M/M/1
+//!   servers over exact routed flows), calibrated once against the paper's
+//!   published low-load latencies and saturation points.
+//! * [`des`] — an independent discrete-event simulator of the same system,
+//!   used to validate the analytic model.
+//! * [`metrics`] — structural topology metrics (the quantitative Fig. 7).
+//! * [`irregular`] — partial-TSV (pillar) 3D meshes for the paper's
+//!   future-work ablation: vertical links only on some routers.
+//!
+//! # Example
+//!
+//! ```
+//! use wi_noc::topology::Topology;
+//! use wi_noc::analytic::{AnalyticModel, RouterParams};
+//!
+//! let cube = Topology::mesh3d(4, 4, 4);
+//! let model = AnalyticModel::new(&cube, RouterParams::default());
+//! let latency = model.mean_latency(0.1).expect("below saturation");
+//! assert!(latency > 0.0 && latency < 20.0);
+//! ```
+
+pub mod analytic;
+pub mod des;
+pub mod irregular;
+pub mod metrics;
+pub mod routing;
+pub mod topology;
+
+pub use analytic::{AnalyticModel, RouterParams};
+pub use des::{simulate, DesConfig, DesResult, ServiceDistribution};
+pub use metrics::{topology_metrics, TopologyMetrics};
+pub use routing::{route, Path};
+pub use topology::{Topology, TopologyKind};

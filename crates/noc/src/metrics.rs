@@ -1,0 +1,158 @@
+//! Structural topology metrics — the quantitative version of Fig. 7.
+//!
+//! The paper's Fig. 7 is a gallery of topology drawings; the comparable
+//! reproducible artifact is the table of structural properties that drive
+//! the §IV performance discussion: router count, radix, diameter, average
+//! hop distance and bisection width.
+
+use crate::analytic::{AnalyticModel, RouterParams};
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Structural properties of a topology.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TopologyMetrics {
+    /// Human-readable description, e.g. "8x8 2D mesh".
+    pub name: String,
+    /// Number of routers.
+    pub routers: usize,
+    /// Number of modules.
+    pub modules: usize,
+    /// Modules per router.
+    pub concentration: usize,
+    /// Bidirectional inter-router links.
+    pub bidirectional_links: usize,
+    /// Maximum router radix: inter-router ports plus module ports.
+    pub max_radix: usize,
+    /// Network diameter in hops.
+    pub diameter: usize,
+    /// Mean inter-router hop distance over all module pairs.
+    pub mean_hops: f64,
+    /// Bidirectional links crossing the middle cut of the widest dimension
+    /// (bisection width).
+    pub bisection_links: usize,
+}
+
+/// Computes the metrics of a topology.
+///
+/// # Panics
+///
+/// Panics if the topology has fewer than two modules.
+pub fn topology_metrics(name: &str, topo: &Topology) -> TopologyMetrics {
+    let model = AnalyticModel::new(topo, RouterParams::default());
+    let n = topo.num_routers();
+
+    // Max radix: inter-router degree (out-links) + module ports.
+    let mut degree = vec![0usize; n];
+    for l in topo.links() {
+        degree[l.src] += 1;
+    }
+    let max_radix = degree.iter().max().copied().unwrap_or(0) + topo.concentration();
+
+    // Diameter: meshes are Manhattan metric spaces, so the diameter is the
+    // corner-to-corner distance.
+    let [nx, ny, nz] = topo.dims();
+    let diameter = (nx - 1) + (ny - 1) + (nz - 1);
+
+    // Bisection: cut the widest dimension in half and count crossing links.
+    let dims = topo.dims();
+    let widest = (0..3).max_by_key(|&i| dims[i]).expect("three dims");
+    let cut = dims[widest] / 2;
+    let bisection_directed = topo
+        .links()
+        .iter()
+        .filter(|l| {
+            let a = topo.coord(l.src)[widest];
+            let b = topo.coord(l.dst)[widest];
+            (a < cut && b >= cut) || (b < cut && a >= cut)
+        })
+        .count();
+
+    TopologyMetrics {
+        name: name.to_string(),
+        routers: n,
+        modules: topo.num_modules(),
+        concentration: topo.concentration(),
+        bidirectional_links: topo.num_links() / 2,
+        max_radix,
+        diameter,
+        mean_hops: model.mean_hops(),
+        bisection_links: bisection_directed / 2,
+    }
+}
+
+/// The four Fig. 7 topology examples at 64 modules, with their metrics.
+pub fn fig7_topologies() -> Vec<(TopologyMetrics, Topology)> {
+    let entries = [
+        ("8x8 2D mesh", Topology::mesh2d(8, 8)),
+        ("4x4 star-mesh (c=4)", Topology::star_mesh(4, 4, 4)),
+        ("4x4x4 3D mesh", Topology::mesh3d(4, 4, 4)),
+        ("4x4x2 ciliated 3D mesh (c=2)", Topology::ciliated_mesh3d(4, 4, 2, 2)),
+    ];
+    entries
+        .into_iter()
+        .map(|(name, t)| (topology_metrics(name, &t), t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh2d_metrics() {
+        let m = topology_metrics("8x8", &Topology::mesh2d(8, 8));
+        assert_eq!(m.routers, 64);
+        assert_eq!(m.diameter, 14);
+        assert_eq!(m.bisection_links, 8);
+        // Interior router: 4 mesh ports + 1 module port.
+        assert_eq!(m.max_radix, 5);
+        assert_eq!(m.bidirectional_links, 112);
+    }
+
+    #[test]
+    fn mesh3d_metrics() {
+        let m = topology_metrics("4x4x4", &Topology::mesh3d(4, 4, 4));
+        assert_eq!(m.diameter, 9);
+        // Cut between x=1 and x=2 (widest dim is x by tie-break): 16 links.
+        assert_eq!(m.bisection_links, 16);
+        assert_eq!(m.max_radix, 7);
+    }
+
+    #[test]
+    fn star_mesh_metrics() {
+        let m = topology_metrics("star", &Topology::star_mesh(4, 4, 4));
+        assert_eq!(m.routers, 16);
+        assert_eq!(m.modules, 64);
+        // Interior router: 4 mesh ports + 4 module ports.
+        assert_eq!(m.max_radix, 8);
+        assert_eq!(m.diameter, 6);
+        assert_eq!(m.bisection_links, 4);
+    }
+
+    #[test]
+    fn fig7_gallery_has_64_modules_each() {
+        let all = fig7_topologies();
+        assert_eq!(all.len(), 4);
+        for (m, t) in &all {
+            assert_eq!(m.modules, 64, "{}", m.name);
+            assert_eq!(t.num_modules(), 64);
+        }
+    }
+
+    #[test]
+    fn concentration_raises_radix_lowers_diameter() {
+        let flat = topology_metrics("flat", &Topology::mesh2d(8, 8));
+        let conc = topology_metrics("conc", &Topology::star_mesh(4, 4, 4));
+        assert!(conc.max_radix > flat.max_radix);
+        assert!(conc.diameter < flat.diameter);
+        assert!(conc.mean_hops < flat.mean_hops);
+    }
+
+    #[test]
+    fn mesh3d_beats_mesh2d_on_bisection() {
+        let d2 = topology_metrics("2d", &Topology::mesh2d(8, 8));
+        let d3 = topology_metrics("3d", &Topology::mesh3d(4, 4, 4));
+        assert!(d3.bisection_links > d2.bisection_links);
+    }
+}

@@ -1,0 +1,170 @@
+//! Deterministic dimension-order (XYZ) routing.
+//!
+//! The analytic model of ref \[14\] needs deterministic routes so that
+//! per-link flows are exact sums over source/destination pairs. Dimension-
+//! order routing resolves X first, then Y, then Z; it is minimal and
+//! deadlock-free on meshes, and it is what the paper's reference topologies
+//! use.
+
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A routed path between two modules.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    /// Routers traversed, source router first, destination router last.
+    pub routers: Vec<usize>,
+    /// Inter-router link ids traversed (one fewer than routers).
+    pub links: Vec<usize>,
+}
+
+impl Path {
+    /// Number of inter-router hops.
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// Computes the dimension-order route between two modules.
+///
+/// # Panics
+///
+/// Panics if either module is out of range or if the topology lacks a link
+/// the route needs (possible only for hand-edited irregular topologies).
+pub fn route(topo: &Topology, src_module: usize, dst_module: usize) -> Path {
+    let src = topo.router_of(src_module);
+    let dst = topo.router_of(dst_module);
+    route_routers(topo, src, dst)
+}
+
+/// Dimension-order route between two routers.
+///
+/// # Panics
+///
+/// See [`route`].
+pub fn route_routers(topo: &Topology, src: usize, dst: usize) -> Path {
+    let mut here = topo.coord(src);
+    let target = topo.coord(dst);
+    let mut routers = vec![src];
+    let mut links = Vec::new();
+    for dim in 0..3 {
+        while here[dim] != target[dim] {
+            let mut next = here;
+            if here[dim] < target[dim] {
+                next[dim] += 1;
+            } else {
+                next[dim] -= 1;
+            }
+            let a = topo.router_at(here);
+            let b = topo.router_at(next);
+            let link = topo
+                .link_between(a, b)
+                .unwrap_or_else(|| panic!("no link {a} -> {b} for dimension-order route"));
+            links.push(link);
+            routers.push(b);
+            here = next;
+        }
+    }
+    Path { routers, links }
+}
+
+/// Checks that dimension-order routing can serve every module pair of the
+/// topology (true for all regular meshes; useful for irregular variants).
+pub fn all_pairs_routable(topo: &Topology) -> bool {
+    let n = topo.num_routers();
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            let mut here = topo.coord(s);
+            let target = topo.coord(d);
+            for dim in 0..3 {
+                while here[dim] != target[dim] {
+                    let mut next = here;
+                    if here[dim] < target[dim] {
+                        next[dim] += 1;
+                    } else {
+                        next[dim] -= 1;
+                    }
+                    if topo
+                        .link_between(topo.router_at(here), topo.router_at(next))
+                        .is_none()
+                    {
+                        return false;
+                    }
+                    here = next;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_is_minimal() {
+        let t = Topology::mesh3d(4, 4, 4);
+        for (s, d) in [(0usize, 63usize), (5, 40), (63, 0), (17, 17)] {
+            let p = route(&t, s, d);
+            assert_eq!(
+                p.hops(),
+                t.router_distance(t.router_of(s), t.router_of(d)),
+                "pair ({s},{d})"
+            );
+            assert_eq!(p.routers.len(), p.links.len() + 1);
+        }
+    }
+
+    #[test]
+    fn route_endpoints_correct() {
+        let t = Topology::mesh2d(8, 8);
+        let p = route(&t, 3, 59);
+        assert_eq!(p.routers[0], t.router_of(3));
+        assert_eq!(*p.routers.last().unwrap(), t.router_of(59));
+    }
+
+    #[test]
+    fn same_router_pair_has_no_hops() {
+        let t = Topology::star_mesh(4, 4, 4);
+        // Modules 0 and 1 share router 0.
+        let p = route(&t, 0, 1);
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.routers, vec![0]);
+    }
+
+    #[test]
+    fn x_before_y_before_z() {
+        let t = Topology::mesh3d(4, 4, 4);
+        let s = t.router_at([0, 0, 0]);
+        let d = t.router_at([2, 2, 2]);
+        let p = route_routers(&t, s, d);
+        let coords: Vec<[usize; 3]> = p.routers.iter().map(|&r| t.coord(r)).collect();
+        // X changes first, then Y, then Z.
+        assert_eq!(coords[1], [1, 0, 0]);
+        assert_eq!(coords[2], [2, 0, 0]);
+        assert_eq!(coords[3], [2, 1, 0]);
+        assert_eq!(coords[5], [2, 2, 1]);
+    }
+
+    #[test]
+    fn links_match_router_sequence() {
+        let t = Topology::mesh2d(5, 5);
+        let p = route(&t, 0, 24);
+        for (i, &l) in p.links.iter().enumerate() {
+            let link = t.links()[l];
+            assert_eq!(link.src, p.routers[i]);
+            assert_eq!(link.dst, p.routers[i + 1]);
+        }
+    }
+
+    #[test]
+    fn regular_meshes_fully_routable() {
+        assert!(all_pairs_routable(&Topology::mesh2d(4, 4)));
+        assert!(all_pairs_routable(&Topology::mesh3d(3, 3, 3)));
+        assert!(all_pairs_routable(&Topology::star_mesh(4, 4, 4)));
+    }
+}

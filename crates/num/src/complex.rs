@@ -1,0 +1,292 @@
+//! A minimal double-precision complex number.
+//!
+//! The workspace only needs the field operations, conjugation, magnitude and
+//! polar construction, so a small purpose-built type keeps the dependency
+//! footprint at zero while staying API-compatible with what a user of
+//! `num-complex` would expect.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Example
+///
+/// ```
+/// use wi_num::Complex64;
+/// let z = Complex64::new(3.0, 4.0);
+/// assert_eq!(z.norm(), 5.0);
+/// assert_eq!(z * z.conj(), Complex64::new(25.0, 0.0));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    ///
+    /// ```
+    /// use wi_num::Complex64;
+    /// let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-15 && (z.im - 2.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}` (a unit phasor).
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex64::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²` (cheaper than [`Complex64::norm`]).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64::new(self.re * k, self.im * k)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; `1/0` yields infinities following IEEE-754 semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Returns true when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::new(re, 0.0)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via multiplicative inverse
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.inv()
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.25, 3.0);
+        let c = Complex64::new(4.0, 0.5);
+        // commutativity
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        // distributivity
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        assert!((lhs - rhs).norm() < EPS);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let z = Complex64::new(3.0, -7.0);
+        let w = z * z.inv();
+        assert!((w - Complex64::ONE).norm() < EPS);
+    }
+
+    #[test]
+    fn division_matches_multiplication_by_inverse() {
+        let a = Complex64::new(2.0, 5.0);
+        let b = Complex64::new(-1.0, 0.5);
+        assert!(((a / b) * b - a).norm() < 1e-10);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.5, 0.7);
+        assert!((z.norm() - 2.5).abs() < EPS);
+        assert!((z.arg() - 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let z = Complex64::new(1.0, 2.0);
+        assert_eq!(z.conj().conj(), z);
+        assert!((z * z.conj() - Complex64::from(z.norm_sqr())).norm() < EPS);
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.4;
+            let z = Complex64::new(0.0, theta).exp();
+            assert!((z.norm() - 1.0).abs() < EPS);
+            assert!((z - Complex64::cis(theta)).norm() < EPS);
+        }
+    }
+
+    #[test]
+    fn sum_folds_from_zero() {
+        let zs = [Complex64::new(1.0, 1.0), Complex64::new(2.0, -3.0)];
+        let s: Complex64 = zs.iter().copied().sum();
+        assert_eq!(s, Complex64::new(3.0, -2.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

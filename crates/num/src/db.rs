@@ -1,0 +1,152 @@
+//! Decibel and power-unit conversions.
+//!
+//! Link budgets are naturally expressed in dB and dBm; the simulation side of
+//! the workspace works in linear watts and volts. These helpers keep the two
+//! worlds consistent and are the single place where the conventions
+//! (`10·log10` for power ratios, `20·log10` for amplitude ratios) live.
+
+/// Boltzmann constant in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Speed of light in vacuum in m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Converts a linear power ratio to decibels.
+///
+/// ```
+/// use wi_num::db::lin_to_db;
+/// assert!((lin_to_db(100.0) - 20.0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn lin_to_db(ratio: f64) -> f64 {
+    10.0 * ratio.log10()
+}
+
+/// Converts decibels to a linear power ratio.
+#[inline]
+pub fn db_to_lin(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts an amplitude (voltage) ratio to decibels (`20·log10`).
+#[inline]
+pub fn amplitude_to_db(ratio: f64) -> f64 {
+    20.0 * ratio.log10()
+}
+
+/// Converts decibels to an amplitude (voltage) ratio.
+#[inline]
+pub fn db_to_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Converts a power in watts to dBm.
+///
+/// ```
+/// use wi_num::db::watt_to_dbm;
+/// assert!((watt_to_dbm(1.0) - 30.0).abs() < 1e-12); // 1 W = 30 dBm
+/// ```
+#[inline]
+pub fn watt_to_dbm(watts: f64) -> f64 {
+    10.0 * (watts * 1e3).log10()
+}
+
+/// Converts a power in dBm to watts.
+#[inline]
+pub fn dbm_to_watt(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0) * 1e-3
+}
+
+/// Thermal noise power `k·T·B` in watts for temperature `temp_k` (kelvin) and
+/// bandwidth `bandwidth_hz` (hertz).
+///
+/// ```
+/// use wi_num::db::{thermal_noise_watts, watt_to_dbm};
+/// // Classic sanity check: kTB at 290 K in 1 Hz is -174 dBm.
+/// let n = watt_to_dbm(thermal_noise_watts(290.0, 1.0));
+/// assert!((n + 174.0).abs() < 0.1);
+/// ```
+#[inline]
+pub fn thermal_noise_watts(temp_k: f64, bandwidth_hz: f64) -> f64 {
+    BOLTZMANN * temp_k * bandwidth_hz
+}
+
+/// Thermal noise floor in dBm for temperature `temp_k` and bandwidth
+/// `bandwidth_hz`.
+#[inline]
+pub fn thermal_noise_dbm(temp_k: f64, bandwidth_hz: f64) -> f64 {
+    watt_to_dbm(thermal_noise_watts(temp_k, bandwidth_hz))
+}
+
+/// Free-space wavelength in metres for a carrier `freq_hz`.
+#[inline]
+pub fn wavelength_m(freq_hz: f64) -> f64 {
+    SPEED_OF_LIGHT / freq_hz
+}
+
+/// Converts an `Eb/N0` in dB to an SNR in dB for spectral efficiency
+/// `rate_bits` (information bits per channel use) at one channel use per
+/// second per hertz: `SNR = Eb/N0 · R`.
+#[inline]
+pub fn ebn0_db_to_snr_db(ebn0_db: f64, rate_bits: f64) -> f64 {
+    ebn0_db + lin_to_db(rate_bits)
+}
+
+/// Converts an SNR in dB to `Eb/N0` in dB at spectral efficiency `rate_bits`.
+#[inline]
+pub fn snr_db_to_ebn0_db(snr_db: f64, rate_bits: f64) -> f64 {
+    snr_db - lin_to_db(rate_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_round_trips() {
+        for &x in &[0.001, 0.5, 1.0, 7.3, 1e6] {
+            assert!((db_to_lin(lin_to_db(x)) - x).abs() / x < 1e-12);
+        }
+        for &d in &[-40.0, -3.0, 0.0, 10.0, 59.8] {
+            assert!((lin_to_db(db_to_lin(d)) - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn amplitude_vs_power_db() {
+        // A 2x amplitude ratio is a 4x power ratio: 6.02 dB either way.
+        assert!((amplitude_to_db(2.0) - lin_to_db(4.0)).abs() < 1e-12);
+        // x dB as an amplitude ratio, squared, is x dB as a power ratio.
+        assert!((db_to_amplitude(6.0) * db_to_amplitude(6.0) - db_to_lin(6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dbm_round_trips() {
+        for &p in &[-100.0, -17.0, 0.0, 30.0] {
+            assert!((watt_to_dbm(dbm_to_watt(p)) - p).abs() < 1e-12);
+        }
+        assert!((dbm_to_watt(0.0) - 1e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    fn paper_noise_floor() {
+        // Table I: RX temperature 323 K; §II.B: bandwidth 25 GHz.
+        // kTB = -173.5 dBm/Hz + 104 dB ≈ -69.6 dBm.
+        let n = thermal_noise_dbm(323.0, 25e9);
+        assert!((n + 69.6).abs() < 0.2, "noise floor {n} dBm");
+    }
+
+    #[test]
+    fn wavelength_at_232_5_ghz() {
+        // ~1.29 mm carrier wavelength: the reason a 4x4 array fits in 2x2 mm².
+        let lambda = wavelength_m(232.5e9);
+        assert!((lambda - 1.289e-3).abs() < 2e-6, "lambda {lambda}");
+    }
+
+    #[test]
+    fn ebn0_snr_round_trip() {
+        let snr = ebn0_db_to_snr_db(3.0, 2.0);
+        assert!((snr - (3.0 + 3.0103)).abs() < 1e-3);
+        assert!((snr_db_to_ebn0_db(snr, 2.0) - 3.0).abs() < 1e-12);
+    }
+}

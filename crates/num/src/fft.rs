@@ -1,0 +1,221 @@
+//! Discrete Fourier transforms.
+//!
+//! The synthetic vector network analyser measures channels in the frequency
+//! domain (4096 points across 220–245 GHz) and converts to impulse responses
+//! with an inverse DFT, exactly as the paper does with its measured data.
+//! Power-of-two lengths use an in-place radix-2 decimation-in-time FFT;
+//! other lengths fall back to a direct O(n²) DFT, which is fine for the small
+//! odd-length transforms used in tests.
+
+use crate::complex::Complex64;
+use std::f64::consts::PI;
+
+/// Transform direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Forward DFT: `X[k] = Σ x[n]·e^{-i2πkn/N}`.
+    Forward,
+    /// Inverse DFT: `x[n] = (1/N)·Σ X[k]·e^{+i2πkn/N}`.
+    Inverse,
+}
+
+/// Computes the DFT of `data` in the given direction, returning a new vector.
+///
+/// The inverse direction includes the `1/N` normalization so that
+/// `dft(dft(x, Forward), Inverse) == x`.
+///
+/// ```
+/// use wi_num::fft::{dft, Direction};
+/// use wi_num::Complex64;
+/// let x: Vec<Complex64> = (0..8).map(|n| Complex64::new(n as f64, 0.0)).collect();
+/// let spectrum = dft(&x, Direction::Forward);
+/// let back = dft(&spectrum, Direction::Inverse);
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((*a - *b).norm() < 1e-9);
+/// }
+/// ```
+pub fn dft(data: &[Complex64], direction: Direction) -> Vec<Complex64> {
+    let mut out = data.to_vec();
+    dft_in_place(&mut out, direction);
+    out
+}
+
+/// In-place DFT; see [`dft`].
+pub fn dft_in_place(data: &mut [Complex64], direction: Direction) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        fft_radix2(data, direction);
+    } else {
+        let out = dft_direct(data, direction);
+        data.copy_from_slice(&out);
+    }
+    if direction == Direction::Inverse {
+        let inv_n = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(inv_n);
+        }
+    }
+}
+
+fn sign(direction: Direction) -> f64 {
+    match direction {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    }
+}
+
+fn fft_radix2(data: &mut [Complex64], direction: Direction) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 0..n {
+        if i < j {
+            data.swap(i, j);
+        }
+        let mut mask = n >> 1;
+        while mask > 0 && j & mask != 0 {
+            j ^= mask;
+            mask >>= 1;
+        }
+        j |= mask;
+    }
+
+    let s = sign(direction);
+    let mut len = 2;
+    while len <= n {
+        let ang = s * 2.0 * PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+fn dft_direct(data: &[Complex64], direction: Direction) -> Vec<Complex64> {
+    let n = data.len();
+    let s = sign(direction);
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|m| data[m] * Complex64::cis(s * 2.0 * PI * (k * m) as f64 / n as f64))
+                .sum()
+        })
+        .collect()
+}
+
+/// Convenience forward transform of a real-valued signal.
+pub fn dft_real(data: &[f64]) -> Vec<Complex64> {
+    let x: Vec<Complex64> = data.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+    dft(&x, Direction::Forward)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).norm() < tol
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex64::ZERO; 16];
+        x[0] = Complex64::ONE;
+        let spec = dft(&x, Direction::Forward);
+        for z in spec {
+            assert!(close(z, Complex64::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<Complex64> = (0..n)
+            .map(|m| Complex64::cis(2.0 * PI * (k0 * m) as f64 / n as f64))
+            .collect();
+        let spec = dft(&x, Direction::Forward);
+        for (k, z) in spec.iter().enumerate() {
+            if k == k0 {
+                assert!(close(*z, Complex64::new(n as f64, 0.0), 1e-9));
+            } else {
+                assert!(z.norm() < 1e-9, "leakage at bin {k}: {}", z.norm());
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_power_of_two() {
+        let x: Vec<Complex64> = (0..128)
+            .map(|m| Complex64::new((m as f64 * 0.37).sin(), (m as f64 * 0.11).cos()))
+            .collect();
+        let back = dft(&dft(&x, Direction::Forward), Direction::Inverse);
+        for (a, b) in x.iter().zip(&back) {
+            assert!(close(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn round_trip_non_power_of_two() {
+        let x: Vec<Complex64> = (0..15)
+            .map(|m| Complex64::new(m as f64, -(m as f64) * 0.5))
+            .collect();
+        let back = dft(&dft(&x, Direction::Forward), Direction::Inverse);
+        for (a, b) in x.iter().zip(&back) {
+            assert!(close(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn radix2_matches_direct() {
+        let x: Vec<Complex64> = (0..32)
+            .map(|m| Complex64::new((m as f64).sin(), (m as f64 * 2.0).cos()))
+            .collect();
+        let fast = dft(&x, Direction::Forward);
+        let slow = dft_direct(&x, Direction::Forward);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!(close(*a, *b, 1e-8));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let x: Vec<Complex64> = (0..64)
+            .map(|m| Complex64::new((m as f64 * 1.7).sin(), 0.2 * m as f64))
+            .collect();
+        let spec = dft(&x, Direction::Forward);
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy);
+    }
+
+    #[test]
+    fn real_helper_is_hermitian() {
+        let x: Vec<f64> = (0..32).map(|m| (m as f64 * 0.3).cos()).collect();
+        let spec = dft_real(&x);
+        let n = spec.len();
+        for k in 1..n {
+            assert!(close(spec[k], spec[n - k].conj(), 1e-9));
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_are_no_ops() {
+        assert!(dft(&[], Direction::Forward).is_empty());
+        let one = [Complex64::new(2.0, 3.0)];
+        assert_eq!(dft(&one, Direction::Forward)[0], one[0]);
+    }
+}

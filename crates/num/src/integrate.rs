@@ -1,0 +1,106 @@
+//! Numerical quadrature.
+//!
+//! The unquantized 4-ASK capacity curve (Fig. 6 reference case) integrates
+//! `p(y|x)·log p(y|x)/p(y)` over the real line; composite Simpson on a
+//! truncated interval is accurate to far below the plot resolution.
+
+/// Composite Simpson quadrature of `f` over `[a, b]` with `n` subintervals
+/// (`n` is rounded up to the next even number).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or if `a > b`.
+///
+/// ```
+/// use wi_num::integrate::simpson;
+/// let v = simpson(0.0, std::f64::consts::PI, 1000, |x| x.sin());
+/// assert!((v - 2.0).abs() < 1e-9);
+/// ```
+pub fn simpson<F: Fn(f64) -> f64>(a: f64, b: f64, n: usize, f: F) -> f64 {
+    assert!(n > 0, "simpson requires at least one subinterval");
+    assert!(a <= b, "invalid interval [{a}, {b}]");
+    if a == b {
+        return 0.0;
+    }
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut sum = f(a) + f(b);
+    for i in 1..n {
+        let x = a + i as f64 * h;
+        sum += if i % 2 == 1 { 4.0 * f(x) } else { 2.0 * f(x) };
+    }
+    sum * h / 3.0
+}
+
+/// Integrates `f(y)` over the real line by truncating to
+/// `[center - half_width, center + half_width]`.
+///
+/// Used for Gaussian-weighted integrands where `half_width` of 8–10 standard
+/// deviations makes the truncation error negligible.
+pub fn simpson_real_line<F: Fn(f64) -> f64>(center: f64, half_width: f64, n: usize, f: F) -> f64 {
+    simpson(center - half_width, center + half_width, n, f)
+}
+
+/// Trapezoidal integration of tabulated samples `ys` with uniform spacing
+/// `dx`. Returns 0 for fewer than two samples.
+pub fn trapezoid(ys: &[f64], dx: f64) -> f64 {
+    if ys.len() < 2 {
+        return 0.0;
+    }
+    let interior: f64 = ys[1..ys.len() - 1].iter().sum();
+    dx * (0.5 * (ys[0] + ys[ys.len() - 1]) + interior)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::normal_pdf;
+
+    #[test]
+    fn polynomial_exact_for_cubics() {
+        // Simpson is exact for cubics.
+        let v = simpson(0.0, 2.0, 2, |x| x * x * x - x + 1.0);
+        let exact = 2.0f64.powi(4) / 4.0 - 2.0f64.powi(2) / 2.0 + 2.0;
+        assert!((v - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_integrates_to_one() {
+        let v = simpson_real_line(0.0, 10.0, 4000, normal_pdf);
+        assert!((v - 1.0).abs() < 1e-10, "got {v}");
+    }
+
+    #[test]
+    fn odd_subinterval_count_is_rounded() {
+        let even = simpson(0.0, 1.0, 100, |x| x.exp());
+        let odd = simpson(0.0, 1.0, 99, |x| x.exp());
+        assert!((even - odd).abs() < 1e-8);
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        assert_eq!(simpson(1.0, 1.0, 10, |x| x), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn rejects_reversed_interval() {
+        simpson(1.0, 0.0, 10, |x| x);
+    }
+
+    #[test]
+    fn trapezoid_matches_simpson_on_smooth() {
+        let n = 10_000;
+        let dx = 1.0 / n as f64;
+        let ys: Vec<f64> = (0..=n).map(|i| ((i as f64) * dx).sin()).collect();
+        let t = trapezoid(&ys, dx);
+        let s = simpson(0.0, 1.0, n, |x| x.sin());
+        assert!((t - s).abs() < 1e-7);
+    }
+
+    #[test]
+    fn trapezoid_degenerate() {
+        assert_eq!(trapezoid(&[], 0.1), 0.0);
+        assert_eq!(trapezoid(&[5.0], 0.1), 0.0);
+    }
+}

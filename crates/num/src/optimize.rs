@@ -1,0 +1,300 @@
+//! Derivative-free optimization.
+//!
+//! ISI filter design (Fig. 5 of the paper) maximizes a Monte-Carlo-estimated
+//! information rate over a handful of filter taps — a noisy, derivative-free
+//! objective for which the Nelder–Mead simplex is the standard workhorse.
+
+/// Options controlling a [`nelder_mead`] run.
+#[derive(Clone, Copy, Debug)]
+pub struct NelderMeadOptions {
+    /// Maximum number of objective evaluations.
+    pub max_evals: usize,
+    /// Terminate when the simplex spread of objective values falls below this.
+    pub f_tol: f64,
+    /// Initial simplex scale (per-coordinate perturbation of the start point).
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evals: 2000,
+            f_tol: 1e-9,
+            initial_step: 0.25,
+        }
+    }
+}
+
+/// Result of a [`nelder_mead`] run.
+#[derive(Clone, Debug)]
+pub struct OptimizeResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at [`OptimizeResult::x`].
+    pub fx: f64,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+    /// Whether the `f_tol` convergence criterion was met before `max_evals`.
+    pub converged: bool,
+}
+
+/// Minimizes `f` starting from `x0` with the Nelder–Mead simplex method.
+///
+/// To maximize, negate the objective. The implementation uses the standard
+/// reflection/expansion/contraction/shrink coefficients (1, 2, 0.5, 0.5).
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+///
+/// ```
+/// use wi_num::optimize::{nelder_mead, NelderMeadOptions};
+/// // Rosenbrock's banana function, minimum at (1, 1).
+/// let rosen = |x: &[f64]| {
+///     (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+/// };
+/// let r = nelder_mead(rosen, &[-1.2, 1.0], NelderMeadOptions { max_evals: 5000, ..Default::default() });
+/// assert!((r.x[0] - 1.0).abs() < 1e-3 && (r.x[1] - 1.0).abs() < 1e-3);
+/// ```
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    opts: NelderMeadOptions,
+) -> OptimizeResult {
+    assert!(!x0.is_empty(), "nelder_mead requires at least one dimension");
+    let n = x0.len();
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| {
+        *evals += 1;
+        f(x)
+    };
+
+    // Build initial simplex: x0 plus per-coordinate perturbations.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..n {
+        let mut p = x0.to_vec();
+        let step = if p[i].abs() > 1e-12 {
+            opts.initial_step * p[i].abs()
+        } else {
+            opts.initial_step
+        };
+        p[i] += step;
+        simplex.push(p);
+    }
+    let mut fvals: Vec<f64> = simplex.iter().map(|p| eval(p, &mut evals)).collect();
+
+    let mut converged = false;
+    while evals < opts.max_evals {
+        // Order the simplex by objective value.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| fvals[a].partial_cmp(&fvals[b]).unwrap_or(std::cmp::Ordering::Equal));
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+
+        if (fvals[worst] - fvals[best]).abs() < opts.f_tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all points except the worst.
+        let mut centroid = vec![0.0; n];
+        for (idx, p) in simplex.iter().enumerate() {
+            if idx == worst {
+                continue;
+            }
+            for (c, &v) in centroid.iter_mut().zip(p) {
+                *c += v / n as f64;
+            }
+        }
+
+        let lerp = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b).map(|(&ai, &bi)| ai + t * (bi - ai)).collect()
+        };
+
+        // Reflection.
+        let reflected = lerp(&centroid, &simplex[worst], -1.0);
+        let f_r = eval(&reflected, &mut evals);
+        if f_r < fvals[best] {
+            // Expansion.
+            let expanded = lerp(&centroid, &simplex[worst], -2.0);
+            let f_e = eval(&expanded, &mut evals);
+            if f_e < f_r {
+                simplex[worst] = expanded;
+                fvals[worst] = f_e;
+            } else {
+                simplex[worst] = reflected;
+                fvals[worst] = f_r;
+            }
+            continue;
+        }
+        if f_r < fvals[second_worst] {
+            simplex[worst] = reflected;
+            fvals[worst] = f_r;
+            continue;
+        }
+        // Contraction (toward the better of worst/reflected).
+        let (cand, f_cand) = if f_r < fvals[worst] {
+            let c = lerp(&centroid, &reflected, 0.5);
+            let fc = eval(&c, &mut evals);
+            (c, fc)
+        } else {
+            let c = lerp(&centroid, &simplex[worst], 0.5);
+            let fc = eval(&c, &mut evals);
+            (c, fc)
+        };
+        if f_cand < fvals[worst].min(f_r) {
+            simplex[worst] = cand;
+            fvals[worst] = f_cand;
+            continue;
+        }
+        // Shrink toward the best point.
+        let best_point = simplex[best].clone();
+        for idx in 0..=n {
+            if idx == best {
+                continue;
+            }
+            simplex[idx] = lerp(&best_point, &simplex[idx], 0.5);
+            fvals[idx] = eval(&simplex[idx], &mut evals);
+            if evals >= opts.max_evals {
+                break;
+            }
+        }
+    }
+
+    let (argmin, _) = fvals
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("simplex is non-empty");
+    OptimizeResult {
+        x: simplex[argmin].clone(),
+        fx: fvals[argmin],
+        evals,
+        converged,
+    }
+}
+
+/// Cyclic coordinate search: repeatedly line-searches each coordinate with a
+/// shrinking step. Robust for noisy objectives where Nelder–Mead can stall.
+///
+/// Minimizes `f`; returns the best point and value found within
+/// `max_evals` objective evaluations.
+pub fn coordinate_descent<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    mut step: f64,
+    min_step: f64,
+    max_evals: usize,
+) -> OptimizeResult {
+    assert!(!x0.is_empty(), "coordinate_descent requires at least one dimension");
+    let mut x = x0.to_vec();
+    let mut evals = 0usize;
+    let mut fx = {
+        evals += 1;
+        f(&x)
+    };
+    while step > min_step && evals < max_evals {
+        let mut improved = false;
+        for i in 0..x.len() {
+            for dir in [1.0, -1.0] {
+                if evals >= max_evals {
+                    break;
+                }
+                let old = x[i];
+                x[i] = old + dir * step;
+                evals += 1;
+                let cand = f(&x);
+                if cand < fx {
+                    fx = cand;
+                    improved = true;
+                } else {
+                    x[i] = old;
+                }
+            }
+        }
+        if !improved {
+            step *= 0.5;
+        }
+    }
+    OptimizeResult {
+        converged: step <= min_step,
+        x,
+        fx,
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl() {
+        let r = nelder_mead(
+            |x| x.iter().map(|v| (v - 3.0) * (v - 3.0)).sum(),
+            &[0.0, 0.0, 0.0],
+            NelderMeadOptions::default(),
+        );
+        for v in &r.x {
+            assert!((v - 3.0).abs() < 1e-3, "{:?}", r.x);
+        }
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn rosenbrock_2d() {
+        let r = nelder_mead(
+            |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            &[-1.2, 1.0],
+            NelderMeadOptions {
+                max_evals: 10_000,
+                ..Default::default()
+            },
+        );
+        assert!(r.fx < 1e-5, "fx = {}", r.fx);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let mut count = 0usize;
+        let _ = nelder_mead(
+            |x| {
+                count += 1;
+                x[0] * x[0]
+            },
+            &[10.0],
+            NelderMeadOptions {
+                max_evals: 50,
+                ..Default::default()
+            },
+        );
+        // Shrink steps may finish the sweep in flight; allow small overshoot.
+        assert!(count <= 55, "count = {count}");
+    }
+
+    #[test]
+    fn coordinate_descent_quadratic() {
+        let r = coordinate_descent(
+            |x| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2),
+            &[0.0, 0.0],
+            1.0,
+            1e-6,
+            10_000,
+        );
+        assert!((r.x[0] - 1.0).abs() < 1e-3 && (r.x[1] + 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn coordinate_descent_starts_from_x0_when_optimal() {
+        let r = coordinate_descent(|x| x[0] * x[0], &[0.0], 0.5, 1e-4, 1000);
+        assert!(r.fx <= 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_start_panics() {
+        let _ = nelder_mead(|_| 0.0, &[], NelderMeadOptions::default());
+    }
+}

@@ -1,0 +1,231 @@
+//! Descriptive statistics and running (Welford) accumulators.
+//!
+//! Monte-Carlo experiments across the workspace (BER curves, DES latency
+//! measurements, information-rate estimates) all funnel their samples through
+//! [`Running`], which is numerically stable for long runs.
+
+/// Numerically stable running mean/variance accumulator (Welford's method).
+///
+/// ```
+/// use wi_num::stats::Running;
+/// let mut acc = Running::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.count(), 4);
+/// assert!((acc.mean() - 2.5).abs() < 1e-12);
+/// assert!((acc.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Running {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; 0 for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (n−1 denominator); 0 for fewer than two
+    /// observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn stderr(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation; +∞ if empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; −∞ if empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Running) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Mean of a slice; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance of a slice; 0 for fewer than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Root-mean-square of a slice; 0 for an empty slice.
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_matches_batch() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37 % 101) as f64).sin() * 5.0).collect();
+        let mut acc = Running::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert!((acc.mean() - mean(&xs)).abs() < 1e-10);
+        assert!((acc.sample_variance() - variance(&xs)).abs() < 1e-8);
+        assert_eq!(acc.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64 * 0.77).cos()).collect();
+        let (a, b) = xs.split_at(123);
+        let mut left = Running::new();
+        let mut right = Running::new();
+        for &x in a {
+            left.push(x);
+        }
+        for &x in b {
+            right.push(x);
+        }
+        let mut whole = Running::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.sample_variance() - whole.sample_variance()).abs() < 1e-10);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut acc = Running::new();
+        acc.push(1.0);
+        acc.push(3.0);
+        let before = acc;
+        acc.merge(&Running::new());
+        assert_eq!(acc, before);
+
+        let mut empty = Running::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn extremes_track_min_max() {
+        let mut acc = Running::new();
+        for x in [3.0, -7.0, 11.0, 0.0] {
+            acc.push(x);
+        }
+        assert_eq!(acc.min(), -7.0);
+        assert_eq!(acc.max(), 11.0);
+    }
+
+    #[test]
+    fn stderr_shrinks_with_samples() {
+        let mut small = Running::new();
+        let mut large = Running::new();
+        for i in 0..10 {
+            small.push((i % 3) as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 3) as f64);
+        }
+        assert!(large.stderr() < small.stderr());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        let acc = Running::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn rms_of_constant() {
+        assert!((rms(&[2.0; 8]) - 2.0).abs() < 1e-12);
+    }
+}

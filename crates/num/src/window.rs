@@ -1,0 +1,129 @@
+//! Spectral windows.
+//!
+//! The synthetic VNA applies a window to the measured frequency sweep before
+//! the inverse DFT so that the band edges do not ring across the impulse
+//! response — the same post-processing a real network-analyser measurement
+//! needs.
+
+use std::f64::consts::PI;
+
+/// Window shape.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WindowKind {
+    /// All-ones (no windowing).
+    Rectangular,
+    /// Hann window: first sidelobe −31.5 dB.
+    #[default]
+    Hann,
+    /// Hamming window: first sidelobe −42.7 dB.
+    Hamming,
+    /// Blackman window: first sidelobe −58 dB (widest main lobe).
+    Blackman,
+}
+
+impl WindowKind {
+    /// Generates the window coefficients for `n` samples.
+    ///
+    /// Returns an empty vector for `n == 0` and `[1.0]` for `n == 1`.
+    ///
+    /// ```
+    /// use wi_num::window::WindowKind;
+    /// let w = WindowKind::Hann.coefficients(8);
+    /// assert_eq!(w.len(), 8);
+    /// assert!(w[0] < 1e-12); // Hann starts at zero
+    /// ```
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let denom = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / denom;
+                match self {
+                    WindowKind::Rectangular => 1.0,
+                    WindowKind::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
+                    WindowKind::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
+                    WindowKind::Blackman => {
+                        0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Coherent gain of the window (mean of the coefficients), used to
+    /// renormalize amplitudes after windowing.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let c = self.coefficients(n);
+        if c.is_empty() {
+            return 0.0;
+        }
+        c.iter().sum::<f64>() / c.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetry() {
+        for kind in [
+            WindowKind::Rectangular,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+        ] {
+            let w = kind.coefficients(65);
+            for i in 0..w.len() {
+                assert!(
+                    (w[i] - w[w.len() - 1 - i]).abs() < 1e-12,
+                    "{kind:?} asymmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peak_is_unity_at_center() {
+        for kind in [WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
+            let w = kind.coefficients(129);
+            let peak = w[64];
+            assert!((peak - 1.0).abs() < 1e-9, "{kind:?} peak {peak}");
+        }
+    }
+
+    #[test]
+    fn values_bounded_zero_one() {
+        for kind in [
+            WindowKind::Rectangular,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+        ] {
+            for &v in &kind.coefficients(64) {
+                assert!((-1e-12..=1.0 + 1e-12).contains(&v), "{kind:?}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn coherent_gains_reference() {
+        // Asymptotic coherent gains: Hann 0.50, Hamming 0.54, Blackman 0.42.
+        assert!((WindowKind::Hann.coherent_gain(4096) - 0.5).abs() < 1e-3);
+        assert!((WindowKind::Hamming.coherent_gain(4096) - 0.54).abs() < 1e-3);
+        assert!((WindowKind::Blackman.coherent_gain(4096) - 0.42).abs() < 1e-3);
+        assert_eq!(WindowKind::Rectangular.coherent_gain(100), 1.0);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(WindowKind::Hann.coefficients(0).is_empty());
+        assert_eq!(WindowKind::Hann.coefficients(1), vec![1.0]);
+        assert_eq!(WindowKind::Hann.coherent_gain(0), 0.0);
+    }
+}

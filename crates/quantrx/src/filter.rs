@@ -1,0 +1,200 @@
+//! Oversampled transmit/ISI filters.
+//!
+//! The paper represents intersymbol interference "by a linear filter which
+//! can overlap with another symbol" and *designs* this filter rather than
+//! avoiding it: carefully placed ISI creates within-symbol sign-transition
+//! patterns that a 1-bit, M-fold oversampled receiver can decode at rates
+//! well above 1 bit per channel use (Figs. 5–6).
+//!
+//! A filter is stored as `span · M` taps sampled at `T/M`, where `T` is the
+//! symbol period and `M` the oversampling factor. Tap `k` is the response at
+//! `τ = k·T/M`; a filter of span `S` symbols has memory `S − 1` symbols.
+
+use serde::{Deserialize, Serialize};
+
+/// An FIR pulse/ISI filter sampled at `T/M`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IsiFilter {
+    taps: Vec<f64>,
+    oversampling: usize,
+}
+
+impl IsiFilter {
+    /// Creates a filter from taps sampled at `T/M`.
+    ///
+    /// The tap count is padded with zeros up to the next multiple of `M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oversampling == 0`, no taps are given, or all taps are 0.
+    pub fn new(taps: Vec<f64>, oversampling: usize) -> Self {
+        assert!(oversampling > 0, "oversampling factor must be positive");
+        assert!(!taps.is_empty(), "filter needs at least one tap");
+        assert!(
+            taps.iter().any(|&t| t != 0.0),
+            "filter must have a non-zero tap"
+        );
+        let mut taps = taps;
+        while !taps.len().is_multiple_of(oversampling) {
+            taps.push(0.0);
+        }
+        IsiFilter { taps, oversampling }
+    }
+
+    /// The rectangular pulse of span one symbol — the paper's no-ISI
+    /// reference (Fig. 5a).
+    pub fn rectangular(oversampling: usize) -> Self {
+        Self::new(vec![1.0; oversampling], oversampling).normalized()
+    }
+
+    /// Filter taps.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Oversampling factor `M`.
+    pub fn oversampling(&self) -> usize {
+        self.oversampling
+    }
+
+    /// Span in symbols (`taps / M`).
+    pub fn span_symbols(&self) -> usize {
+        self.taps.len() / self.oversampling
+    }
+
+    /// Channel memory in symbols (`span − 1`).
+    pub fn memory_symbols(&self) -> usize {
+        self.span_symbols() - 1
+    }
+
+    /// Sum of squared taps.
+    pub fn energy(&self) -> f64 {
+        self.taps.iter().map(|t| t * t).sum()
+    }
+
+    /// Returns a power-normalized copy with `Σh² = M`, so that a
+    /// unit-average-energy constellation produces unit average power per
+    /// output sample. All information-rate computations assume this
+    /// normalization; SNR is then `1/σ²` per sample.
+    pub fn normalized(&self) -> IsiFilter {
+        let scale = (self.oversampling as f64 / self.energy()).sqrt();
+        IsiFilter {
+            taps: self.taps.iter().map(|t| t * scale).collect(),
+            oversampling: self.oversampling,
+        }
+    }
+
+    /// Whether the filter satisfies the `Σh² = M` power normalization.
+    pub fn is_normalized(&self) -> bool {
+        (self.energy() - self.oversampling as f64).abs() < 1e-9
+    }
+
+    /// Noiseless waveform sample `m` (0-based within the current symbol
+    /// slot) given the current symbol amplitude and the `memory` previous
+    /// amplitudes (most recent first):
+    /// `z_m = x_t·h[m] + Σ_k x_{t−k}·h[m + k·M]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m ≥ M` or `previous.len() < memory_symbols()`.
+    pub fn sample(&self, m: usize, current: f64, previous: &[f64]) -> f64 {
+        assert!(m < self.oversampling, "sample index out of range");
+        assert!(
+            previous.len() >= self.memory_symbols(),
+            "need {} previous symbols, got {}",
+            self.memory_symbols(),
+            previous.len()
+        );
+        let mut z = current * self.taps[m];
+        for k in 1..=self.memory_symbols() {
+            z += previous[k - 1] * self.taps[m + k * self.oversampling];
+        }
+        z
+    }
+
+    /// The impulse response as `(τ/T, h)` pairs for plotting (Fig. 5).
+    pub fn impulse_response(&self) -> Vec<(f64, f64)> {
+        self.taps
+            .iter()
+            .enumerate()
+            .map(|(k, &h)| (k as f64 / self.oversampling as f64, h))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_normalized_span_one() {
+        let f = IsiFilter::rectangular(5);
+        assert_eq!(f.span_symbols(), 1);
+        assert_eq!(f.memory_symbols(), 0);
+        assert!(f.is_normalized());
+        // All taps equal 1 under Σh² = M.
+        for &t in f.taps() {
+            assert!((t - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn padding_to_symbol_multiple() {
+        let f = IsiFilter::new(vec![1.0, 0.5, 0.25], 5);
+        assert_eq!(f.taps().len(), 5);
+        assert_eq!(f.span_symbols(), 1);
+        let g = IsiFilter::new(vec![1.0; 7], 5);
+        assert_eq!(g.taps().len(), 10);
+        assert_eq!(g.memory_symbols(), 1);
+    }
+
+    #[test]
+    fn normalization_scales_energy() {
+        let f = IsiFilter::new(vec![2.0, -1.0, 0.5, 0.0, 3.0, 1.0], 3).normalized();
+        assert!((f.energy() - 3.0).abs() < 1e-12);
+        assert!(f.is_normalized());
+    }
+
+    #[test]
+    fn sample_combines_memory() {
+        // h = [1, 2 | 3, 4]: span 2, M = 2.
+        let f = IsiFilter::new(vec![1.0, 2.0, 3.0, 4.0], 2);
+        // z_0 = x·1 + p·3, z_1 = x·2 + p·4.
+        assert_eq!(f.sample(0, 1.0, &[10.0]), 31.0);
+        assert_eq!(f.sample(1, 1.0, &[10.0]), 42.0);
+    }
+
+    #[test]
+    fn memoryless_sample_ignores_previous() {
+        let f = IsiFilter::rectangular(4);
+        assert_eq!(f.sample(2, 0.7, &[]), 0.7);
+    }
+
+    #[test]
+    fn impulse_response_axis() {
+        let f = IsiFilter::new(vec![0.0, 1.0, 0.0, -1.0, 0.5], 5);
+        let ir = f.impulse_response();
+        assert_eq!(ir.len(), 5);
+        assert!((ir[1].0 - 0.2).abs() < 1e-12);
+        assert_eq!(ir[3].1, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero tap")]
+    fn all_zero_filter_panics() {
+        IsiFilter::new(vec![0.0, 0.0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample index out of range")]
+    fn sample_index_checked() {
+        IsiFilter::rectangular(3).sample(3, 1.0, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "previous symbols")]
+    fn missing_memory_panics() {
+        let f = IsiFilter::new(vec![1.0; 10], 5);
+        f.sample(0, 1.0, &[]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Bandwidth- and energy-efficient multigigabit/s communications based on
+//! one-bit oversampling receivers — the §III substrate of the DATE'13 paper.
+//!
+//! At multigigabit speeds the ADC dominates the receiver's energy budget, so
+//! the paper reduces it to **one bit** and recovers spectral efficiency with
+//! **M-fold oversampling** plus **deliberately designed intersymbol
+//! interference**: the ISI shapes amplitude information into the positions
+//! of sign transitions within a symbol, which the 1-bit sampler can see.
+//! With 4-ASK and 5× oversampling, sequence estimation over the resulting
+//! channel trellis approaches 2 bit/channel-use — the rate needed for the
+//! paper's 100 Gbit/s link in 25 GHz with dual polarization.
+//!
+//! Modules:
+//!
+//! * [`modulation`] — regular M-ASK constellations (unit average energy).
+//! * [`filter`] — oversampled FIR ISI filters ([`IsiFilter`]), including the
+//!   rectangular no-ISI reference.
+//! * [`trellis`] — the finite-state channel ([`ChannelTrellis`]) seen by the
+//!   receiver; transition label probabilities under iid Gaussian noise.
+//! * [`info_rate`] — exact symbolwise rates, Arnold–Loeliger sequence-rate
+//!   estimation, 1-bit no-oversampling and unquantized-AWGN references
+//!   (everything plotted in Fig. 6).
+//! * [`unique`] — the noise-free unique-detection test and margin (basis of
+//!   the Fig. 5d suboptimal design).
+//! * [`design`] — Nelder–Mead filter designers for Fig. 5(b)/(c)/(d).
+//! * [`presets`] — pre-optimized filters shipped as constants so the Fig. 5
+//!   and Fig. 6 harnesses run instantly (regenerable via [`design`]).
+//!
+//! # Example
+//!
+//! ```
+//! use wi_quantrx::modulation::AskModulation;
+//! use wi_quantrx::filter::IsiFilter;
+//! use wi_quantrx::trellis::ChannelTrellis;
+//! use wi_quantrx::info_rate::{symbolwise_information_rate, snr_db_to_sigma};
+//!
+//! let trellis = ChannelTrellis::new(
+//!     &AskModulation::four_ask(),
+//!     &IsiFilter::rectangular(5),
+//! );
+//! let rate = symbolwise_information_rate(&trellis, snr_db_to_sigma(10.0));
+//! assert!(rate > 0.5 && rate <= 2.0);
+//! ```
+
+pub mod design;
+pub mod filter;
+pub mod info_rate;
+pub mod modulation;
+pub mod presets;
+pub mod trellis;
+pub mod unique;
+
+pub use design::{DesignOptions, DesignResult};
+pub use filter::IsiFilter;
+pub use info_rate::{
+    no_oversampling_rate, sequence_information_rate, snr_db_to_sigma,
+    symbolwise_information_rate, unquantized_ask_capacity, SequenceRateOptions,
+};
+pub use modulation::AskModulation;
+pub use trellis::ChannelTrellis;
+pub use unique::{detection_margin, unique_detection, UniqueDetection};

@@ -1,0 +1,116 @@
+//! Amplitude-shift-keying constellations.
+//!
+//! §III of the paper uses regular 4-ASK: four equally spaced real
+//! amplitudes, normalized here to unit average symbol energy
+//! ({−3,−1,+1,+3}/√5 for 4-ASK).
+
+use serde::{Deserialize, Serialize};
+
+/// A regular M-ASK constellation with unit average energy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AskModulation {
+    levels: usize,
+    amplitudes: Vec<f64>,
+}
+
+impl AskModulation {
+    /// Creates a regular ASK constellation with `levels` equally spaced
+    /// amplitudes `±1, ±3, …` scaled to unit average energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2` or `levels` is odd.
+    pub fn new(levels: usize) -> Self {
+        assert!(levels >= 2, "need at least two amplitude levels");
+        assert!(levels.is_multiple_of(2), "regular ASK uses an even number of levels");
+        let raw: Vec<f64> = (0..levels)
+            .map(|i| (2 * i as i64 - (levels as i64 - 1)) as f64)
+            .collect();
+        let energy: f64 = raw.iter().map(|a| a * a).sum::<f64>() / levels as f64;
+        let scale = energy.sqrt();
+        AskModulation {
+            levels,
+            amplitudes: raw.iter().map(|a| a / scale).collect(),
+        }
+    }
+
+    /// The paper's 4-ASK constellation.
+    pub fn four_ask() -> Self {
+        Self::new(4)
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Bits carried per symbol (`log2(levels)`).
+    pub fn bits_per_symbol(&self) -> f64 {
+        (self.levels as f64).log2()
+    }
+
+    /// The normalized amplitudes, ascending.
+    pub fn amplitudes(&self) -> &[f64] {
+        &self.amplitudes
+    }
+
+    /// Amplitude of symbol index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn amplitude(&self, idx: usize) -> f64 {
+        self.amplitudes[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_ask_reference_values() {
+        let m = AskModulation::four_ask();
+        let s5 = 5f64.sqrt();
+        let want = [-3.0 / s5, -1.0 / s5, 1.0 / s5, 3.0 / s5];
+        for (a, w) in m.amplitudes().iter().zip(&want) {
+            assert!((a - w).abs() < 1e-12);
+        }
+        assert_eq!(m.levels(), 4);
+        assert!((m.bits_per_symbol() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_average_energy() {
+        for levels in [2usize, 4, 8, 16] {
+            let m = AskModulation::new(levels);
+            let e: f64 =
+                m.amplitudes().iter().map(|a| a * a).sum::<f64>() / m.levels() as f64;
+            assert!((e - 1.0).abs() < 1e-12, "levels {levels}: energy {e}");
+        }
+    }
+
+    #[test]
+    fn amplitudes_ascending_and_symmetric() {
+        let m = AskModulation::new(8);
+        let a = m.amplitudes();
+        for w in a.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        for i in 0..a.len() {
+            assert!((a[i] + a[a.len() - 1 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even number of levels")]
+    fn odd_levels_panic() {
+        AskModulation::new(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_level_panics() {
+        AskModulation::new(1);
+    }
+}

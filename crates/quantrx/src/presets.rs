@@ -1,0 +1,114 @@
+//! Pre-optimized ISI filters for the Fig. 5 / Fig. 6 harnesses.
+//!
+//! The constants below were produced by the optimizers in [`crate::design`]
+//! (span 2 symbols, 5× oversampling, design SNR 25 dB, default budgets) and
+//! are shipped so that figure regeneration does not pay the multi-second
+//! design cost on every run. `wi-bench`'s `fig5_isi_filters --optimize`
+//! re-runs the designers from scratch and prints fresh taps.
+//!
+//! NOTE: the tap values are the raw optimizer output; [`IsiFilter::new`]
+//! plus [`IsiFilter::normalized`] restores the exact `Σh² = M`
+//! normalization.
+
+use crate::filter::IsiFilter;
+
+/// Oversampling factor shared by all presets (the paper's 5×).
+pub const OVERSAMPLING: usize = 5;
+
+/// Design SNR of the optimized presets, dB.
+pub const DESIGN_SNR_DB: f64 = 25.0;
+
+/// Raw taps of the symbolwise-optimal filter (Fig. 5b analogue);
+/// 1.542 bpcu symbolwise at 25 dB.
+pub const SYMBOLWISE_TAPS: [f64; 10] = [
+    -0.556740, -0.625045, 0.548672, 0.448200, 0.883266, 0.450036, 1.195591, 1.124054,
+    0.341028, 0.074201,
+];
+
+/// Raw taps of the sequence-optimal filter (Fig. 5c analogue);
+/// ≈ 2.0 bpcu with sequence estimation at 25 dB.
+pub const SEQUENCE_TAPS: [f64; 10] = [
+    -0.879273, -0.299035, 0.305239, 0.948284, 1.460739, 0.437515, 0.475399, 0.506764,
+    0.492332, 0.307671,
+];
+
+/// Raw taps of the suboptimal unique-detection filter (Fig. 5d analogue);
+/// noise-free detection margin 0.119, 1.98 bpcu sequence rate at 25 dB.
+pub const SUBOPTIMAL_TAPS: [f64; 10] = [
+    -0.532177, -0.267390, 0.282771, 0.570924, 1.849821, 0.266091, 0.535992, 0.581156,
+    0.304807, -0.169697,
+];
+
+/// The rectangular no-ISI reference (Fig. 5a).
+pub fn rect_filter() -> IsiFilter {
+    IsiFilter::rectangular(OVERSAMPLING)
+}
+
+/// The symbolwise-optimal designed filter (Fig. 5b).
+pub fn symbolwise_filter() -> IsiFilter {
+    IsiFilter::new(SYMBOLWISE_TAPS.to_vec(), OVERSAMPLING).normalized()
+}
+
+/// The sequence-optimal designed filter (Fig. 5c).
+pub fn sequence_filter() -> IsiFilter {
+    IsiFilter::new(SEQUENCE_TAPS.to_vec(), OVERSAMPLING).normalized()
+}
+
+/// The suboptimal unique-detection filter (Fig. 5d).
+pub fn suboptimal_filter() -> IsiFilter {
+    IsiFilter::new(SUBOPTIMAL_TAPS.to_vec(), OVERSAMPLING).normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info_rate::{
+        sequence_information_rate, snr_db_to_sigma, symbolwise_information_rate,
+        SequenceRateOptions,
+    };
+    use crate::modulation::AskModulation;
+    use crate::trellis::ChannelTrellis;
+    use crate::unique::unique_detection;
+
+    #[test]
+    fn presets_are_normalized_span2() {
+        for f in [symbolwise_filter(), sequence_filter(), suboptimal_filter()] {
+            assert!(f.is_normalized());
+            assert_eq!(f.span_symbols(), 2);
+            assert_eq!(f.oversampling(), 5);
+        }
+    }
+
+    #[test]
+    fn suboptimal_preset_is_uniquely_detectable() {
+        let t = ChannelTrellis::new(&AskModulation::four_ask(), &suboptimal_filter());
+        assert!(unique_detection(&t).is_unique());
+    }
+
+    #[test]
+    fn fig6_ordering_at_design_snr() {
+        // At 25 dB the paper's ordering must hold:
+        // seq-opt >= symbolwise-opt > rect (all 1-bit, 5x oversampled).
+        let modu = AskModulation::four_ask();
+        let sigma = snr_db_to_sigma(DESIGN_SNR_DB);
+        let rect = symbolwise_information_rate(
+            &ChannelTrellis::new(&modu, &rect_filter()),
+            sigma,
+        );
+        let sym = symbolwise_information_rate(
+            &ChannelTrellis::new(&modu, &symbolwise_filter()),
+            sigma,
+        );
+        let seq = sequence_information_rate(
+            &ChannelTrellis::new(&modu, &sequence_filter()),
+            sigma,
+            SequenceRateOptions {
+                num_symbols: 30_000,
+                seed: 5,
+            },
+        );
+        assert!(sym > rect + 0.1, "sym {sym} vs rect {rect}");
+        assert!(seq > sym - 0.05, "seq {seq} vs sym {sym}");
+        assert!(seq > 1.2, "seq {seq}");
+    }
+}

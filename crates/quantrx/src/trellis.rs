@@ -1,0 +1,328 @@
+//! The finite-state channel seen by the 1-bit oversampled receiver.
+//!
+//! With an ISI filter of memory `K` symbols, the noiseless waveform during
+//! symbol slot `t` is a deterministic function of the current symbol and the
+//! `K` previous symbols. The channel is therefore a finite-state machine
+//! with `L^K` states whose output per step is the `M`-bit vector of sample
+//! signs — the object over which both the symbolwise and the sequence
+//! (BCJR-style) information rates are computed.
+
+use crate::filter::IsiFilter;
+use crate::modulation::AskModulation;
+use serde::{Deserialize, Serialize};
+use wi_num::special::log_normal_cdf;
+
+/// A fully tabulated channel trellis.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChannelTrellis {
+    levels: usize,
+    memory: usize,
+    oversampling: usize,
+    amplitudes: Vec<f64>,
+    /// Noiseless samples, indexed `[(state·L + input)·M + m]`.
+    noiseless: Vec<f64>,
+}
+
+impl ChannelTrellis {
+    /// Builds the trellis for a constellation and a (normalized) filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filter is not power-normalized (`Σh² = M`); call
+    /// [`IsiFilter::normalized`] first. This keeps every information-rate
+    /// comparison on the same transmit-power footing.
+    pub fn new(modulation: &AskModulation, filter: &IsiFilter) -> Self {
+        assert!(
+            filter.is_normalized(),
+            "filter must be power-normalized (Σh² = M) for comparable SNR"
+        );
+        let levels = modulation.levels();
+        let memory = filter.memory_symbols();
+        let oversampling = filter.oversampling();
+        let n_states = levels.pow(memory as u32);
+        let mut noiseless = vec![0.0; n_states * levels * oversampling];
+        let mut prev = vec![0.0; memory];
+        for state in 0..n_states {
+            // Decode the state into previous amplitudes, most recent first.
+            let mut s = state;
+            for slot in prev.iter_mut() {
+                *slot = modulation.amplitude(s % levels);
+                s /= levels;
+            }
+            for input in 0..levels {
+                let x = modulation.amplitude(input);
+                for m in 0..oversampling {
+                    noiseless[(state * levels + input) * oversampling + m] =
+                        filter.sample(m, x, &prev);
+                }
+            }
+        }
+        ChannelTrellis {
+            levels,
+            memory,
+            oversampling,
+            amplitudes: modulation.amplitudes().to_vec(),
+            noiseless,
+        }
+    }
+
+    /// Number of constellation levels `L`.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Channel memory in symbols `K`.
+    pub fn memory(&self) -> usize {
+        self.memory
+    }
+
+    /// Oversampling factor `M` (samples, and output bits, per symbol).
+    pub fn oversampling(&self) -> usize {
+        self.oversampling
+    }
+
+    /// Number of trellis states `L^K`.
+    pub fn num_states(&self) -> usize {
+        self.levels.pow(self.memory as u32)
+    }
+
+    /// Number of possible output labels `2^M`.
+    pub fn num_outputs(&self) -> usize {
+        1 << self.oversampling
+    }
+
+    /// Successor state after consuming `input` in `state`.
+    pub fn next_state(&self, state: usize, input: usize) -> usize {
+        if self.memory == 0 {
+            return 0;
+        }
+        let modulus = self.levels.pow(self.memory as u32 - 1);
+        input + self.levels * (state % modulus)
+    }
+
+    /// Noiseless samples for a transition, length `M`.
+    pub fn noiseless_samples(&self, state: usize, input: usize) -> &[f64] {
+        let base = (state * self.levels + input) * self.oversampling;
+        &self.noiseless[base..base + self.oversampling]
+    }
+
+    /// The noise-free 1-bit output label of a transition: bit `m` is set
+    /// when sample `m` is non-negative.
+    pub fn noiseless_label(&self, state: usize, input: usize) -> u32 {
+        let mut label = 0u32;
+        for (m, &z) in self.noiseless_samples(state, input).iter().enumerate() {
+            if z >= 0.0 {
+                label |= 1 << m;
+            }
+        }
+        label
+    }
+
+    /// Natural-log probability of observing output `label` on transition
+    /// `(state, input)` with per-sample noise standard deviation `sigma`.
+    ///
+    /// Noise samples are iid Gaussian (the paper assumes uncorrelated noise
+    /// within the oversampling vector), so the label probability factors
+    /// into per-sample `Φ(±z/σ)` terms.
+    pub fn label_log_prob(&self, state: usize, input: usize, label: u32, sigma: f64) -> f64 {
+        debug_assert!(sigma > 0.0);
+        let mut lp = 0.0;
+        for (m, &z) in self.noiseless_samples(state, input).iter().enumerate() {
+            let sign = if label & (1 << m) != 0 { 1.0 } else { -1.0 };
+            lp += log_normal_cdf(sign * z / sigma);
+        }
+        lp
+    }
+
+    /// Precomputes, for every `(state, input, sample)`, the pair of
+    /// natural-log probabilities `(log Φ(z/σ), log Φ(−z/σ))`. The returned
+    /// table is indexed like `noiseless` and is the hot-path input to the
+    /// forward recursion.
+    pub fn log_prob_table(&self, sigma: f64) -> LogProbTable {
+        assert!(sigma > 0.0, "noise standard deviation must be positive");
+        let pos: Vec<f64> = self
+            .noiseless
+            .iter()
+            .map(|&z| log_normal_cdf(z / sigma))
+            .collect();
+        let neg: Vec<f64> = self
+            .noiseless
+            .iter()
+            .map(|&z| log_normal_cdf(-z / sigma))
+            .collect();
+        LogProbTable {
+            oversampling: self.oversampling,
+            levels: self.levels,
+            pos,
+            neg,
+        }
+    }
+
+    /// Average noiseless sample power over all transitions (should be ≈ 1
+    /// for a normalized filter and unit-energy constellation under a uniform
+    /// stationary distribution).
+    pub fn average_sample_power(&self) -> f64 {
+        let n = self.noiseless.len() as f64;
+        self.noiseless.iter().map(|z| z * z).sum::<f64>() / n
+    }
+}
+
+/// Per-sigma cache of transition log-probabilities (see
+/// [`ChannelTrellis::log_prob_table`]).
+#[derive(Clone, Debug)]
+pub struct LogProbTable {
+    oversampling: usize,
+    levels: usize,
+    pos: Vec<f64>,
+    neg: Vec<f64>,
+}
+
+impl LogProbTable {
+    /// Natural-log probability of `label` on transition `(state, input)`.
+    #[inline]
+    pub fn label_log_prob(&self, state: usize, input: usize, label: u32) -> f64 {
+        let base = (state * self.levels + input) * self.oversampling;
+        let mut lp = 0.0;
+        for m in 0..self.oversampling {
+            lp += if label & (1 << m) != 0 {
+                self.pos[base + m]
+            } else {
+                self.neg[base + m]
+            };
+        }
+        lp
+    }
+
+    /// Linear probability of `label` on transition `(state, input)`.
+    #[inline]
+    pub fn label_prob(&self, state: usize, input: usize, label: u32) -> f64 {
+        self.label_log_prob(state, input, label).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn four_ask_trellis(taps: Vec<f64>, m: usize) -> ChannelTrellis {
+        let filt = IsiFilter::new(taps, m).normalized();
+        ChannelTrellis::new(&AskModulation::four_ask(), &filt)
+    }
+
+    #[test]
+    fn rect_trellis_is_memoryless() {
+        let t = four_ask_trellis(vec![1.0; 5], 5);
+        assert_eq!(t.num_states(), 1);
+        assert_eq!(t.memory(), 0);
+        assert_eq!(t.num_outputs(), 32);
+        // All samples within a symbol equal the amplitude.
+        for input in 0..4 {
+            let z = t.noiseless_samples(0, input);
+            for &v in z {
+                assert!((v - z[0]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_one_has_four_states() {
+        let t = four_ask_trellis(vec![1.0; 10], 5);
+        assert_eq!(t.memory(), 1);
+        assert_eq!(t.num_states(), 4);
+        // next_state is simply the input for K = 1.
+        for s in 0..4 {
+            for a in 0..4 {
+                assert_eq!(t.next_state(s, a), a);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_two_state_shift() {
+        let t = four_ask_trellis(vec![1.0; 15], 5);
+        assert_eq!(t.num_states(), 16);
+        // state = x_{t-1} + 4·x_{t-2}; consuming input a gives
+        // a + 4·x_{t-1}.
+        assert_eq!(t.next_state(2 + 4 * 3, 1), 1 + 4 * 2);
+    }
+
+    #[test]
+    fn state_decoding_matches_samples() {
+        // h = [1,0 | 0.5,0]: z_0 = x + 0.5·prev, z_1 = 0.
+        let filt = IsiFilter::new(vec![1.0, 0.0, 0.5, 0.0], 2).normalized();
+        let modu = AskModulation::four_ask();
+        let t = ChannelTrellis::new(&modu, &filt);
+        let scale = (2.0 / 1.25f64).sqrt();
+        for state in 0..4 {
+            for input in 0..4 {
+                let want =
+                    scale * (modu.amplitude(input) + 0.5 * modu.amplitude(state));
+                let got = t.noiseless_samples(state, input)[0];
+                assert!((got - want).abs() < 1e-12, "s={state} a={input}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_sign_patterns() {
+        let t = four_ask_trellis(vec![1.0; 5], 5);
+        // Positive amplitudes -> all bits set; negative -> none.
+        assert_eq!(t.noiseless_label(0, 3), 0b11111);
+        assert_eq!(t.noiseless_label(0, 0), 0b00000);
+    }
+
+    #[test]
+    fn label_probs_normalize() {
+        let t = four_ask_trellis(vec![1.0, 0.6, 0.2, -0.3, 0.8, 0.1, 0.0, 0.4, -0.2, 0.9], 5);
+        let table = t.log_prob_table(0.5);
+        for state in 0..t.num_states() {
+            for input in 0..t.levels() {
+                let total: f64 = (0..t.num_outputs() as u32)
+                    .map(|y| table.label_prob(state, input, y))
+                    .sum();
+                assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_snr_concentrates_on_noiseless_label() {
+        let t = four_ask_trellis(vec![1.0; 5], 5);
+        let table = t.log_prob_table(0.05);
+        for input in 0..4 {
+            let label = t.noiseless_label(0, input);
+            assert!(table.label_prob(0, input, label) > 0.99);
+        }
+    }
+
+    #[test]
+    fn table_matches_direct_computation() {
+        let t = four_ask_trellis(vec![0.8, -0.1, 0.4, 0.2, 1.0, 0.3], 3);
+        let sigma = 0.7;
+        let table = t.log_prob_table(sigma);
+        for state in 0..t.num_states() {
+            for input in 0..t.levels() {
+                for label in 0..t.num_outputs() as u32 {
+                    let a = table.label_log_prob(state, input, label);
+                    let b = t.label_log_prob(state, input, label, sigma);
+                    assert!((a - b).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn average_power_is_unity() {
+        let t = four_ask_trellis(vec![1.0, 0.5, -0.5, 0.2, 0.9, 0.1, 0.3, -0.2, 0.6, 0.4], 5);
+        // Uniform state distribution <=> uniform iid symbols, so average
+        // power equals Σh²/M = 1 by normalization.
+        assert!((t.average_sample_power() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-normalized")]
+    fn unnormalized_filter_rejected() {
+        let filt = IsiFilter::new(vec![2.0; 5], 5);
+        ChannelTrellis::new(&AskModulation::four_ask(), &filt);
+    }
+}

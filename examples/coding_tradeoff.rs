@@ -1,0 +1,49 @@
+//! Latency/performance trade-off of LDPC convolutional codes (§V).
+//!
+//! For a link latency budget, sweeps the decoder window size (the knob the
+//! paper highlights: adjustable at the decoder without changing the
+//! encoder) and reports structural latency and simulated BER at a fixed
+//! Eb/N0.
+//!
+//! Run with: `cargo run --release --example coding_tradeoff`
+
+use wireless_interconnect::ldpc::ber::{simulate_cc_ber, BerSimOptions};
+use wireless_interconnect::ldpc::window::{CoupledCode, WindowDecoder};
+
+fn main() {
+    let lifting = 25;
+    let code = CoupledCode::paper_cc(lifting, 20, 42);
+    let ebn0_db = 3.5;
+    let opts = BerSimOptions {
+        target_errors: 50,
+        max_frames: 60,
+        min_frames: 20,
+        seed: 7,
+    };
+
+    println!("(4,8)-regular LDPC-CC, N = {lifting}, L = 20, Eb/N0 = {ebn0_db} dB");
+    println!("window  latency/info bits  BER");
+    for w in 3..=8 {
+        let decoder = WindowDecoder::new(w, 50);
+        let est = simulate_cc_ber(&code, &decoder, ebn0_db, &opts);
+        println!(
+            "  W={w}        {:6.0}        {:.2e}  ({} frames)",
+            code.window_latency_bits(w),
+            est.ber,
+            est.frames
+        );
+    }
+    println!("\nthe encoder never changes: a latency-constrained application can");
+    println!("shrink W (lower latency, higher BER) or grow it (the reverse) at runtime.");
+
+    // Latency budget example: pick the largest W within 150 info bits.
+    let budget_bits = 150.0;
+    let best_w = (3..=8)
+        .filter(|&w| code.window_latency_bits(w) <= budget_bits)
+        .max()
+        .expect("some window fits");
+    println!(
+        "\nfor a {budget_bits:.0}-info-bit structural latency budget, choose W = {best_w} ({:.0} bits).",
+        code.window_latency_bits(best_w)
+    );
+}

@@ -1,0 +1,63 @@
+//! NoC design-space exploration for a chip stack (§IV).
+//!
+//! Compares candidate topologies for a 64-core and a 512-core stack with
+//! the analytic queueing model, cross-validating one point against the
+//! discrete-event simulator — the workflow ref \[14\] was built for.
+//!
+//! Run with: `cargo run --release --example noc_design_space`
+
+use wireless_interconnect::noc::analytic::{AnalyticModel, RouterParams};
+use wireless_interconnect::noc::des::{simulate, DesConfig};
+use wireless_interconnect::noc::topology::Topology;
+
+fn main() {
+    let params = RouterParams::default();
+
+    println!("64-core stack candidates:");
+    let candidates64 = [
+        ("8x8 2D mesh", Topology::mesh2d(8, 8)),
+        ("4x4 star-mesh c=4", Topology::star_mesh(4, 4, 4)),
+        ("4x4x4 3D mesh", Topology::mesh3d(4, 4, 4)),
+        ("4x4x2 ciliated c=2", Topology::ciliated_mesh3d(4, 4, 2, 2)),
+    ];
+    explore(&candidates64, params);
+
+    println!("\n512-core stack candidates:");
+    let candidates512 = [
+        ("32x16 2D mesh", Topology::mesh2d(32, 16)),
+        ("8x8 star-mesh c=8", Topology::star_mesh(8, 8, 8)),
+        ("8x8x8 3D mesh", Topology::mesh3d(8, 8, 8)),
+    ];
+    explore(&candidates512, params);
+
+    // Cross-validate the analytic winner with the DES.
+    let topo = Topology::mesh3d(4, 4, 4);
+    let model = AnalyticModel::new(&topo, params);
+    let rate = 0.2;
+    let analytic = model.mean_latency(rate).expect("below saturation");
+    let des = simulate(
+        &topo,
+        &DesConfig {
+            injection_rate: rate,
+            measured_packets: 30_000,
+            ..DesConfig::default()
+        },
+    );
+    println!(
+        "\nDES cross-check, 4x4x4 3D mesh @ {rate} flits/cycle/module:\n  analytic {analytic:.2} cycles vs DES {:.2} +/- {:.2} cycles",
+        des.mean_latency,
+        2.0 * des.stderr
+    );
+}
+
+fn explore(candidates: &[(&str, Topology)], params: RouterParams) {
+    for (name, topo) in candidates {
+        let model = AnalyticModel::new(topo, params);
+        println!(
+            "  {name:20} zero-load {:5.1} cy, saturation {:5.2} fl/cy/mod, mean hops {:4.2}",
+            model.zero_load_latency(),
+            model.saturation_rate(),
+            model.mean_hops()
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Designing a 1-bit oversampled receiver (§III).
+//!
+//! Shows why plain 4-ASK cannot be sign-detected, designs an ISI filter
+//! that makes it uniquely detectable, and compares achievable information
+//! rates across SNR.
+//!
+//! Run with: `cargo run --release --example onebit_receiver`
+
+use wireless_interconnect::quantrx::design::{design_suboptimal, DesignOptions};
+use wireless_interconnect::quantrx::filter::IsiFilter;
+use wireless_interconnect::quantrx::info_rate::{
+    sequence_information_rate, snr_db_to_sigma, symbolwise_information_rate,
+    SequenceRateOptions,
+};
+use wireless_interconnect::quantrx::modulation::AskModulation;
+use wireless_interconnect::quantrx::presets;
+use wireless_interconnect::quantrx::trellis::ChannelTrellis;
+use wireless_interconnect::quantrx::unique::{detection_margin, unique_detection};
+
+fn main() {
+    let modu = AskModulation::four_ask();
+
+    // 1. A rectangular pulse cannot carry 4-ASK through a 1-bit sampler.
+    let rect = ChannelTrellis::new(&modu, &IsiFilter::rectangular(5));
+    println!(
+        "rectangular pulse uniquely detectable: {}",
+        unique_detection(&rect).is_unique()
+    );
+
+    // 2. Design ISI that encodes amplitude in sign-transition positions.
+    let design = design_suboptimal(
+        &modu,
+        &DesignOptions {
+            max_evals: 600,
+            ..DesignOptions::default()
+        },
+    );
+    let designed = ChannelTrellis::new(&modu, &design.filter);
+    println!(
+        "designed filter uniquely detectable: {} (margin {:.3})",
+        unique_detection(&designed).is_unique(),
+        detection_margin(&designed)
+    );
+
+    // 3. Information rates with the shipped sequence-optimal preset.
+    let seq_trellis = ChannelTrellis::new(&modu, &presets::sequence_filter());
+    let mc = SequenceRateOptions {
+        num_symbols: 30_000,
+        seed: 1,
+    };
+    println!("\nSNR/dB  sequence  symbolwise  (bits per channel use)");
+    for snr in [0.0, 10.0, 20.0, 25.0, 30.0] {
+        let sigma = snr_db_to_sigma(snr);
+        println!(
+            "  {snr:4.0}    {:.3}      {:.3}",
+            sequence_information_rate(&seq_trellis, sigma, mc),
+            symbolwise_information_rate(&seq_trellis, sigma)
+        );
+    }
+    println!("\nat 25 dB the designed-ISI sequence receiver carries ~2 bpcu — the");
+    println!("spectral efficiency the paper's 100 Gbit/s (dual-pol, 25 GHz) link needs.");
+}

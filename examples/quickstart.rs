@@ -1,0 +1,56 @@
+//! Quickstart: evaluate the paper's reference system end to end.
+//!
+//! Builds the default multi-board box (4 boards at 50 mm, 3×3 chip stacks
+//! of 64 cores, 232.5 GHz links with 1-bit receivers, LDPC-CC coding) and
+//! prints the system report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use wireless_interconnect::system::config::SystemConfig;
+use wireless_interconnect::system::eval::evaluate;
+
+fn main() {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.link.tx_power_dbm = 10.0; // Fig. 4 mid-range operating point
+
+    let report = evaluate(&cfg);
+
+    println!("wireless interconnect system — paper reference configuration");
+    println!("-------------------------------------------------------------");
+    println!("boards: {} at {:.0} mm spacing", cfg.boards, cfg.board_spacing_m * 1e3);
+    println!(
+        "stacks per board: {} ({} cores each) -> {} cores total",
+        cfg.board.stacks(),
+        cfg.stack.cores(),
+        report.total_cores
+    );
+    println!();
+    for link in &report.links {
+        println!(
+            "{:9} link: {:5.0} mm, pathloss {:5.1} dB, SNR {:5.1} dB, {:.2} bpcu -> {:6.1} Gbit/s",
+            link.name,
+            link.distance_m * 1e3,
+            link.pathloss_db,
+            link.snr_db,
+            link.spectral_efficiency,
+            link.rate_gbps
+        );
+    }
+    println!();
+    println!(
+        "aggregate cross-board bandwidth: {:.0} Gbit/s (backplane offload)",
+        report.aggregate_cross_board_gbps
+    );
+    println!(
+        "intra-stack NoC: {:.1} cycles zero-load, saturates at {:.2} flits/cycle/module",
+        report.noc_zero_load_cycles, report.noc_saturation_rate
+    );
+    println!(
+        "coding: {:.0} information bits structural latency (W = {}, N = {})",
+        report.coding_latency_bits, cfg.coding.window, cfg.coding.lifting
+    );
+    println!(
+        "end-to-end one-way latency estimate: {:.1} ns",
+        report.end_to_end_latency_ns
+    );
+}

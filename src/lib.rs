@@ -1,0 +1,44 @@
+//! `wireless-interconnect` — a Rust reproduction of *"Wireless Interconnect
+//! for Board and Chip Level"* (Fettweis, ul Hassan, Landau, Fischer;
+//! DATE 2013).
+//!
+//! The paper proposes building the communications infrastructure of future
+//! electronics — board-to-board and within 3D chip stacks — from wireless
+//! links: beam-steered antenna arrays above 200 GHz between boards, 3D
+//! Network-in-Chip-Stack fabrics inside packages, 1-bit oversampled
+//! receivers for energy-efficient 100 Gbit/s links, and LDPC convolutional
+//! codes for latency-flexible error correction.
+//!
+//! This façade crate re-exports the workspace:
+//!
+//! | Crate | Paper section | Contents |
+//! |---|---|---|
+//! | [`channel`] | §II | pathloss model, ray tracer, synthetic VNA |
+//! | [`linkbudget`] | §II.B | Table I ledger, Fig. 4 sweeps |
+//! | [`quantrx`] | §III | 1-bit oversampling receiver, ISI design, info rates |
+//! | [`noc`] | §IV | topologies, queueing model, DES |
+//! | [`ldpc`] | §V | LDPC-CC, window decoder, BER harness |
+//! | [`system`] | all | end-to-end system evaluation |
+//! | [`num`] | — | shared numerics |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wireless_interconnect::system::config::{ReceiverModel, SystemConfig};
+//! use wireless_interconnect::system::eval::evaluate;
+//!
+//! let mut cfg = SystemConfig::paper_default();
+//! cfg.link.receiver = ReceiverModel::OneBitSymbolwise;
+//! cfg.link.tx_power_dbm = 10.0;
+//! let report = evaluate(&cfg);
+//! println!("{} cores, {:.0} Gbit/s cross-board", report.total_cores,
+//!          report.aggregate_cross_board_gbps);
+//! ```
+
+pub use wi_channel as channel;
+pub use wi_ldpc as ldpc;
+pub use wi_linkbudget as linkbudget;
+pub use wi_noc as noc;
+pub use wi_num as num;
+pub use wi_quantrx as quantrx;
+pub use wi_system as system;

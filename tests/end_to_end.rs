@@ -1,0 +1,94 @@
+//! Cross-crate integration tests: the system evaluator must agree with a
+//! manual composition of the substrate crates.
+
+use wireless_interconnect::channel::pathloss::PathlossModel;
+use wireless_interconnect::linkbudget::budget::LinkBudget;
+use wireless_interconnect::linkbudget::datarate::{modulated_rate_bps, Polarization};
+use wireless_interconnect::noc::analytic::{AnalyticModel, RouterParams};
+use wireless_interconnect::system::config::{ReceiverModel, SystemConfig};
+use wireless_interconnect::system::eval::{evaluate, spectral_efficiency};
+
+fn fast_config() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.link.receiver = ReceiverModel::OneBitSymbolwise;
+    cfg.link.tx_power_dbm = 10.0;
+    cfg
+}
+
+#[test]
+fn ahead_link_matches_manual_budget_composition() {
+    let cfg = fast_config();
+    let report = evaluate(&cfg);
+    let ahead = &report.links[0];
+
+    // Manual composition: pathloss model -> budget -> SNR -> SE -> rate.
+    let model = PathlossModel::free_space(cfg.link.carrier_hz);
+    let mut budget = LinkBudget::from_model(&model, cfg.board_spacing_m);
+    budget.bandwidth_hz = cfg.link.bandwidth_hz;
+    let snr = budget.snr_db_at(cfg.link.tx_power_dbm);
+    assert!((ahead.snr_db - snr).abs() < 1e-9, "{} vs {snr}", ahead.snr_db);
+    assert!((ahead.pathloss_db - model.pathloss_db(cfg.board_spacing_m)).abs() < 1e-9);
+
+    let se = spectral_efficiency(ReceiverModel::OneBitSymbolwise, snr);
+    assert!((ahead.spectral_efficiency - se).abs() < 1e-9);
+    let rate = modulated_rate_bps(cfg.link.bandwidth_hz, se, Polarization::Dual) / 1e9;
+    assert!((ahead.rate_gbps - rate).abs() < 1e-9);
+}
+
+#[test]
+fn noc_numbers_match_the_analytic_model() {
+    let cfg = fast_config();
+    let report = evaluate(&cfg);
+    let topo = cfg.stack.topology();
+    let model = AnalyticModel::new(&topo, RouterParams::default());
+    assert!((report.noc_zero_load_cycles - model.zero_load_latency()).abs() < 1e-9);
+    assert!((report.noc_saturation_rate - model.saturation_rate()).abs() < 1e-9);
+}
+
+#[test]
+fn coding_latency_matches_eq4_through_the_stack() {
+    use wireless_interconnect::ldpc::window::CoupledCode;
+    let cfg = fast_config();
+    let report = evaluate(&cfg);
+    let code = CoupledCode::paper_cc(cfg.coding.lifting, 20, 0);
+    assert!(
+        (report.coding_latency_bits - code.window_latency_bits(cfg.coding.window)).abs() < 1e-9
+    );
+}
+
+#[test]
+fn butler_matrix_only_degrades_the_worst_link() {
+    let mut cfg = fast_config();
+    cfg.link.beamforming =
+        wireless_interconnect::linkbudget::budget::Beamforming::paper_butler();
+    let with_butler = evaluate(&cfg);
+    cfg.link.beamforming = wireless_interconnect::linkbudget::budget::Beamforming::Beamsteering;
+    let without = evaluate(&cfg);
+    // Ahead link unchanged; diagonal loses exactly 5 dB of SNR.
+    assert!((with_butler.links[0].snr_db - without.links[0].snr_db).abs() < 1e-9);
+    assert!((without.links[1].snr_db - with_butler.links[1].snr_db - 5.0).abs() < 1e-9);
+}
+
+#[test]
+fn bigger_stack_slows_the_noc_but_scales_cores() {
+    let mut small = fast_config();
+    small.stack = wireless_interconnect::system::config::StackConfig::paper_64();
+    let mut large = fast_config();
+    large.stack = wireless_interconnect::system::config::StackConfig::paper_512();
+    let rs = evaluate(&small);
+    let rl = evaluate(&large);
+    assert_eq!(rl.total_cores, 8 * rs.total_cores);
+    assert!(rl.noc_zero_load_cycles > rs.noc_zero_load_cycles);
+}
+
+#[test]
+fn shannon_receiver_upper_bounds_one_bit_system() {
+    let mut one_bit = fast_config();
+    one_bit.link.receiver = ReceiverModel::OneBitSymbolwise;
+    let mut shannon = fast_config();
+    shannon.link.receiver = ReceiverModel::Shannon;
+    let r1 = evaluate(&one_bit);
+    let rs = evaluate(&shannon);
+    assert!(rs.links[0].rate_gbps >= r1.links[0].rate_gbps);
+    assert!(rs.aggregate_cross_board_gbps >= r1.aggregate_cross_board_gbps);
+}

@@ -1,0 +1,143 @@
+//! Smoke tests for the paper's headline quantitative claims, one per
+//! exhibit. These are the cheap versions of what the `wi-bench` runners
+//! print in full.
+
+use wireless_interconnect::channel::geometry::BoardLink;
+use wireless_interconnect::channel::measurement::{free_space_sweep, impulse_comparison};
+use wireless_interconnect::channel::pathloss::PathlossModel;
+use wireless_interconnect::channel::rays::TwoBoardScene;
+use wireless_interconnect::channel::vna::SyntheticVna;
+use wireless_interconnect::ldpc::window::{block_latency_bits, CoupledCode};
+use wireless_interconnect::linkbudget::budget::LinkBudget;
+use wireless_interconnect::noc::analytic::{AnalyticModel, RouterParams};
+use wireless_interconnect::noc::topology::Topology;
+use wireless_interconnect::quantrx::info_rate::{
+    no_oversampling_rate, snr_db_to_sigma, symbolwise_information_rate,
+    unquantized_ask_capacity,
+};
+use wireless_interconnect::quantrx::modulation::AskModulation;
+use wireless_interconnect::quantrx::presets;
+use wireless_interconnect::quantrx::trellis::ChannelTrellis;
+use wi_num::window::WindowKind;
+
+#[test]
+fn fig1_free_space_exponent_near_two() {
+    let vna = SyntheticVna::paper_default();
+    let distances: Vec<f64> = (2..=20).map(|i| 0.01 * i as f64).collect();
+    let sweep = free_space_sweep(&vna, &distances);
+    assert!((sweep.fit.exponent - 2.0).abs() < 0.05, "n = {}", sweep.fit.exponent);
+}
+
+#[test]
+fn fig2_fig3_reflections_at_least_15db_down() {
+    let vna = SyntheticVna::paper_default();
+    for d in [0.05, 0.150] {
+        let cmp = impulse_comparison(&vna, d, 2e-9);
+        for ir in [&cmp.free_space, &cmp.copper_boards] {
+            let rel = ir.strongest_echo_rel_db(80e-12).expect("echo exists");
+            assert!(rel <= -15.0, "d={d}: echo {rel:.1} dB");
+        }
+    }
+}
+
+#[test]
+fn table1_pathloss_anchors() {
+    let m = PathlossModel::paper_free_space();
+    assert!((m.pathloss_db(0.1) - 59.8).abs() < 0.1);
+    assert!((m.pathloss_db(0.3) - 69.3).abs() < 0.1);
+}
+
+#[test]
+fn fig4_offsets_hold_across_the_sweep() {
+    let s = LinkBudget::paper_shortest_link();
+    let b = LinkBudget::paper_longest_link_butler();
+    for snr in [0.0, 17.5, 35.0] {
+        let delta = b.required_tx_power_dbm(snr) - s.required_tx_power_dbm(snr);
+        assert!((delta - 14.5).abs() < 1e-9, "delta {delta}"); // 9.5 dB PL + 5 dB Butler
+    }
+}
+
+#[test]
+fn fig5_shipped_filters_have_paper_structure() {
+    // Span 2 symbols, 5x oversampling, normalized.
+    for f in [
+        presets::symbolwise_filter(),
+        presets::sequence_filter(),
+        presets::suboptimal_filter(),
+    ] {
+        assert_eq!(f.span_symbols(), 2);
+        assert_eq!(f.oversampling(), 5);
+        assert!(f.is_normalized());
+    }
+}
+
+#[test]
+fn fig6_orderings_at_design_snr() {
+    let modu = AskModulation::four_ask();
+    let sigma = snr_db_to_sigma(25.0);
+    let rect = symbolwise_information_rate(
+        &ChannelTrellis::new(&modu, &presets::rect_filter()),
+        sigma,
+    );
+    let designed = symbolwise_information_rate(
+        &ChannelTrellis::new(&modu, &presets::symbolwise_filter()),
+        sigma,
+    );
+    let no_os = no_oversampling_rate(&modu, sigma);
+    let unq = unquantized_ask_capacity(&modu, sigma);
+    assert!(designed > rect, "designed {designed} vs rect {rect}");
+    assert!(rect > no_os, "rect {rect} vs no-OS {no_os}");
+    assert!((unq - 2.0).abs() < 0.01, "unquantized {unq}");
+    assert!(designed > 1.4, "designed {designed}");
+}
+
+#[test]
+fn fig8a_latency_and_saturation_shape() {
+    let params = RouterParams::default();
+    let mesh = AnalyticModel::new(&Topology::mesh2d(8, 8), params).zero_load_latency();
+    let star = AnalyticModel::new(&Topology::star_mesh(4, 4, 4), params).zero_load_latency();
+    let cube = AnalyticModel::new(&Topology::mesh3d(4, 4, 4), params).zero_load_latency();
+    // Paper: 13 / 7 / 10 cycles.
+    assert!((mesh - 13.0).abs() < 1.0 && (star - 7.0).abs() < 1.0 && (cube - 10.0).abs() < 1.0);
+    let sat2d = AnalyticModel::new(&Topology::mesh2d(8, 8), params).saturation_rate();
+    let sat_star = AnalyticModel::new(&Topology::star_mesh(4, 4, 4), params).saturation_rate();
+    let sat3d = AnalyticModel::new(&Topology::mesh3d(4, 4, 4), params).saturation_rate();
+    assert!(sat_star < sat2d && sat2d < sat3d);
+}
+
+#[test]
+fn fig8b_gap_widens() {
+    let params = RouterParams::default();
+    let gap = |t2: Topology, t3: Topology| {
+        AnalyticModel::new(&t2, params).zero_load_latency()
+            - AnalyticModel::new(&t3, params).zero_load_latency()
+    };
+    let g64 = gap(Topology::mesh2d(8, 8), Topology::mesh3d(4, 4, 4));
+    let g512 = gap(Topology::mesh2d(32, 16), Topology::mesh3d(8, 8, 8));
+    assert!(g512 > 2.0 * g64, "{g64} -> {g512}");
+}
+
+#[test]
+fn fig10_structural_latency_anchor() {
+    // The paper's worked example: LDPC-CC at 200 info bits vs LDPC-BC at
+    // 400 info bits (Eqs. 4 and 5).
+    let code = CoupledCode::paper_cc(40, 30, 0);
+    assert_eq!(code.window_latency_bits(5), 200.0);
+    assert_eq!(block_latency_bits(400, 2, 0.5), 400.0);
+}
+
+#[test]
+fn conclusion_channel_is_static_and_flat() {
+    // §VI: "the channel can be assumed to be static and largely frequency
+    // flat" — the band-edge to band-centre |H| spread of the LOS-dominated
+    // channel stays within a few dB.
+    let scene = TwoBoardScene::copper_boards(BoardLink::ahead(0.05, 0.01));
+    let ch = scene.trace();
+    let vna = SyntheticVna::paper_default();
+    let resp = vna.measure(&ch);
+    let mags: Vec<f64> = resp.s21.iter().map(|z| 20.0 * z.norm().log10()).collect();
+    let max = mags.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = mags.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(max - min < 6.0, "ripple {:.1} dB", max - min);
+    let _ = WindowKind::Hann; // window kinds exercised in the Fig. 2 test
+}

@@ -1,0 +1,160 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use proptest::prelude::*;
+use wireless_interconnect::channel::pathloss::{fit_pathloss_exponent, PathlossModel};
+use wireless_interconnect::ldpc::code::{Encoder, LdpcCode};
+use wireless_interconnect::linkbudget::budget::LinkBudget;
+use wireless_interconnect::noc::analytic::{AnalyticModel, RouterParams};
+use wireless_interconnect::noc::routing::route;
+use wireless_interconnect::noc::topology::Topology;
+use wireless_interconnect::quantrx::filter::IsiFilter;
+use wireless_interconnect::quantrx::info_rate::{
+    snr_db_to_sigma, symbolwise_information_rate,
+};
+use wireless_interconnect::quantrx::modulation::AskModulation;
+use wireless_interconnect::quantrx::trellis::ChannelTrellis;
+use wi_num::fft::{dft, Direction};
+use wi_num::rng::seeded_rng;
+use wi_num::Complex64;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pathloss_is_monotone_in_distance(
+        exponent in 1.5f64..3.0,
+        d1 in 0.01f64..0.5,
+        delta in 0.001f64..0.5,
+    ) {
+        let m = PathlossModel::with_exponent(232.5e9, exponent);
+        prop_assert!(m.pathloss_db(d1 + delta) > m.pathloss_db(d1));
+    }
+
+    #[test]
+    fn pathloss_fit_inverts_the_model(
+        exponent in 1.5f64..3.0,
+        n_points in 5usize..20,
+    ) {
+        let m = PathlossModel::with_exponent(232.5e9, exponent);
+        let samples: Vec<(f64, f64)> = (1..=n_points)
+            .map(|i| {
+                let d = 0.02 * i as f64;
+                (d, m.pathloss_db(d))
+            })
+            .collect();
+        let fit = fit_pathloss_exponent(&samples);
+        prop_assert!((fit.exponent - exponent).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_budget_round_trips(
+        pathloss in 40.0f64..90.0,
+        snr in -10.0f64..40.0,
+    ) {
+        let budget = LinkBudget::paper_defaults(pathloss);
+        let p = budget.required_tx_power_dbm(snr);
+        prop_assert!((budget.snr_db_at(p) - snr).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fft_round_trip_random_signals(
+        seed in 0u64..1000,
+        log_n in 3u32..9,
+    ) {
+        use rand::Rng;
+        let n = 1usize << log_n;
+        let mut rng = seeded_rng(seed);
+        let x: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect();
+        let back = dft(&dft(&x, Direction::Forward), Direction::Inverse);
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn routes_are_minimal_on_random_meshes(
+        nx in 2usize..6,
+        ny in 2usize..6,
+        nz in 1usize..4,
+        pair in 0usize..1000,
+    ) {
+        let topo = Topology::mesh3d(nx, ny, nz);
+        let n = topo.num_modules();
+        let s = pair % n;
+        let d = (pair / 7) % n;
+        let p = route(&topo, s, d);
+        prop_assert_eq!(
+            p.hops(),
+            topo.router_distance(topo.router_of(s), topo.router_of(d))
+        );
+        // Path is a contiguous chain.
+        for (i, &l) in p.links.iter().enumerate() {
+            let link = topo.links()[l];
+            prop_assert_eq!(link.src, p.routers[i]);
+            prop_assert_eq!(link.dst, p.routers[i + 1]);
+        }
+    }
+
+    #[test]
+    fn analytic_latency_monotone_in_load(
+        nx in 2usize..5,
+        ny in 2usize..5,
+    ) {
+        let topo = Topology::mesh2d(nx, ny);
+        let model = AnalyticModel::new(&topo, RouterParams::default());
+        let sat = model.saturation_rate();
+        let l1 = model.mean_latency(0.2 * sat).unwrap();
+        let l2 = model.mean_latency(0.6 * sat).unwrap();
+        let l3 = model.mean_latency(0.9 * sat).unwrap();
+        prop_assert!(l1 < l2 && l2 < l3);
+    }
+
+    #[test]
+    fn encoded_words_satisfy_all_checks(
+        lifting in 8usize..30,
+        seed in 0u64..500,
+    ) {
+        let code = LdpcCode::paper_block(lifting, seed);
+        let enc = Encoder::new(&code);
+        let mut rng = seeded_rng(seed.wrapping_add(1));
+        let cw = code.random_codeword(&enc, &mut rng);
+        prop_assert!(code.is_codeword(&cw));
+    }
+
+    #[test]
+    fn label_probabilities_normalize_for_random_filters(
+        seed in 0u64..200,
+        snr in -5.0f64..30.0,
+    ) {
+        use rand::Rng;
+        let mut rng = seeded_rng(seed);
+        let taps: Vec<f64> = (0..10).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+        prop_assume!(taps.iter().any(|t| t.abs() > 1e-3));
+        let filter = IsiFilter::new(taps, 5).normalized();
+        let trellis = ChannelTrellis::new(&AskModulation::four_ask(), &filter);
+        let table = trellis.log_prob_table(snr_db_to_sigma(snr));
+        for state in 0..trellis.num_states() {
+            let total: f64 = (0..trellis.num_outputs() as u32)
+                .map(|y| table.label_prob(state, 0, y))
+                .sum();
+            prop_assert!((total - 1.0).abs() < 1e-6, "state {} sum {}", state, total);
+        }
+    }
+
+    #[test]
+    fn information_rates_bounded_for_random_filters(
+        seed in 0u64..200,
+        snr in -5.0f64..35.0,
+    ) {
+        use rand::Rng;
+        let mut rng = seeded_rng(seed);
+        let taps: Vec<f64> = (0..10).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+        prop_assume!(taps.iter().any(|t| t.abs() > 1e-3));
+        let filter = IsiFilter::new(taps, 5).normalized();
+        let trellis = ChannelTrellis::new(&AskModulation::four_ask(), &filter);
+        let r = symbolwise_information_rate(&trellis, snr_db_to_sigma(snr));
+        prop_assert!((0.0..=2.0 + 1e-9).contains(&r), "rate {}", r);
+    }
+}

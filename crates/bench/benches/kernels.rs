@@ -7,9 +7,11 @@ use std::hint::black_box;
 use wi_channel::geometry::BoardLink;
 use wi_channel::rays::TwoBoardScene;
 use wi_channel::vna::SyntheticVna;
-use wi_ldpc::ber::ebn0_db_to_sigma;
-use wi_ldpc::decoder::{awgn_llrs, BpConfig, BpDecoder};
-use wi_ldpc::window::{CoupledCode, WindowDecoder};
+use wi_ldpc::ber::{
+    ebn0_db_to_sigma, simulate_bc_ber_serial, simulate_bc_ber_with_threads, BerSimOptions,
+};
+use wi_ldpc::decoder::{awgn_llrs, reference, BpConfig, BpDecoder, CheckRule, DecoderWorkspace};
+use wi_ldpc::window::{CoupledCode, WindowDecoder, WindowWorkspace};
 use wi_ldpc::LdpcCode;
 use wi_noc::analytic::{AnalyticModel, RouterParams};
 use wi_noc::des::{simulate, DesConfig};
@@ -19,17 +21,14 @@ use wi_num::rng::{seeded_rng, Gaussian};
 use wi_num::window::WindowKind;
 use wi_num::Complex64;
 use wi_quantrx::info_rate::{
-    sequence_information_rate, snr_db_to_sigma, symbolwise_information_rate,
-    SequenceRateOptions,
+    sequence_information_rate, snr_db_to_sigma, symbolwise_information_rate, SequenceRateOptions,
 };
 use wi_quantrx::modulation::AskModulation;
 use wi_quantrx::presets;
 use wi_quantrx::trellis::ChannelTrellis;
 
 fn bench_fft(c: &mut Criterion) {
-    let x: Vec<Complex64> = (0..4096)
-        .map(|k| Complex64::cis(k as f64 * 0.01))
-        .collect();
+    let x: Vec<Complex64> = (0..4096).map(|k| Complex64::cis(k as f64 * 0.01)).collect();
     c.bench_function("fft_4096", |b| {
         b.iter(|| dft(black_box(&x), Direction::Forward))
     });
@@ -39,7 +38,9 @@ fn bench_vna(c: &mut Criterion) {
     let scene = TwoBoardScene::copper_boards(BoardLink::ahead(0.05, 0.01));
     let channel = scene.trace();
     let vna = SyntheticVna::paper_default();
-    c.bench_function("vna_sweep_4096", |b| b.iter(|| vna.measure(black_box(&channel))));
+    c.bench_function("vna_sweep_4096", |b| {
+        b.iter(|| vna.measure(black_box(&channel)))
+    });
     let resp = vna.measure(&channel);
     c.bench_function("vna_impulse_response", |b| {
         b.iter(|| resp.impulse_response(WindowKind::Hann))
@@ -95,8 +96,31 @@ fn bench_ldpc(c: &mut Criterion) {
         .map(|_| 1.0 + gauss.sample_with(&mut rng, 0.0, sigma))
         .collect();
     let llr = awgn_llrs(&rx, sigma);
+
+    // The flat CSR engine (fresh workspace per call) vs the retained naive
+    // reference vs a reused workspace — the speedup the engine exists for.
     let decoder = BpDecoder::new(&code, BpConfig::default());
-    c.bench_function("bp_decode_n200", |b| b.iter(|| decoder.decode(black_box(&llr))));
+    c.bench_function("bp_decode_n200", |b| {
+        b.iter(|| decoder.decode(black_box(&llr)))
+    });
+    c.bench_function("bp_decode_naive_n200", |b| {
+        b.iter(|| reference::decode(&code, BpConfig::default(), black_box(&llr)))
+    });
+    let mut ws = DecoderWorkspace::new(&code);
+    c.bench_function("bp_decode_workspace_n200", |b| {
+        b.iter(|| decoder.decode_in_place(&mut ws, black_box(&llr)))
+    });
+    let minsum_config = BpConfig {
+        check_rule: CheckRule::min_sum(),
+        ..BpConfig::default()
+    };
+    let minsum = BpDecoder::new(&code, minsum_config);
+    c.bench_function("bp_decode_minsum_n200", |b| {
+        b.iter(|| minsum.decode_in_place(&mut ws, black_box(&llr)))
+    });
+    c.bench_function("bp_decode_naive_minsum_n200", |b| {
+        b.iter(|| reference::decode(&code, minsum_config, black_box(&llr)))
+    });
 
     let cc = CoupledCode::paper_cc(25, 10, 2);
     let rx_cc: Vec<f64> = (0..cc.code().len())
@@ -107,11 +131,43 @@ fn bench_ldpc(c: &mut Criterion) {
     c.bench_function("window_decode_n25_l10", |b| {
         b.iter(|| wd.decode(black_box(&cc), black_box(&llr_cc)))
     });
+    let mut wws = WindowWorkspace::new(cc.code());
+    c.bench_function("window_decode_workspace_n25_l10", |b| {
+        b.iter(|| wd.decode_in_place(&mut wws, black_box(&cc), black_box(&llr_cc)))
+    });
+}
+
+fn bench_ber(c: &mut Criterion) {
+    // Serial vs parallel Monte-Carlo BER at a fixed frame budget (the
+    // results are bit-identical; only wall clock differs).
+    let code = LdpcCode::paper_block(50, 21);
+    let opts = BerSimOptions {
+        target_errors: u64::MAX,
+        max_frames: 24,
+        min_frames: 24,
+        seed: 0xBE5,
+    };
+    c.bench_function("ber_bc_n100_24f_serial", |b| {
+        b.iter(|| simulate_bc_ber_serial(&code, BpConfig::default(), 2.5, 0.5, black_box(&opts)))
+    });
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    c.bench_function("ber_bc_n100_24f_parallel", |b| {
+        b.iter(|| {
+            simulate_bc_ber_with_threads(
+                &code,
+                BpConfig::default(),
+                2.5,
+                0.5,
+                black_box(&opts),
+                threads,
+            )
+        })
+    });
 }
 
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_fft, bench_vna, bench_info_rate, bench_noc, bench_ldpc
+    targets = bench_fft, bench_vna, bench_info_rate, bench_noc, bench_ldpc, bench_ber
 }
 criterion_main!(kernels);

@@ -32,7 +32,13 @@ fn main() {
         .collect();
     print_table(
         "ablation — concentration at 64 modules",
-        &["topology", "zero-load lat/cyc", "saturation", "max radix", "bisection"],
+        &[
+            "topology",
+            "zero-load lat/cyc",
+            "saturation",
+            "max radix",
+            "bisection",
+        ],
         &rows,
     );
     println!("\nshape: concentration lowers zero-load latency but collapses saturation");

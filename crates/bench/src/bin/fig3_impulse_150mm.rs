@@ -12,7 +12,10 @@ fn main() {
     let vna = SyntheticVna::paper_default();
     let cmp = impulse_comparison(&vna, 0.150, 2.0e-9);
 
-    for (name, ir) in [("freespace", &cmp.free_space), ("parallel copper boards (diagonal)", &cmp.copper_boards)] {
+    for (name, ir) in [
+        ("freespace", &cmp.free_space),
+        ("parallel copper boards (diagonal)", &cmp.copper_boards),
+    ] {
         let (t0, p0) = ir.peak();
         let peaks = ir.peaks(p0 - 45.0);
         let rows: Vec<Vec<String>> = peaks
@@ -24,7 +27,9 @@ fn main() {
             &["tau/ns", "level/dB", "rel. LOS/dB"],
             &rows,
         );
-        let echo = ir.strongest_echo_rel_db(80e-12).unwrap_or(f64::NEG_INFINITY);
+        let echo = ir
+            .strongest_echo_rel_db(80e-12)
+            .unwrap_or(f64::NEG_INFINITY);
         println!(
             "strongest echo: {echo:.1} dB below LOS {}",
             if echo <= -15.0 { "[ok]" } else { "[VIOLATION]" }
@@ -32,6 +37,9 @@ fn main() {
     }
     // The board trace must show more multipath content than free space.
     let fp = cmp.free_space.peaks(cmp.free_space.peak().1 - 40.0).len();
-    let bp = cmp.copper_boards.peaks(cmp.copper_boards.peak().1 - 40.0).len();
+    let bp = cmp
+        .copper_boards
+        .peaks(cmp.copper_boards.peak().1 - 40.0)
+        .len();
     println!("\npeak count within 40 dB: freespace {fp}, boards {bp}");
 }

@@ -35,7 +35,9 @@ fn main() {
         "\nnoise floor (kTB + NF): {:.1} dBm in 25 GHz at 323 K",
         shortest.noise_floor_dbm()
     );
-    println!("curve offsets: +{:.1} dB pathloss delta, +{:.1} dB Butler mismatch",
+    println!(
+        "curve offsets: +{:.1} dB pathloss delta, +{:.1} dB Butler mismatch",
         longest.pathloss_db - shortest.pathloss_db,
-        butler.beamforming.loss_db());
+        butler.beamforming.loss_db()
+    );
 }

@@ -5,7 +5,9 @@
 //! fresh taps alongside their objective values.
 
 use wi_bench::{fmt, has_flag, print_table};
-use wi_quantrx::design::{design_suboptimal, optimize_sequence, optimize_symbolwise, DesignOptions};
+use wi_quantrx::design::{
+    design_suboptimal, optimize_sequence, optimize_symbolwise, DesignOptions,
+};
 use wi_quantrx::filter::IsiFilter;
 use wi_quantrx::modulation::AskModulation;
 use wi_quantrx::presets;
@@ -15,11 +17,20 @@ fn main() {
         let modu = AskModulation::four_ask();
         let opts = DesignOptions::default();
         let a = optimize_symbolwise(&modu, &opts);
-        println!("symbolwise design: {:.4} bpcu at 25 dB ({} evals)", a.objective, a.evals);
+        println!(
+            "symbolwise design: {:.4} bpcu at 25 dB ({} evals)",
+            a.objective, a.evals
+        );
         let b = optimize_sequence(&modu, &opts);
-        println!("sequence design:   {:.4} bpcu at 25 dB ({} evals)", b.objective, b.evals);
+        println!(
+            "sequence design:   {:.4} bpcu at 25 dB ({} evals)",
+            b.objective, b.evals
+        );
         let c = design_suboptimal(&modu, &opts);
-        println!("suboptimal design: margin {:.4} ({} evals)", c.objective, c.evals);
+        println!(
+            "suboptimal design: margin {:.4} ({} evals)",
+            c.objective, c.evals
+        );
         (a.filter, b.filter, c.filter)
     } else {
         (
@@ -32,9 +43,15 @@ fn main() {
 
     let filters = [
         ("(a) rectangular pulse - no ISI", &rect),
-        ("(b) optimal ISI for symbol-by-symbol detection (SNR 25 dB)", &sym),
+        (
+            "(b) optimal ISI for symbol-by-symbol detection (SNR 25 dB)",
+            &sym,
+        ),
         ("(c) optimal ISI for sequence detection (SNR 25 dB)", &seq),
-        ("(d) suboptimal ISI design (noise-free unique detection)", &sub),
+        (
+            "(d) suboptimal ISI design (noise-free unique detection)",
+            &sub,
+        ),
     ];
     for (name, f) in filters {
         let rows: Vec<Vec<String>> = f

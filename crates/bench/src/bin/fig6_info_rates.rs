@@ -6,8 +6,8 @@
 
 use wi_bench::{fmt, has_flag, print_table};
 use wi_quantrx::info_rate::{
-    no_oversampling_rate, sequence_information_rate, snr_db_to_sigma,
-    symbolwise_information_rate, unquantized_ask_capacity, SequenceRateOptions,
+    no_oversampling_rate, sequence_information_rate, snr_db_to_sigma, symbolwise_information_rate,
+    unquantized_ask_capacity, SequenceRateOptions,
 };
 use wi_quantrx::modulation::AskModulation;
 use wi_quantrx::presets;

@@ -52,7 +52,11 @@ fn main() {
 
     if has_flag("--des") {
         println!("\nDES cross-validation (exponential service):");
-        for (name, topo) in [("2D-Mesh", &mesh2d), ("Star-Mesh", &star), ("3D-Mesh", &mesh3d)] {
+        for (name, topo) in [
+            ("2D-Mesh", &mesh2d),
+            ("Star-Mesh", &star),
+            ("3D-Mesh", &mesh3d),
+        ] {
             for rate in [0.05, 0.15] {
                 let des = simulate(
                     topo,

@@ -45,5 +45,7 @@ fn main() {
     let gap64 = m2_64.zero_load_latency() - m3_64.zero_load_latency();
     let gap512 = m2_512.zero_load_latency() - m3_512.zero_load_latency();
     println!("\nlow-load 2D-3D latency gap: {gap64:.1} cycles at 64 modules,");
-    println!("{gap512:.1} cycles at 512 modules — the gap increases significantly (paper's claim).");
+    println!(
+        "{gap512:.1} cycles at 512 modules — the gap increases significantly (paper's claim)."
+    );
 }

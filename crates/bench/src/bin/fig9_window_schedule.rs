@@ -42,6 +42,12 @@ fn main() {
         &rows,
     );
 
-    println!("\nEq. 4: T_WD = W*N*nv*R = {w}*{n}*2*0.5 = {} information bits,", code.window_latency_bits(w));
-    println!("independent of L (here L = {l}); full-BP latency would be L*N*nv*R = {} bits.", l as f64 * n as f64);
+    println!(
+        "\nEq. 4: T_WD = W*N*nv*R = {w}*{n}*2*0.5 = {} information bits,",
+        code.window_latency_bits(w)
+    );
+    println!(
+        "independent of L (here L = {l}); full-BP latency would be L*N*nv*R = {} bits.",
+        l as f64 * n as f64
+    );
 }

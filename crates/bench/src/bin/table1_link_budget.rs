@@ -32,7 +32,11 @@ fn main() {
     );
     rows.insert(
         3,
-        vec!["Path loss exponent".into(), "-".into(), fmt(model.exponent, 0)],
+        vec![
+            "Path loss exponent".into(),
+            "-".into(),
+            fmt(model.exponent, 0),
+        ],
     );
     print_table(
         "Table I — link budget parameters",

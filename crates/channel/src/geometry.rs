@@ -85,7 +85,10 @@ impl BoardLink {
     pub fn diagonal(separation_m: f64, standoff_m: f64, lateral_offset_m: f64) -> Self {
         assert!(separation_m > 0.0, "separation must be positive");
         assert!(standoff_m >= 0.0, "standoff must be non-negative");
-        assert!(lateral_offset_m >= 0.0, "lateral offset must be non-negative");
+        assert!(
+            lateral_offset_m >= 0.0,
+            "lateral offset must be non-negative"
+        );
         assert!(
             2.0 * standoff_m < separation_m,
             "standoffs {standoff_m} m leave no air gap at separation {separation_m} m"

@@ -99,7 +99,10 @@ fn scene_for_distance(d: f64, boards: bool) -> TwoBoardScene {
     if boards {
         let gap = PAPER_BOARD_SEPARATION_M - 2.0 * DEFAULT_STANDOFF_M;
         let link = if d <= gap {
-            BoardLink::ahead(PAPER_BOARD_SEPARATION_M, (PAPER_BOARD_SEPARATION_M - d) / 2.0)
+            BoardLink::ahead(
+                PAPER_BOARD_SEPARATION_M,
+                (PAPER_BOARD_SEPARATION_M - d) / 2.0,
+            )
         } else {
             BoardLink::with_link_distance(PAPER_BOARD_SEPARATION_M, DEFAULT_STANDOFF_M, d)
         };

@@ -90,7 +90,10 @@ impl PathlossModel {
 ///
 /// Panics if `freq_hz` or `d_m` is not positive.
 pub fn friis_pathloss_db(freq_hz: f64, d_m: f64) -> f64 {
-    assert!(freq_hz > 0.0 && d_m > 0.0, "frequency and distance must be positive");
+    assert!(
+        freq_hz > 0.0 && d_m > 0.0,
+        "frequency and distance must be positive"
+    );
     let lambda = wavelength_m(freq_hz);
     20.0 * (4.0 * std::f64::consts::PI * d_m / lambda).log10()
 }
@@ -161,8 +164,16 @@ mod tests {
     fn table_one_values() {
         // Table I: 59.8 dB @ 0.1 m and 69.3 dB @ 0.3 m at 232.5 GHz, n = 2.
         let m = PathlossModel::paper_free_space();
-        assert!((m.pathloss_db(0.1) - 59.8).abs() < 0.1, "{}", m.pathloss_db(0.1));
-        assert!((m.pathloss_db(0.3) - 69.3).abs() < 0.1, "{}", m.pathloss_db(0.3));
+        assert!(
+            (m.pathloss_db(0.1) - 59.8).abs() < 0.1,
+            "{}",
+            m.pathloss_db(0.1)
+        );
+        assert!(
+            (m.pathloss_db(0.3) - 69.3).abs() < 0.1,
+            "{}",
+            m.pathloss_db(0.3)
+        );
     }
 
     #[test]

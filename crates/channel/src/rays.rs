@@ -227,8 +227,7 @@ impl TwoBoardScene {
 
         // Line of sight: aimed horns see boresight gain.
         let los_len = self.link.los_distance();
-        let boresight_gain =
-            self.tx_horn.gain_linear(0.0) * self.rx_horn.gain_linear(0.0);
+        let boresight_gain = self.tx_horn.gain_linear(0.0) * self.rx_horn.gain_linear(0.0);
         rays.push(Ray {
             path_length_m: los_len,
             reflection_amplitude: 1.0,
@@ -247,7 +246,11 @@ impl TwoBoardScene {
                 // order (index 0 = far board B, odd indices = own board A).
                 let mut z_img = rx.z;
                 for i in (0..bounce).rev() {
-                    z_img = if i % 2 == 0 { 2.0 * sep - z_img } else { -z_img };
+                    z_img = if i % 2 == 0 {
+                        2.0 * sep - z_img
+                    } else {
+                        -z_img
+                    };
                 }
                 let dz = z_img - tx.z;
                 debug_assert!(dz > 0.0, "even-bounce image must unfold forward");
@@ -260,8 +263,7 @@ impl TwoBoardScene {
                 rays.push(Ray {
                     path_length_m: len,
                     reflection_amplitude: rho.powi(bounce as i32),
-                    gain_product: self.tx_horn.gain_linear(angle)
-                        * self.rx_horn.gain_linear(angle),
+                    gain_product: self.tx_horn.gain_linear(angle) * self.rx_horn.gain_linear(angle),
                     source: RaySource::BoardReflection { bounces: bounce },
                 });
                 bounce += 2;
@@ -275,7 +277,11 @@ impl TwoBoardScene {
         let off = self.equipment.port_offset_m;
         let echoes = [
             (3.0 * los_len, g_h * g_h, RaySource::HornEcho),
-            (3.0 * los_len + 2.0 * off, g_h * g_p, RaySource::HornPortEcho),
+            (
+                3.0 * los_len + 2.0 * off,
+                g_h * g_p,
+                RaySource::HornPortEcho,
+            ),
             (3.0 * los_len + 4.0 * off, g_p * g_p, RaySource::PortEcho),
         ];
         for (len, refl, source) in echoes {

@@ -105,7 +105,10 @@ impl SyntheticVna {
             freqs.push(f);
             s21.push(channel.transfer_at(f) + noise);
         }
-        FrequencyResponse { freqs_hz: freqs, s21 }
+        FrequencyResponse {
+            freqs_hz: freqs,
+            s21,
+        }
     }
 }
 

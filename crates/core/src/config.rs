@@ -6,6 +6,8 @@
 //! board-to-board links instead of a backplane.
 
 use serde::{Deserialize, Serialize};
+use wi_ldpc::decoder::{BpConfig, CheckRule};
+use wi_ldpc::window::WindowDecoder;
 use wi_linkbudget::budget::Beamforming;
 use wi_linkbudget::datarate::Polarization;
 use wi_noc::topology::Topology;
@@ -147,15 +149,31 @@ pub struct CodingConfig {
     pub lifting: usize,
     /// Window size `W` of the decoder.
     pub window: usize,
+    /// Belief-propagation iterations per window position.
+    pub iterations: usize,
+    /// Check-node update rule: exact sum-product, or the
+    /// hardware-faithful normalized min-sum an on-chip decoder would run.
+    pub check_rule: CheckRule,
 }
 
 impl CodingConfig {
     /// The paper's 3 dB operating point: N = 40, W = 5 → 200 information
-    /// bits of structural latency.
+    /// bits of structural latency, with 50 sum-product iterations.
     pub fn paper_default() -> Self {
         CodingConfig {
             lifting: 40,
             window: 5,
+            iterations: 50,
+            check_rule: CheckRule::SumProduct,
+        }
+    }
+
+    /// The same operating point decoded with normalized min-sum — what a
+    /// hardware implementation on the chip stack would actually run.
+    pub fn hardware_default() -> Self {
+        CodingConfig {
+            check_rule: CheckRule::min_sum(),
+            ..Self::paper_default()
         }
     }
 
@@ -163,6 +181,19 @@ impl CodingConfig {
     /// (Eq. 4 with nv = 2, R = 1/2).
     pub fn structural_latency_bits(&self) -> f64 {
         self.window as f64 * self.lifting as f64 * 2.0 * 0.5
+    }
+
+    /// Block-decoder configuration implied by this coding setup.
+    pub fn bp_config(&self) -> BpConfig {
+        BpConfig {
+            max_iterations: self.iterations,
+            check_rule: self.check_rule,
+        }
+    }
+
+    /// Window decoder implied by this coding setup.
+    pub fn window_decoder(&self) -> WindowDecoder {
+        WindowDecoder::new(self.window, self.iterations).with_rule(self.check_rule)
     }
 }
 
@@ -227,6 +258,12 @@ impl SystemConfig {
         if self.coding.window < 3 {
             problems.push("window must exceed the coupling memory (mcc = 2)".into());
         }
+        if self.coding.iterations == 0 {
+            problems.push("decoder needs at least one iteration".into());
+        }
+        if let Some(problem) = self.coding.check_rule.problem() {
+            problems.push(problem);
+        }
         problems
     }
 }
@@ -262,10 +299,34 @@ mod tests {
     }
 
     #[test]
+    fn coding_config_builds_decoders() {
+        let c = CodingConfig::paper_default();
+        let bp = c.bp_config();
+        assert_eq!(bp.max_iterations, 50);
+        assert_eq!(bp.check_rule, CheckRule::SumProduct);
+        let wd = c.window_decoder();
+        assert_eq!(wd.window, 5);
+        assert_eq!(wd.iterations, 50);
+        assert!(!wd.reuse_messages);
+        let hw = CodingConfig::hardware_default();
+        assert_eq!(hw.window_decoder().check_rule, CheckRule::min_sum());
+        assert_eq!(hw.structural_latency_bits(), c.structural_latency_bits());
+    }
+
+    #[test]
     fn validation_catches_problems() {
         let mut cfg = SystemConfig::paper_default();
         cfg.boards = 0;
         cfg.coding.window = 2;
+        let problems = cfg.validate();
+        assert_eq!(problems.len(), 2, "{problems:?}");
+    }
+
+    #[test]
+    fn validation_catches_decoder_problems() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.coding.iterations = 0;
+        cfg.coding.check_rule = CheckRule::MinSum { alpha: 1.5 };
         let problems = cfg.validate();
         assert_eq!(problems.len(), 2, "{problems:?}");
     }

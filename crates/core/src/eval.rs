@@ -85,8 +85,7 @@ pub fn evaluate(config: &SystemConfig) -> SystemReport {
         }
         let snr_db = budget.snr_db_at(config.link.tx_power_dbm);
         let se = spectral_efficiency(config.link.receiver, snr_db);
-        let rate =
-            modulated_rate_bps(config.link.bandwidth_hz, se, config.link.polarization) / 1e9;
+        let rate = modulated_rate_bps(config.link.bandwidth_hz, se, config.link.polarization) / 1e9;
         LinkReport {
             name: name.to_string(),
             distance_m: distance,

@@ -5,10 +5,29 @@
 //! estimator (all-zero codeword — exact for linear codes on the
 //! output-symmetric AWGN channel with a sign-symmetric decoder) and a
 //! bisection search for the required Eb/N0.
+//!
+//! # Parallelism and determinism
+//!
+//! Every frame is independent: its RNG is derived from
+//! `derive_seed(opts.seed, frame)` and its [`Gaussian`] sampler is frame
+//! local (a shared sampler's cached Box–Muller variate would leak state
+//! between frames and make results depend on simulation order). Frames
+//! are therefore fanned out across threads in chunks, while the
+//! early-stopping rule (`target_errors` / `min_frames` / `max_frames`) is
+//! applied by a serial fold over the per-frame results **in frame order**
+//! — so [`simulate_cc_ber`] and [`simulate_bc_ber`] return bit-identical
+//! [`BerEstimate`]s for any thread count, including the serial reference
+//! paths ([`simulate_cc_ber_serial`] / [`simulate_bc_ber_serial`]). Each
+//! worker reuses one decoder workspace and one LLR buffer, so the hot
+//! loop does not allocate.
+//!
+//! The thread fan-out uses `std::thread::scope` directly (the build
+//! environment cannot fetch `rayon`; the chunked scope below is the
+//! dependency-free equivalent for this embarrassingly parallel loop).
 
 use crate::code::LdpcCode;
-use crate::decoder::{awgn_llrs, BpConfig, BpDecoder};
-use crate::window::{CoupledCode, WindowDecoder};
+use crate::decoder::{BpConfig, BpDecoder, DecoderWorkspace};
+use crate::window::{CoupledCode, WindowDecoder, WindowWorkspace};
 use serde::{Deserialize, Serialize};
 use wi_num::rng::{derive_seed, seeded_rng, Gaussian};
 
@@ -77,39 +96,165 @@ impl BerEstimate {
     }
 }
 
-/// Simulates the window-decoded LDPC-CC over AWGN/BPSK at `ebn0_db`.
+/// Frames dispatched per worker per fan-out round. Each round spawns
+/// scoped threads (tens of µs per worker), so this must cover many frames
+/// even for ~25 µs min-sum decodes; the cost of a larger round is only
+/// the speculative frames past an early stop, which are discarded.
+const FRAMES_PER_WORKER: u64 = 16;
+
+/// Threads used by the auto-parallel entry points.
+fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Whether the Monte-Carlo loop should simulate another frame.
+fn keep_going(opts: &BerSimOptions, frames: u64, errors: u64) -> bool {
+    frames < opts.max_frames && (frames < opts.min_frames || errors < opts.target_errors)
+}
+
+/// Shared Monte-Carlo driver: runs `frame_errors(frame, workspace)` over
+/// frames `0, 1, 2, …` with the early-stopping rule of `opts`, fanning
+/// frames out over `threads` workers.
+///
+/// The stop rule is evaluated serially in frame order over the fanned-out
+/// results, so the returned estimate is identical for every `threads`
+/// value — extra frames speculatively simulated past the stopping point
+/// are discarded without being counted.
+fn run_frames<W, F>(
+    opts: &BerSimOptions,
+    bits_per_frame: u64,
+    threads: usize,
+    make_workspace: impl Fn() -> W + Sync,
+    frame_errors: F,
+) -> BerEstimate
+where
+    W: Send,
+    F: Fn(u64, &mut W) -> u64 + Sync,
+{
+    let mut errors = 0u64;
+    let mut bits = 0u64;
+    let mut frames = 0u64;
+
+    // More workers than the simulation can ever have frames is pure
+    // workspace-allocation waste.
+    let threads = threads.min(opts.max_frames.max(1).try_into().unwrap_or(usize::MAX));
+
+    if threads <= 1 {
+        let mut ws = make_workspace();
+        while keep_going(opts, frames, errors) {
+            errors += frame_errors(frames, &mut ws);
+            bits += bits_per_frame;
+            frames += 1;
+        }
+        return BerEstimate::from_counts(errors, bits, frames);
+    }
+
+    let chunk_target = threads as u64 * FRAMES_PER_WORKER;
+    // One workspace per worker for the whole simulation, not per round —
+    // a decode fully reinitializes its workspace, so reuse cannot leak
+    // state between frames.
+    let mut workspaces: Vec<W> = (0..threads).map(|_| make_workspace()).collect();
+    let mut results: Vec<u64> = Vec::new();
+    'mc: while keep_going(opts, frames, errors) {
+        let chunk_len = chunk_target.min(opts.max_frames - frames) as usize;
+        let base = frames;
+        results.clear();
+        results.resize(chunk_len, 0);
+        let per_worker = chunk_len.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for ((w, slice), ws) in results
+                .chunks_mut(per_worker)
+                .enumerate()
+                .zip(workspaces.iter_mut())
+            {
+                let first = base + (w * per_worker) as u64;
+                let frame_errors = &frame_errors;
+                scope.spawn(move || {
+                    for (i, slot) in slice.iter_mut().enumerate() {
+                        *slot = frame_errors(first + i as u64, ws);
+                    }
+                });
+            }
+        });
+        for &frame_result in &results {
+            errors += frame_result;
+            bits += bits_per_frame;
+            frames += 1;
+            if !keep_going(opts, frames, errors) {
+                break 'mc;
+            }
+        }
+    }
+    BerEstimate::from_counts(errors, bits, frames)
+}
+
+/// Fills `llr` with the channel LLRs of one all-zero-codeword frame:
+/// `LLR = (2/σ²)·(1 + n)`, noise drawn from the frame's own seeded RNG
+/// and Gaussian sampler.
+fn fill_frame_llrs(llr: &mut [f64], sigma: f64, seed: u64, frame: u64) {
+    let mut rng = seeded_rng(derive_seed(seed, frame));
+    let mut gauss = Gaussian::new();
+    let scale = 2.0 / (sigma * sigma);
+    for l in llr.iter_mut() {
+        *l = scale * (1.0 + gauss.sample_with(&mut rng, 0.0, sigma));
+    }
+}
+
+/// Simulates the window-decoded LDPC-CC over AWGN/BPSK at `ebn0_db`,
+/// fanning frames out over all available cores.
 ///
 /// Uses the all-zero codeword and counts errors over all code bits of all
 /// blocks. The design rate (1/2) converts Eb/N0 to noise power, matching
-/// the paper's convention for both code families.
+/// the paper's convention for both code families. Bit-identical to
+/// [`simulate_cc_ber_serial`] at the same options.
 pub fn simulate_cc_ber(
     code: &CoupledCode,
     decoder: &WindowDecoder,
     ebn0_db: f64,
     opts: &BerSimOptions,
 ) -> BerEstimate {
-    let sigma = ebn0_db_to_sigma(ebn0_db, code.design_rate());
-    let n = code.code().len();
-    let mut errors = 0u64;
-    let mut bits = 0u64;
-    let mut frames = 0u64;
-    let mut gauss = Gaussian::new();
-    while frames < opts.max_frames
-        && (frames < opts.min_frames || errors < opts.target_errors)
-    {
-        let mut rng = seeded_rng(derive_seed(opts.seed, frames));
-        let rx: Vec<f64> = (0..n)
-            .map(|_| 1.0 + gauss.sample_with(&mut rng, 0.0, sigma))
-            .collect();
-        let hard = decoder.decode(code, &awgn_llrs(&rx, sigma));
-        errors += hard.iter().filter(|&&b| b).count() as u64;
-        bits += n as u64;
-        frames += 1;
-    }
-    BerEstimate::from_counts(errors, bits, frames)
+    simulate_cc_ber_with_threads(code, decoder, ebn0_db, opts, auto_threads())
 }
 
-/// Simulates the BP-decoded LDPC block code over AWGN/BPSK at `ebn0_db`.
+/// Serial reference path of [`simulate_cc_ber`] (single thread, no
+/// fan-out).
+pub fn simulate_cc_ber_serial(
+    code: &CoupledCode,
+    decoder: &WindowDecoder,
+    ebn0_db: f64,
+    opts: &BerSimOptions,
+) -> BerEstimate {
+    simulate_cc_ber_with_threads(code, decoder, ebn0_db, opts, 1)
+}
+
+/// [`simulate_cc_ber`] with an explicit worker-thread count.
+pub fn simulate_cc_ber_with_threads(
+    code: &CoupledCode,
+    decoder: &WindowDecoder,
+    ebn0_db: f64,
+    opts: &BerSimOptions,
+    threads: usize,
+) -> BerEstimate {
+    let sigma = ebn0_db_to_sigma(ebn0_db, code.design_rate());
+    let n = code.code().len();
+    run_frames(
+        opts,
+        n as u64,
+        threads,
+        || (WindowWorkspace::new(code.code()), vec![0.0; n]),
+        |frame, (ws, llr)| {
+            fill_frame_llrs(llr, sigma, opts.seed, frame);
+            decoder.decode_in_place(ws, code, llr);
+            ws.hard().iter().filter(|&&b| b).count() as u64
+        },
+    )
+}
+
+/// Simulates the BP-decoded LDPC block code over AWGN/BPSK at `ebn0_db`,
+/// fanning frames out over all available cores. Bit-identical to
+/// [`simulate_bc_ber_serial`] at the same options.
 pub fn simulate_bc_ber(
     code: &LdpcCode,
     config: BpConfig,
@@ -117,26 +262,44 @@ pub fn simulate_bc_ber(
     rate: f64,
     opts: &BerSimOptions,
 ) -> BerEstimate {
+    simulate_bc_ber_with_threads(code, config, ebn0_db, rate, opts, auto_threads())
+}
+
+/// Serial reference path of [`simulate_bc_ber`] (single thread, no
+/// fan-out).
+pub fn simulate_bc_ber_serial(
+    code: &LdpcCode,
+    config: BpConfig,
+    ebn0_db: f64,
+    rate: f64,
+    opts: &BerSimOptions,
+) -> BerEstimate {
+    simulate_bc_ber_with_threads(code, config, ebn0_db, rate, opts, 1)
+}
+
+/// [`simulate_bc_ber`] with an explicit worker-thread count.
+pub fn simulate_bc_ber_with_threads(
+    code: &LdpcCode,
+    config: BpConfig,
+    ebn0_db: f64,
+    rate: f64,
+    opts: &BerSimOptions,
+    threads: usize,
+) -> BerEstimate {
     let sigma = ebn0_db_to_sigma(ebn0_db, rate);
     let decoder = BpDecoder::new(code, config);
     let n = code.len();
-    let mut errors = 0u64;
-    let mut bits = 0u64;
-    let mut frames = 0u64;
-    let mut gauss = Gaussian::new();
-    while frames < opts.max_frames
-        && (frames < opts.min_frames || errors < opts.target_errors)
-    {
-        let mut rng = seeded_rng(derive_seed(opts.seed, frames));
-        let rx: Vec<f64> = (0..n)
-            .map(|_| 1.0 + gauss.sample_with(&mut rng, 0.0, sigma))
-            .collect();
-        let dec = decoder.decode(&awgn_llrs(&rx, sigma));
-        errors += dec.hard.iter().filter(|&&b| b).count() as u64;
-        bits += n as u64;
-        frames += 1;
-    }
-    BerEstimate::from_counts(errors, bits, frames)
+    run_frames(
+        opts,
+        n as u64,
+        threads,
+        || (DecoderWorkspace::new(code), vec![0.0; n]),
+        |frame, (ws, llr)| {
+            fill_frame_llrs(llr, sigma, opts.seed, frame);
+            decoder.decode_in_place(ws, llr);
+            ws.hard().iter().filter(|&&b| b).count() as u64
+        },
+    )
 }
 
 /// Finds the smallest Eb/N0 (dB) at which `ber_at` falls to `target_ber`,
@@ -232,10 +395,43 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let code = LdpcCode::paper_block(30, 3);
+        let opts = BerSimOptions {
+            target_errors: 40,
+            max_frames: 60,
+            min_frames: 4,
+            seed: 0xABCD,
+        };
+        let serial = simulate_bc_ber_serial(&code, BpConfig::default(), 2.0, 0.5, &opts);
+        for threads in [2, 3, 8] {
+            let par =
+                simulate_bc_ber_with_threads(&code, BpConfig::default(), 2.0, 0.5, &opts, threads);
+            assert_eq!(serial, par, "thread count {threads} changed the result");
+        }
+    }
+
+    #[test]
+    fn cc_parallel_matches_serial_bit_for_bit() {
+        let code = CoupledCode::paper_cc(15, 8, 4);
+        let wd = WindowDecoder::new(3, 10);
+        let opts = BerSimOptions {
+            target_errors: 25,
+            max_frames: 24,
+            min_frames: 2,
+            seed: 0x77,
+        };
+        let serial = simulate_cc_ber_serial(&code, &wd, 2.0, &opts);
+        for threads in [2, 5] {
+            let par = simulate_cc_ber_with_threads(&code, &wd, 2.0, &opts, threads);
+            assert_eq!(serial, par, "thread count {threads} changed the result");
+        }
+    }
+
+    #[test]
     fn bisection_on_analytic_curve() {
         // Mock BER curve: 10^(-x) hits 1e-3 at exactly x = 3.
-        let found = required_ebn0_db(|x| 10f64.powf(-x), 1e-3, 0.0, 6.0, 0.01)
-            .expect("bracketed");
+        let found = required_ebn0_db(|x| 10f64.powf(-x), 1e-3, 0.0, 6.0, 0.01).expect("bracketed");
         assert!((found - 3.0).abs() < 0.02, "{found}");
     }
 

@@ -15,12 +15,28 @@ use serde::{Deserialize, Serialize};
 use wi_num::rng::seeded_rng;
 
 /// A lifted LDPC code with sparse parity-check structure.
+///
+/// The Tanner graph is stored in a flat CSR (compressed sparse row) edge
+/// layout so that message-passing decoders stream over contiguous arrays:
+/// check `c` owns the edge slots `check_offsets[c] .. check_offsets[c+1]`
+/// of `edge_var`, and `var_edges` holds the variable→edge permutation
+/// (for variable `v`, the edge indices `var_offsets[v] ..
+/// var_offsets[v+1]` of `var_edges` are the edges incident on `v`, in
+/// ascending check order).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LdpcCode {
-    /// For each check node, the sorted variable indices it touches.
-    checks: Vec<Vec<u32>>,
-    /// For each variable node, the check indices it touches.
-    vars: Vec<Vec<u32>>,
+    /// Edge-range start per check node (length `num_checks + 1`).
+    check_offsets: Vec<u32>,
+    /// Variable index of each edge, check-major, sorted within a check.
+    edge_var: Vec<u32>,
+    /// Edge-slot range start per variable node (length `len + 1`).
+    var_offsets: Vec<u32>,
+    /// Edge index of each variable slot (the variable→edge permutation).
+    var_edges: Vec<u32>,
+    /// Check index of each variable slot (parallel to `var_edges`).
+    var_check: Vec<u32>,
+    /// Largest check-node degree (sizes decoder scratch buffers).
+    max_check_degree: usize,
     lifting: usize,
 }
 
@@ -58,9 +74,7 @@ impl LdpcCode {
                     let cand = &all_shifts[..mult];
                     let four_cycle = lifting.is_multiple_of(2)
                         && cand.iter().enumerate().any(|(i, &a)| {
-                            cand[i + 1..]
-                                .iter()
-                                .any(|&b| a.abs_diff(b) == lifting / 2)
+                            cand[i + 1..].iter().any(|&b| a.abs_diff(b) == lifting / 2)
                         });
                     if !four_cycle || mult > lifting / 2 {
                         break cand.to_vec();
@@ -82,9 +96,45 @@ impl LdpcCode {
         for list in &mut vars {
             list.sort_unstable();
         }
+        Self::from_adjacency(&checks, &vars, lifting)
+    }
+
+    /// Flattens per-node adjacency lists into the CSR edge layout.
+    fn from_adjacency(checks: &[Vec<u32>], vars: &[Vec<u32>], lifting: usize) -> Self {
+        let n_edges: usize = checks.iter().map(Vec::len).sum();
+        let mut check_offsets = Vec::with_capacity(checks.len() + 1);
+        let mut edge_var = Vec::with_capacity(n_edges);
+        check_offsets.push(0u32);
+        for list in checks {
+            edge_var.extend_from_slice(list);
+            check_offsets.push(edge_var.len() as u32);
+        }
+
+        let mut var_offsets = Vec::with_capacity(vars.len() + 1);
+        let mut var_edges = Vec::with_capacity(n_edges);
+        let mut var_check = Vec::with_capacity(n_edges);
+        var_offsets.push(0u32);
+        for (v, cs) in vars.iter().enumerate() {
+            for &c in cs {
+                let lo = check_offsets[c as usize] as usize;
+                let hi = check_offsets[c as usize + 1] as usize;
+                let j = edge_var[lo..hi]
+                    .binary_search(&(v as u32))
+                    .expect("vars/checks adjacency mismatch");
+                var_edges.push((lo + j) as u32);
+                var_check.push(c);
+            }
+            var_offsets.push(var_edges.len() as u32);
+        }
+
+        let max_check_degree = checks.iter().map(Vec::len).max().unwrap_or(0);
         LdpcCode {
-            checks,
-            vars,
+            check_offsets,
+            edge_var,
+            var_offsets,
+            var_edges,
+            var_check,
+            max_check_degree,
             lifting,
         }
     }
@@ -96,17 +146,27 @@ impl LdpcCode {
 
     /// Code length (number of variable nodes).
     pub fn len(&self) -> usize {
-        self.vars.len()
+        self.var_offsets.len() - 1
     }
 
     /// True when the code has no variables (never constructed this way).
     pub fn is_empty(&self) -> bool {
-        self.vars.is_empty()
+        self.len() == 0
     }
 
     /// Number of check nodes.
     pub fn num_checks(&self) -> usize {
-        self.checks.len()
+        self.check_offsets.len() - 1
+    }
+
+    /// Number of Tanner-graph edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_var.len()
+    }
+
+    /// Largest check-node degree.
+    pub fn max_check_degree(&self) -> usize {
+        self.max_check_degree
     }
 
     /// Lifting factor `N`.
@@ -116,12 +176,39 @@ impl LdpcCode {
 
     /// Variable neighbors of check `c`.
     pub fn check_neighbors(&self, c: usize) -> &[u32] {
-        &self.checks[c]
+        let lo = self.check_offsets[c] as usize;
+        let hi = self.check_offsets[c + 1] as usize;
+        &self.edge_var[lo..hi]
     }
 
-    /// Check neighbors of variable `v`.
+    /// Check neighbors of variable `v` (ascending).
     pub fn var_neighbors(&self, v: usize) -> &[u32] {
-        &self.vars[v]
+        let lo = self.var_offsets[v] as usize;
+        let hi = self.var_offsets[v + 1] as usize;
+        &self.var_check[lo..hi]
+    }
+
+    /// Edge indices incident on variable `v` (the variable→edge
+    /// permutation, parallel to [`var_neighbors`]).
+    ///
+    /// [`var_neighbors`]: LdpcCode::var_neighbors
+    pub fn var_edge_slots(&self, v: usize) -> &[u32] {
+        let lo = self.var_offsets[v] as usize;
+        let hi = self.var_offsets[v + 1] as usize;
+        &self.var_edges[lo..hi]
+    }
+
+    /// Edge-range offsets per check (`num_checks + 1` entries); check `c`
+    /// owns edges `offsets[c] .. offsets[c+1]` of [`edge_vars`].
+    ///
+    /// [`edge_vars`]: LdpcCode::edge_vars
+    pub fn check_edge_offsets(&self) -> &[u32] {
+        &self.check_offsets
+    }
+
+    /// Variable index of every edge, check-major.
+    pub fn edge_vars(&self) -> &[u32] {
+        &self.edge_var
     }
 
     /// Verifies `H·x = 0` over GF(2).
@@ -131,16 +218,19 @@ impl LdpcCode {
     /// Panics if `x.len() != self.len()`.
     pub fn is_codeword(&self, x: &[bool]) -> bool {
         assert_eq!(x.len(), self.len(), "length mismatch");
-        self.checks.iter().all(|vs| {
-            !vs.iter().fold(false, |acc, &v| acc ^ x[v as usize])
+        (0..self.num_checks()).all(|c| {
+            !self
+                .check_neighbors(c)
+                .iter()
+                .fold(false, |acc, &v| acc ^ x[v as usize])
         })
     }
 
     /// Dense copy of the parity-check matrix.
     pub fn dense_h(&self) -> BitMatrix {
         let mut h = BitMatrix::zeros(self.num_checks(), self.len());
-        for (c, vs) in self.checks.iter().enumerate() {
-            for &v in vs {
+        for c in 0..self.num_checks() {
+            for &v in self.check_neighbors(c) {
                 h.set(c, v as usize, true);
             }
         }
@@ -319,9 +409,36 @@ mod tests {
     fn deterministic_per_seed() {
         let a = LdpcCode::paper_block(25, 77);
         let b = LdpcCode::paper_block(25, 77);
-        assert_eq!(a.checks, b.checks);
+        assert_eq!(a.edge_var, b.edge_var);
+        assert_eq!(a.check_offsets, b.check_offsets);
         let c = LdpcCode::paper_block(25, 78);
-        assert_ne!(a.checks, c.checks);
+        assert_ne!(a.edge_var, c.edge_var);
+    }
+
+    #[test]
+    fn csr_layout_is_consistent() {
+        let code = LdpcCode::paper_block(30, 4);
+        // Offsets are monotone and cover every edge exactly once.
+        assert_eq!(code.check_edge_offsets().len(), code.num_checks() + 1);
+        assert_eq!(
+            *code.check_edge_offsets().last().unwrap() as usize,
+            code.num_edges()
+        );
+        // The variable→edge permutation inverts the check-major layout.
+        let mut seen = vec![false; code.num_edges()];
+        for v in 0..code.len() {
+            let slots = code.var_edge_slots(v);
+            assert_eq!(slots.len(), code.var_neighbors(v).len());
+            for (&e, &c) in slots.iter().zip(code.var_neighbors(v)) {
+                assert_eq!(code.edge_vars()[e as usize], v as u32);
+                assert!(!std::mem::replace(&mut seen[e as usize], true));
+                let lo = code.check_edge_offsets()[c as usize];
+                let hi = code.check_edge_offsets()[c as usize + 1];
+                assert!((lo..hi).contains(&e), "edge {e} outside check {c}");
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "permutation covers all edges");
+        assert_eq!(code.max_check_degree(), 8);
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl BitMatrix {
     /// Panics if out of range.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> bool {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.words_per_row + c / 64] >> (c % 64) & 1 == 1
     }
 
@@ -62,7 +65,10 @@ impl BitMatrix {
     /// Panics if out of range.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: bool) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         let w = &mut self.data[r * self.words_per_row + c / 64];
         if v {
             *w |= 1 << (c % 64);
@@ -211,11 +217,7 @@ mod tests {
     #[test]
     fn rref_pivots_are_unit_columns() {
         let mut m = BitMatrix::zeros(3, 6);
-        let entries = [
-            (0, 0), (0, 2), (0, 4),
-            (1, 1), (1, 2),
-            (2, 0), (2, 5),
-        ];
+        let entries = [(0, 0), (0, 2), (0, 4), (1, 1), (1, 2), (2, 0), (2, 5)];
         for (r, c) in entries {
             m.set(r, c, true);
         }

@@ -243,10 +243,7 @@ mod tests {
     #[should_panic(expected = "violates Eq. (2)")]
     fn invalid_spreading_rejected() {
         EdgeSpreading::new(
-            vec![
-                BaseMatrix::new(&[&[2, 2]]),
-                BaseMatrix::new(&[&[1, 1]]),
-            ],
+            vec![BaseMatrix::new(&[&[2, 2]]), BaseMatrix::new(&[&[1, 1]])],
             &BaseMatrix::paper_block(),
         );
     }
@@ -256,7 +253,7 @@ mod tests {
         let s = EdgeSpreading::paper_cc();
         let l = 10;
         let b = s.coupled(l);
-        assert_eq!(b.num_checks(), (l + 2) * 1);
+        assert_eq!(b.num_checks(), l + 2);
         assert_eq!(b.num_variables(), l * 2);
     }
 

@@ -10,7 +10,7 @@
 //! Fig. 9.
 
 use crate::code::LdpcCode;
-use crate::decoder::{BpConfig, BpDecoder, LLR_CLAMP};
+use crate::decoder::{update_checks, BpConfig, BpDecoder, CheckRule, LLR_CLAMP};
 use crate::protograph::EdgeSpreading;
 use serde::{Deserialize, Serialize};
 
@@ -118,11 +118,60 @@ pub fn block_latency_bits(lifting: usize, nv: usize, rate: f64) -> f64 {
     lifting as f64 * nv as f64 * rate
 }
 
-/// Persistent extrinsic message state of one check node.
-#[derive(Clone, Debug)]
-struct CheckState {
+/// Reusable flat message state for sliding-window decoding.
+///
+/// Holds per-edge message arrays (indexed by the code's CSR edge layout),
+/// a per-check activation flag standing in for the former
+/// `Option<CheckState>` boxes, and the working LLR/posterior/decision
+/// buffers. Construct once per code shape and reuse across frames:
+/// [`WindowDecoder::decode_in_place`] then runs without heap allocation.
+#[derive(Clone, Debug, Default)]
+pub struct WindowWorkspace {
+    /// Variable-to-check message per edge.
     v2c: Vec<f64>,
+    /// Check-to-variable message per edge.
     c2v: Vec<f64>,
+    /// Whether each check currently holds valid persisted messages.
+    active: Vec<bool>,
+    /// Working LLRs: channel values with decided blocks pinned.
+    llr: Vec<f64>,
+    /// Posterior per variable for the current window position.
+    posterior: Vec<f64>,
+    /// Hard decisions per variable.
+    hard: Vec<bool>,
+    /// Sum-product scratch: `tanh(v2c/2)` per check edge.
+    tanhs: Vec<f64>,
+    /// Sum-product scratch: forward partial products.
+    fwd: Vec<f64>,
+}
+
+impl WindowWorkspace {
+    /// Allocates buffers sized for `code`.
+    pub fn new(code: &LdpcCode) -> Self {
+        let mut ws = WindowWorkspace::default();
+        ws.ensure(code);
+        ws
+    }
+
+    /// Resizes the buffers for `code` (no-op when already sized).
+    pub fn ensure(&mut self, code: &LdpcCode) {
+        let e = code.num_edges();
+        let n = code.len();
+        let d = code.max_check_degree();
+        self.v2c.resize(e, 0.0);
+        self.c2v.resize(e, 0.0);
+        self.active.resize(code.num_checks(), false);
+        self.llr.resize(n, 0.0);
+        self.posterior.resize(n, 0.0);
+        self.hard.resize(n, false);
+        self.tanhs.resize(d, 0.0);
+        self.fwd.resize(d + 1, 1.0);
+    }
+
+    /// Hard decisions of the last decode (true = bit 1).
+    pub fn hard(&self) -> &[bool] {
+        &self.hard
+    }
 }
 
 /// Sliding-window decoder (Fig. 9).
@@ -147,6 +196,8 @@ pub struct WindowDecoder {
     pub iterations: usize,
     /// Retain messages across window positions instead of restarting.
     pub reuse_messages: bool,
+    /// Check-node update rule (sum-product or normalized min-sum).
+    pub check_rule: CheckRule,
 }
 
 impl WindowDecoder {
@@ -162,6 +213,7 @@ impl WindowDecoder {
             window,
             iterations,
             reuse_messages: false,
+            check_rule: CheckRule::SumProduct,
         }
     }
 
@@ -172,6 +224,18 @@ impl WindowDecoder {
             reuse_messages: true,
             ..Self::new(window, iterations)
         }
+    }
+
+    /// Replaces the check-node update rule (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rule's parameters are invalid (see
+    /// [`CheckRule::validate`]).
+    pub fn with_rule(mut self, rule: CheckRule) -> Self {
+        rule.validate();
+        self.check_rule = rule;
+        self
     }
 
     /// Decodes a full received sequence of channel LLRs, sliding the window
@@ -187,8 +251,30 @@ impl WindowDecoder {
     /// Panics if the LLR length does not match the code or if
     /// `window < mcc + 1` (the window cannot cover a check's neighborhood).
     pub fn decode(&self, code: &CoupledCode, channel_llr: &[f64]) -> Vec<bool> {
+        let mut ws = WindowWorkspace::new(code.code());
+        self.decode_in_place(&mut ws, code, channel_llr);
+        ws.hard.clone()
+    }
+
+    /// Decodes entirely inside `ws` — no heap allocation when the
+    /// workspace is already sized for the code. Read the decisions from
+    /// [`WindowWorkspace::hard`].
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`decode`](WindowDecoder::decode) does.
+    pub fn decode_in_place(
+        &self,
+        ws: &mut WindowWorkspace,
+        code: &CoupledCode,
+        channel_llr: &[f64],
+    ) {
         let n = code.code().len();
         assert_eq!(channel_llr.len(), n, "LLR length mismatch");
+        // All fields are public, so re-check the rule here: with_rule
+        // gates the builder path, but direct mutation must not silently
+        // corrupt every message.
+        self.check_rule.validate();
         let mcc = code.memory();
         assert!(
             self.window > mcc,
@@ -197,16 +283,17 @@ impl WindowDecoder {
         );
         let l = code.num_blocks();
         let block_checks = code.block_checks();
+        ws.ensure(code.code());
 
         // Working LLRs: raw channel values, with decided blocks overwritten
         // by saturated pins. Future blocks always enter the window with
         // their *raw* channel LLRs — feeding posteriors forward as priors
         // would double-count evidence and entrench errors. New information
         // instead flows through the retained extrinsic messages.
-        let mut llr: Vec<f64> = channel_llr.to_vec();
-        let mut hard = vec![false; n];
+        ws.llr.copy_from_slice(channel_llr);
+        ws.hard.fill(false);
         // Persistent per-check message state (ref [19] scheduling).
-        let mut state: Vec<Option<CheckState>> = vec![None; code.code().num_checks()];
+        ws.active.fill(false);
 
         for t in 0..l {
             // Check rows t..min(t+W, L+mcc): each check row block i touches
@@ -216,86 +303,82 @@ impl WindowDecoder {
             let check_hi = ((t + self.window).min(l + mcc)) * block_checks;
 
             if !self.reuse_messages {
-                for s in &mut state[check_lo..check_hi] {
-                    *s = None;
-                }
+                ws.active[check_lo..check_hi].fill(false);
             }
-            let posterior =
-                self.window_bp(code.code(), &llr, check_lo..check_hi, &mut state);
+            self.window_bp(code.code(), check_lo, check_hi, ws);
 
             // Decide and pin the target block only.
             for v in code.block_range(t) {
-                hard[v] = posterior[v] < 0.0;
-                llr[v] = if hard[v] { -LLR_CLAMP } else { LLR_CLAMP };
+                ws.hard[v] = ws.posterior[v] < 0.0;
+                ws.llr[v] = if ws.hard[v] { -LLR_CLAMP } else { LLR_CLAMP };
             }
         }
-        hard
     }
 
-    /// Runs flooding BP restricted to a check sub-range over the given
-    /// channel/pinned LLRs, continuing from persisted messages; returns the
-    /// full posterior vector (entries outside the active checks'
-    /// neighborhood equal the input LLRs).
+    /// Runs flooding BP restricted to the contiguous check range
+    /// `check_lo..check_hi` over the workspace's channel/pinned LLRs,
+    /// continuing from persisted messages; leaves the full posterior
+    /// vector in `ws.posterior` (entries outside the active checks'
+    /// neighborhood equal the working LLRs).
     fn window_bp(
         &self,
         code: &LdpcCode,
-        llr: &[f64],
-        checks: std::ops::Range<usize>,
-        state: &mut [Option<CheckState>],
-    ) -> Vec<f64> {
-        // Activate newly entered checks.
-        for c in checks.clone() {
-            if state[c].is_none() {
-                state[c] = Some(CheckState {
-                    v2c: code
-                        .check_neighbors(c)
-                        .iter()
-                        .map(|&v| llr[v as usize].clamp(-LLR_CLAMP, LLR_CLAMP))
-                        .collect(),
-                    c2v: vec![0.0; code.check_neighbors(c).len()],
-                });
+        check_lo: usize,
+        check_hi: usize,
+        ws: &mut WindowWorkspace,
+    ) {
+        let offsets = code.check_edge_offsets();
+        let edge_var = code.edge_vars();
+
+        // Activate newly entered checks: v2c from the current working
+        // LLRs, c2v cleared.
+        for c in check_lo..check_hi {
+            if !ws.active[c] {
+                ws.active[c] = true;
+                let lo = offsets[c] as usize;
+                let hi = offsets[c + 1] as usize;
+                #[allow(clippy::needless_range_loop)] // e indexes edge_var, v2c and c2v in lockstep
+                for e in lo..hi {
+                    ws.v2c[e] = ws.llr[edge_var[e] as usize].clamp(-LLR_CLAMP, LLR_CLAMP);
+                    ws.c2v[e] = 0.0;
+                }
             }
         }
-        let mut posterior: Vec<f64> = llr.to_vec();
+        let edge_lo = offsets[check_lo] as usize;
+        let edge_hi = offsets[check_hi] as usize;
+
+        // Seed the posterior from the working LLRs so a zero-iteration
+        // decoder (the constructors forbid it, but the field is public)
+        // degrades to channel hard decisions instead of reading stale
+        // workspace state.
+        ws.posterior.copy_from_slice(&ws.llr);
 
         for _ in 0..self.iterations {
-            // Check updates.
-            for c in checks.clone() {
-                let s = state[c].as_mut().expect("activated above");
-                let deg = s.v2c.len();
-                let tanhs: Vec<f64> = s
-                    .v2c
-                    .iter()
-                    .map(|&m| (m / 2.0).tanh().clamp(-0.999_999_999_999, 0.999_999_999_999))
-                    .collect();
-                let mut fwd = vec![1.0; deg + 1];
-                for j in 0..deg {
-                    fwd[j + 1] = fwd[j] * tanhs[j];
-                }
-                let mut bwd = 1.0;
-                for j in (0..deg).rev() {
-                    s.c2v[j] = (2.0 * (fwd[j] * bwd).atanh()).clamp(-LLR_CLAMP, LLR_CLAMP);
-                    bwd *= tanhs[j];
-                }
-            }
+            update_checks(
+                offsets,
+                check_lo,
+                check_hi,
+                self.check_rule,
+                &ws.v2c,
+                &mut ws.c2v,
+                &mut ws.tanhs,
+                &mut ws.fwd,
+            );
             // Posterior: channel plus all incoming active check messages.
-            posterior.copy_from_slice(llr);
-            for c in checks.clone() {
-                let s = state[c].as_ref().expect("activated above");
-                for (j, &v) in code.check_neighbors(c).iter().enumerate() {
-                    posterior[v as usize] += s.c2v[j];
-                }
+            ws.posterior.copy_from_slice(&ws.llr);
+            for (&v, &m) in edge_var[edge_lo..edge_hi]
+                .iter()
+                .zip(&ws.c2v[edge_lo..edge_hi])
+            {
+                ws.posterior[v as usize] += m;
             }
             // Variable-to-check messages: extrinsic posterior.
-            for c in checks.clone() {
-                let s = state[c].as_mut().expect("activated above");
-                for (j, &v) in code.check_neighbors(c).iter().enumerate() {
-                    s.v2c[j] =
-                        (posterior[v as usize] - s.c2v[j]).clamp(-LLR_CLAMP, LLR_CLAMP);
-                }
+            #[allow(clippy::needless_range_loop)] // e indexes edge_var, v2c and c2v in lockstep
+            for e in edge_lo..edge_hi {
+                ws.v2c[e] =
+                    (ws.posterior[edge_var[e] as usize] - ws.c2v[e]).clamp(-LLR_CLAMP, LLR_CLAMP);
             }
         }
-        posterior
     }
 }
 
@@ -306,6 +389,7 @@ pub fn full_bp_decode(code: &CoupledCode, channel_llr: &[f64], iterations: usize
         code.code(),
         BpConfig {
             max_iterations: iterations,
+            ..BpConfig::default()
         },
     );
     decoder.decode(channel_llr).hard
@@ -350,7 +434,10 @@ mod tests {
         let llr = noisy_zero_llrs(&code, 0.3, 1);
         let wd = WindowDecoder::new(3, 20);
         let hard = wd.decode(&code, &llr);
-        assert!(hard.iter().all(|&b| !b), "clean channel must decode to zero");
+        assert!(
+            hard.iter().all(|&b| !b),
+            "clean channel must decode to zero"
+        );
     }
 
     #[test]
@@ -419,10 +506,7 @@ mod tests {
             head_errs += hard[code.block_range(0)].iter().filter(|&&b| b).count();
             mid_errs += hard[code.block_range(6)].iter().filter(|&&b| b).count();
         }
-        assert!(
-            head_errs <= mid_errs,
-            "head {head_errs} vs mid {mid_errs}"
-        );
+        assert!(head_errs <= mid_errs, "head {head_errs} vs mid {mid_errs}");
     }
 
     #[test]

@@ -126,16 +126,14 @@ impl LinkBudget {
     /// Required transmit power (dBm) to reach `target_snr_db` at the
     /// receiver — the quantity plotted in Fig. 4.
     pub fn required_tx_power_dbm(&self, target_snr_db: f64) -> f64 {
-        target_snr_db + self.noise_floor_dbm() + self.pathloss_db
-            + self.miscellaneous_losses_db()
+        target_snr_db + self.noise_floor_dbm() + self.pathloss_db + self.miscellaneous_losses_db()
             - self.total_gains_db()
     }
 
     /// SNR (dB) achieved at the receiver for a given transmit power (dBm).
     /// Inverse of [`LinkBudget::required_tx_power_dbm`].
     pub fn snr_db_at(&self, tx_power_dbm: f64) -> f64 {
-        tx_power_dbm - self.noise_floor_dbm() - self.pathloss_db
-            - self.miscellaneous_losses_db()
+        tx_power_dbm - self.noise_floor_dbm() - self.pathloss_db - self.miscellaneous_losses_db()
             + self.total_gains_db()
     }
 
@@ -199,7 +197,11 @@ mod tests {
     fn noise_floor_matches_ktb_plus_nf() {
         let b = LinkBudget::paper_shortest_link();
         // kTB(323 K, 25 GHz) ≈ −69.6 dBm, +10 dB NF → ≈ −59.6 dBm.
-        assert!((b.noise_floor_dbm() + 59.6).abs() < 0.2, "{}", b.noise_floor_dbm());
+        assert!(
+            (b.noise_floor_dbm() + 59.6).abs() < 0.2,
+            "{}",
+            b.noise_floor_dbm()
+        );
     }
 
     #[test]

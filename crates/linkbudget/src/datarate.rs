@@ -55,7 +55,10 @@ pub fn modulated_rate_bps(bandwidth_hz: f64, bits_per_channel_use: f64, pol: Pol
 ///
 /// Panics if arguments are not positive.
 pub fn required_snr_db_for_rate(bandwidth_hz: f64, rate_bps: f64, pol: Polarization) -> f64 {
-    assert!(bandwidth_hz > 0.0 && rate_bps > 0.0, "arguments must be positive");
+    assert!(
+        bandwidth_hz > 0.0 && rate_bps > 0.0,
+        "arguments must be positive"
+    );
     let se = rate_bps / (pol.streams() as f64 * bandwidth_hz);
     10.0 * (2f64.powf(se) - 1.0).log10()
 }

@@ -200,10 +200,7 @@ impl<'a> AnalyticModel<'a> {
     /// Latency across a sweep of injection rates (`None` past saturation) —
     /// one Fig. 8 curve.
     pub fn latency_curve(&self, rates: &[f64]) -> Vec<(f64, Option<f64>)> {
-        rates
-            .iter()
-            .map(|&r| (r, self.mean_latency(r)))
-            .collect()
+        rates.iter().map(|&r| (r, self.mean_latency(r))).collect()
     }
 
     /// Low-load (λ → 0) latency: pipeline plus unloaded service at every
@@ -334,10 +331,8 @@ mod tests {
         // leaving low-load latency unchanged.
         let topo = Topology::star_mesh(4, 4, 4);
         let base = AnalyticModel::new(&topo, RouterParams::default());
-        let doubled =
-            AnalyticModel::new(&topo, RouterParams::default()).with_irl_multiplicity(2);
-        let quad =
-            AnalyticModel::new(&topo, RouterParams::default()).with_irl_multiplicity(4);
+        let doubled = AnalyticModel::new(&topo, RouterParams::default()).with_irl_multiplicity(2);
+        let quad = AnalyticModel::new(&topo, RouterParams::default()).with_irl_multiplicity(4);
         assert!((doubled.saturation_rate() / base.saturation_rate() - 2.0).abs() < 0.2);
         // zero_load_latency evaluates at a tiny but non-zero load, so the
         // residual queueing term differs at the 1e-9 scale between the two.

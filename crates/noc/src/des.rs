@@ -121,7 +121,10 @@ struct Packet {
 /// Panics if the injection rate is not positive or the topology has fewer
 /// than two modules.
 pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
-    assert!(config.injection_rate > 0.0, "injection rate must be positive");
+    assert!(
+        config.injection_rate > 0.0,
+        "injection rate must be positive"
+    );
     let n = topo.num_modules();
     assert!(n >= 2, "need at least two modules");
 
@@ -176,8 +179,7 @@ pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
                     dst += 1;
                 }
                 let path = route(topo, module, dst);
-                let measured =
-                    injected >= config.warmup_packets && injected < total_tracked;
+                let measured = injected >= config.warmup_packets && injected < total_tracked;
                 packets.push(Packet {
                     t_inject: now,
                     links: path.links,

@@ -87,7 +87,10 @@ pub fn fig7_topologies() -> Vec<(TopologyMetrics, Topology)> {
         ("8x8 2D mesh", Topology::mesh2d(8, 8)),
         ("4x4 star-mesh (c=4)", Topology::star_mesh(4, 4, 4)),
         ("4x4x4 3D mesh", Topology::mesh3d(4, 4, 4)),
-        ("4x4x2 ciliated 3D mesh (c=2)", Topology::ciliated_mesh3d(4, 4, 2, 2)),
+        (
+            "4x4x2 ciliated 3D mesh (c=2)",
+            Topology::ciliated_mesh3d(4, 4, 2, 2),
+        ),
     ];
     entries
         .into_iter()

@@ -120,16 +120,34 @@ impl Topology {
                 for x in 0..nx {
                     let here = index(x, y, z);
                     if x + 1 < nx {
-                        links.push(Link { src: here, dst: index(x + 1, y, z) });
-                        links.push(Link { src: index(x + 1, y, z), dst: here });
+                        links.push(Link {
+                            src: here,
+                            dst: index(x + 1, y, z),
+                        });
+                        links.push(Link {
+                            src: index(x + 1, y, z),
+                            dst: here,
+                        });
                     }
                     if y + 1 < ny {
-                        links.push(Link { src: here, dst: index(x, y + 1, z) });
-                        links.push(Link { src: index(x, y + 1, z), dst: here });
+                        links.push(Link {
+                            src: here,
+                            dst: index(x, y + 1, z),
+                        });
+                        links.push(Link {
+                            src: index(x, y + 1, z),
+                            dst: here,
+                        });
                     }
                     if z + 1 < nz {
-                        links.push(Link { src: here, dst: index(x, y, z + 1) });
-                        links.push(Link { src: index(x, y, z + 1), dst: here });
+                        links.push(Link {
+                            src: here,
+                            dst: index(x, y, z + 1),
+                        });
+                        links.push(Link {
+                            src: index(x, y, z + 1),
+                            dst: here,
+                        });
                     }
                 }
             }
@@ -234,9 +252,7 @@ impl Topology {
     pub fn router_distance(&self, a: usize, b: usize) -> usize {
         let ca = self.coord(a);
         let cb = self.coord(b);
-        (0..3)
-            .map(|i| ca[i].abs_diff(cb[i]))
-            .sum()
+        (0..3).map(|i| ca[i].abs_diff(cb[i])).sum()
     }
 }
 

@@ -52,7 +52,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LineFit {
     assert!(sxx > 0.0, "all x values identical; slope undefined");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     LineFit {
         slope,
         intercept,

@@ -61,7 +61,10 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
     x0: &[f64],
     opts: NelderMeadOptions,
 ) -> OptimizeResult {
-    assert!(!x0.is_empty(), "nelder_mead requires at least one dimension");
+    assert!(
+        !x0.is_empty(),
+        "nelder_mead requires at least one dimension"
+    );
     let n = x0.len();
     let mut evals = 0usize;
     let mut eval = |x: &[f64], evals: &mut usize| {
@@ -88,7 +91,11 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
     while evals < opts.max_evals {
         // Order the simplex by objective value.
         let mut order: Vec<usize> = (0..=n).collect();
-        order.sort_by(|&a, &b| fvals[a].partial_cmp(&fvals[b]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            fvals[a]
+                .partial_cmp(&fvals[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let best = order[0];
         let worst = order[n];
         let second_worst = order[n - 1];
@@ -110,7 +117,10 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
         }
 
         let lerp = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
-            a.iter().zip(b).map(|(&ai, &bi)| ai + t * (bi - ai)).collect()
+            a.iter()
+                .zip(b)
+                .map(|(&ai, &bi)| ai + t * (bi - ai))
+                .collect()
         };
 
         // Reflection.
@@ -188,7 +198,10 @@ pub fn coordinate_descent<F: FnMut(&[f64]) -> f64>(
     min_step: f64,
     max_evals: usize,
 ) -> OptimizeResult {
-    assert!(!x0.is_empty(), "coordinate_descent requires at least one dimension");
+    assert!(
+        !x0.is_empty(),
+        "coordinate_descent requires at least one dimension"
+    );
     let mut x = x0.to_vec();
     let mut evals = 0usize;
     let mut fx = {

@@ -122,10 +122,7 @@ pub fn nats_to_bits(nats: f64) -> f64 {
 
 /// Binary entropy function `H2(p)` in bits; returns 0 at the endpoints.
 pub fn binary_entropy(p: f64) -> f64 {
-    assert!(
-        (0.0..=1.0).contains(&p),
-        "probability out of range: {p}"
-    );
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
     if p == 0.0 || p == 1.0 {
         return 0.0;
     }

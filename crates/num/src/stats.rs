@@ -143,7 +143,9 @@ mod tests {
 
     #[test]
     fn running_matches_batch() {
-        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37 % 101) as f64).sin() * 5.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| ((i * 37 % 101) as f64).sin() * 5.0)
+            .collect();
         let mut acc = Running::new();
         for &x in &xs {
             acc.push(x);

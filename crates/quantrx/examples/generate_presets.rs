@@ -10,19 +10,41 @@ fn main() {
     let opts = DesignOptions::default();
 
     let sym = optimize_symbolwise(&modu, &opts);
-    println!("SYMBOLWISE ({:.4} bpcu, {} evals): {:?}", sym.objective, sym.evals, sym.filter.taps());
+    println!(
+        "SYMBOLWISE ({:.4} bpcu, {} evals): {:?}",
+        sym.objective,
+        sym.evals,
+        sym.filter.taps()
+    );
 
     let seq = optimize_sequence(&modu, &opts);
-    println!("SEQUENCE ({:.4} bpcu, {} evals): {:?}", seq.objective, seq.evals, seq.filter.taps());
+    println!(
+        "SEQUENCE ({:.4} bpcu, {} evals): {:?}",
+        seq.objective,
+        seq.evals,
+        seq.filter.taps()
+    );
 
     let sub = design_suboptimal(&modu, &opts);
     let t = ChannelTrellis::new(&modu, &sub.filter);
-    println!("SUBOPTIMAL (margin {:.4}, unique {}): {:?}", sub.objective, unique_detection(&t).is_unique(), sub.filter.taps());
+    println!(
+        "SUBOPTIMAL (margin {:.4}, unique {}): {:?}",
+        sub.objective,
+        unique_detection(&t).is_unique(),
+        sub.filter.taps()
+    );
 
     // Cross-check rates at 25 dB.
     let sigma = snr_db_to_sigma(25.0);
-    let mc = SequenceRateOptions { num_symbols: 50_000, seed: 5 };
-    for (name, f) in [("sym", &sym.filter), ("seq", &seq.filter), ("sub", &sub.filter)] {
+    let mc = SequenceRateOptions {
+        num_symbols: 50_000,
+        seed: 5,
+    };
+    for (name, f) in [
+        ("sym", &sym.filter),
+        ("seq", &seq.filter),
+        ("sub", &sub.filter),
+    ] {
         let t = ChannelTrellis::new(&modu, f);
         println!(
             "{name}: symbolwise {:.4}  sequence {:.4}",

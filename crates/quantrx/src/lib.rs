@@ -53,8 +53,8 @@ pub mod unique;
 pub use design::{DesignOptions, DesignResult};
 pub use filter::IsiFilter;
 pub use info_rate::{
-    no_oversampling_rate, sequence_information_rate, snr_db_to_sigma,
-    symbolwise_information_rate, unquantized_ask_capacity, SequenceRateOptions,
+    no_oversampling_rate, sequence_information_rate, snr_db_to_sigma, symbolwise_information_rate,
+    unquantized_ask_capacity, SequenceRateOptions,
 };
 pub use modulation::AskModulation;
 pub use trellis::ChannelTrellis;

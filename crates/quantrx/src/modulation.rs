@@ -22,7 +22,10 @@ impl AskModulation {
     /// Panics if `levels < 2` or `levels` is odd.
     pub fn new(levels: usize) -> Self {
         assert!(levels >= 2, "need at least two amplitude levels");
-        assert!(levels.is_multiple_of(2), "regular ASK uses an even number of levels");
+        assert!(
+            levels.is_multiple_of(2),
+            "regular ASK uses an even number of levels"
+        );
         let raw: Vec<f64> = (0..levels)
             .map(|i| (2 * i as i64 - (levels as i64 - 1)) as f64)
             .collect();
@@ -84,8 +87,7 @@ mod tests {
     fn unit_average_energy() {
         for levels in [2usize, 4, 8, 16] {
             let m = AskModulation::new(levels);
-            let e: f64 =
-                m.amplitudes().iter().map(|a| a * a).sum::<f64>() / m.levels() as f64;
+            let e: f64 = m.amplitudes().iter().map(|a| a * a).sum::<f64>() / m.levels() as f64;
             assert!((e - 1.0).abs() < 1e-12, "levels {levels}: energy {e}");
         }
     }

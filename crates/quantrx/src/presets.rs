@@ -21,22 +21,22 @@ pub const DESIGN_SNR_DB: f64 = 25.0;
 /// Raw taps of the symbolwise-optimal filter (Fig. 5b analogue);
 /// 1.542 bpcu symbolwise at 25 dB.
 pub const SYMBOLWISE_TAPS: [f64; 10] = [
-    -0.556740, -0.625045, 0.548672, 0.448200, 0.883266, 0.450036, 1.195591, 1.124054,
-    0.341028, 0.074201,
+    -0.556740, -0.625045, 0.548672, 0.448200, 0.883266, 0.450036, 1.195591, 1.124054, 0.341028,
+    0.074201,
 ];
 
 /// Raw taps of the sequence-optimal filter (Fig. 5c analogue);
 /// ≈ 2.0 bpcu with sequence estimation at 25 dB.
 pub const SEQUENCE_TAPS: [f64; 10] = [
-    -0.879273, -0.299035, 0.305239, 0.948284, 1.460739, 0.437515, 0.475399, 0.506764,
-    0.492332, 0.307671,
+    -0.879273, -0.299035, 0.305239, 0.948284, 1.460739, 0.437515, 0.475399, 0.506764, 0.492332,
+    0.307671,
 ];
 
 /// Raw taps of the suboptimal unique-detection filter (Fig. 5d analogue);
 /// noise-free detection margin 0.119, 1.98 bpcu sequence rate at 25 dB.
 pub const SUBOPTIMAL_TAPS: [f64; 10] = [
-    -0.532177, -0.267390, 0.282771, 0.570924, 1.849821, 0.266091, 0.535992, 0.581156,
-    0.304807, -0.169697,
+    -0.532177, -0.267390, 0.282771, 0.570924, 1.849821, 0.266091, 0.535992, 0.581156, 0.304807,
+    -0.169697,
 ];
 
 /// The rectangular no-ISI reference (Fig. 5a).
@@ -91,14 +91,9 @@ mod tests {
         // seq-opt >= symbolwise-opt > rect (all 1-bit, 5x oversampled).
         let modu = AskModulation::four_ask();
         let sigma = snr_db_to_sigma(DESIGN_SNR_DB);
-        let rect = symbolwise_information_rate(
-            &ChannelTrellis::new(&modu, &rect_filter()),
-            sigma,
-        );
-        let sym = symbolwise_information_rate(
-            &ChannelTrellis::new(&modu, &symbolwise_filter()),
-            sigma,
-        );
+        let rect = symbolwise_information_rate(&ChannelTrellis::new(&modu, &rect_filter()), sigma);
+        let sym =
+            symbolwise_information_rate(&ChannelTrellis::new(&modu, &symbolwise_filter()), sigma);
         let seq = sequence_information_rate(
             &ChannelTrellis::new(&modu, &sequence_filter()),
             sigma,

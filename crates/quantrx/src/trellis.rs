@@ -255,8 +255,7 @@ mod tests {
         let scale = (2.0 / 1.25f64).sqrt();
         for state in 0..4 {
             for input in 0..4 {
-                let want =
-                    scale * (modu.amplitude(input) + 0.5 * modu.amplitude(state));
+                let want = scale * (modu.amplitude(input) + 0.5 * modu.amplitude(state));
                 let got = t.noiseless_samples(state, input)[0];
                 assert!((got - want).abs() < 1e-12, "s={state} a={input}");
             }

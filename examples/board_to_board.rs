@@ -6,6 +6,7 @@
 //!
 //! Run with: `cargo run --release --example board_to_board`
 
+use wi_num::window::WindowKind;
 use wireless_interconnect::channel::geometry::BoardLink;
 use wireless_interconnect::channel::measurement::copper_board_sweep;
 use wireless_interconnect::channel::rays::TwoBoardScene;
@@ -14,7 +15,6 @@ use wireless_interconnect::linkbudget::budget::LinkBudget;
 use wireless_interconnect::linkbudget::datarate::{
     required_snr_db_for_rate, Polarization, PAPER_BANDWIDTH_HZ, PAPER_TARGET_RATE_BPS,
 };
-use wi_num::window::WindowKind;
 
 fn main() {
     let vna = SyntheticVna::paper_default();
@@ -32,7 +32,9 @@ fn main() {
     let ir = vna
         .measure(&TwoBoardScene::copper_boards(link).trace())
         .impulse_response(WindowKind::Hann);
-    let echo = ir.strongest_echo_rel_db(80e-12).unwrap_or(f64::NEG_INFINITY);
+    let echo = ir
+        .strongest_echo_rel_db(80e-12)
+        .unwrap_or(f64::NEG_INFINITY);
     println!("worst-link strongest reflection: {echo:.1} dB below LOS (static, flat channel ok)");
 
     // 3. Link budget: transmit power for 100 Gbit/s (Shannon bound and a

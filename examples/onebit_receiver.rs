@@ -9,8 +9,7 @@
 use wireless_interconnect::quantrx::design::{design_suboptimal, DesignOptions};
 use wireless_interconnect::quantrx::filter::IsiFilter;
 use wireless_interconnect::quantrx::info_rate::{
-    sequence_information_rate, snr_db_to_sigma, symbolwise_information_rate,
-    SequenceRateOptions,
+    sequence_information_rate, snr_db_to_sigma, symbolwise_information_rate, SequenceRateOptions,
 };
 use wireless_interconnect::quantrx::modulation::AskModulation;
 use wireless_interconnect::quantrx::presets;

@@ -17,7 +17,11 @@ fn main() {
 
     println!("wireless interconnect system — paper reference configuration");
     println!("-------------------------------------------------------------");
-    println!("boards: {} at {:.0} mm spacing", cfg.boards, cfg.board_spacing_m * 1e3);
+    println!(
+        "boards: {} at {:.0} mm spacing",
+        cfg.boards,
+        cfg.board_spacing_m * 1e3
+    );
     println!(
         "stacks per board: {} ({} cores each) -> {} cores total",
         cfg.board.stacks(),

@@ -26,7 +26,11 @@ fn ahead_link_matches_manual_budget_composition() {
     let mut budget = LinkBudget::from_model(&model, cfg.board_spacing_m);
     budget.bandwidth_hz = cfg.link.bandwidth_hz;
     let snr = budget.snr_db_at(cfg.link.tx_power_dbm);
-    assert!((ahead.snr_db - snr).abs() < 1e-9, "{} vs {snr}", ahead.snr_db);
+    assert!(
+        (ahead.snr_db - snr).abs() < 1e-9,
+        "{} vs {snr}",
+        ahead.snr_db
+    );
     assert!((ahead.pathloss_db - model.pathloss_db(cfg.board_spacing_m)).abs() < 1e-9);
 
     let se = spectral_efficiency(ReceiverModel::OneBitSymbolwise, snr);
@@ -59,8 +63,7 @@ fn coding_latency_matches_eq4_through_the_stack() {
 #[test]
 fn butler_matrix_only_degrades_the_worst_link() {
     let mut cfg = fast_config();
-    cfg.link.beamforming =
-        wireless_interconnect::linkbudget::budget::Beamforming::paper_butler();
+    cfg.link.beamforming = wireless_interconnect::linkbudget::budget::Beamforming::paper_butler();
     let with_butler = evaluate(&cfg);
     cfg.link.beamforming = wireless_interconnect::linkbudget::budget::Beamforming::Beamsteering;
     let without = evaluate(&cfg);

@@ -2,6 +2,7 @@
 //! exhibit. These are the cheap versions of what the `wi-bench` runners
 //! print in full.
 
+use wi_num::window::WindowKind;
 use wireless_interconnect::channel::geometry::BoardLink;
 use wireless_interconnect::channel::measurement::{free_space_sweep, impulse_comparison};
 use wireless_interconnect::channel::pathloss::PathlossModel;
@@ -12,20 +13,22 @@ use wireless_interconnect::linkbudget::budget::LinkBudget;
 use wireless_interconnect::noc::analytic::{AnalyticModel, RouterParams};
 use wireless_interconnect::noc::topology::Topology;
 use wireless_interconnect::quantrx::info_rate::{
-    no_oversampling_rate, snr_db_to_sigma, symbolwise_information_rate,
-    unquantized_ask_capacity,
+    no_oversampling_rate, snr_db_to_sigma, symbolwise_information_rate, unquantized_ask_capacity,
 };
 use wireless_interconnect::quantrx::modulation::AskModulation;
 use wireless_interconnect::quantrx::presets;
 use wireless_interconnect::quantrx::trellis::ChannelTrellis;
-use wi_num::window::WindowKind;
 
 #[test]
 fn fig1_free_space_exponent_near_two() {
     let vna = SyntheticVna::paper_default();
     let distances: Vec<f64> = (2..=20).map(|i| 0.01 * i as f64).collect();
     let sweep = free_space_sweep(&vna, &distances);
-    assert!((sweep.fit.exponent - 2.0).abs() < 0.05, "n = {}", sweep.fit.exponent);
+    assert!(
+        (sweep.fit.exponent - 2.0).abs() < 0.05,
+        "n = {}",
+        sweep.fit.exponent
+    );
 }
 
 #[test]
@@ -75,10 +78,8 @@ fn fig5_shipped_filters_have_paper_structure() {
 fn fig6_orderings_at_design_snr() {
     let modu = AskModulation::four_ask();
     let sigma = snr_db_to_sigma(25.0);
-    let rect = symbolwise_information_rate(
-        &ChannelTrellis::new(&modu, &presets::rect_filter()),
-        sigma,
-    );
+    let rect =
+        symbolwise_information_rate(&ChannelTrellis::new(&modu, &presets::rect_filter()), sigma);
     let designed = symbolwise_information_rate(
         &ChannelTrellis::new(&modu, &presets::symbolwise_filter()),
         sigma,

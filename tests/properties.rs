@@ -1,6 +1,9 @@
 //! Property-based tests (proptest) on cross-crate invariants.
 
 use proptest::prelude::*;
+use wi_num::fft::{dft, Direction};
+use wi_num::rng::seeded_rng;
+use wi_num::Complex64;
 use wireless_interconnect::channel::pathloss::{fit_pathloss_exponent, PathlossModel};
 use wireless_interconnect::ldpc::code::{Encoder, LdpcCode};
 use wireless_interconnect::linkbudget::budget::LinkBudget;
@@ -8,14 +11,9 @@ use wireless_interconnect::noc::analytic::{AnalyticModel, RouterParams};
 use wireless_interconnect::noc::routing::route;
 use wireless_interconnect::noc::topology::Topology;
 use wireless_interconnect::quantrx::filter::IsiFilter;
-use wireless_interconnect::quantrx::info_rate::{
-    snr_db_to_sigma, symbolwise_information_rate,
-};
+use wireless_interconnect::quantrx::info_rate::{snr_db_to_sigma, symbolwise_information_rate};
 use wireless_interconnect::quantrx::modulation::AskModulation;
 use wireless_interconnect::quantrx::trellis::ChannelTrellis;
-use wi_num::fft::{dft, Direction};
-use wi_num::rng::seeded_rng;
-use wi_num::Complex64;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

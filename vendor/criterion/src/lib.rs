@@ -1,0 +1,169 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace benches use
+//! (`Criterion::default().sample_size(..).measurement_time(..)`,
+//! `bench_function`, `Bencher::iter`, `criterion_group!`/`criterion_main!`)
+//! backed by a small but real timing harness: per-sample batched timing
+//! after a warm-up phase, reporting min/median/mean nanoseconds per
+//! iteration. Results are honest wall-clock measurements — only the
+//! statistical machinery (outlier analysis, regression) of real criterion
+//! is missing.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing-harness configuration and result sink.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut s = bencher.samples_ns;
+        assert!(!s.is_empty(), "Bencher::iter was never called in {name}");
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let min = s[0];
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        println!(
+            "{name:<40} time: [min {} median {} mean {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Times a closure in batches.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, recording `sample_size` batched samples of
+    /// nanoseconds-per-iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, which also calibrates the batch size.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement_time.as_secs_f64();
+        let batch = ((budget / self.sample_size as f64 / per_iter.max(1e-9)) as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+}
+
+/// Declares a group of benchmarks (criterion-compatible forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(10));
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+}

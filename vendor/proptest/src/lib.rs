@@ -1,0 +1,235 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest!` macro with `#![proptest_config(..)]`, arguments drawn from
+//! numeric range strategies (`lo..hi`), and `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!`. Cases are sampled from a
+//! deterministic per-test RNG (seeded from the test-function name), so
+//! failures reproduce exactly; there is no shrinking.
+
+use std::ops::Range;
+
+/// Error type threaded out of a property body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!` — does not count as a run.
+    Reject,
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+/// Per-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// SplitMix64 — deterministic case generator.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a) so each property gets
+    /// a stable, independent stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator (stand-in for `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_strategy_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_uint!(u64, u32, usize, u8);
+
+/// The property-test macro (subset of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                let mut accepted = 0u32;
+                let mut attempts = 0u32;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(20),
+                        "prop_assume! rejected too many cases"
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let result = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    match result {
+                        Ok(()) => accepted += 1,
+                        Err($crate::TestCaseError::Reject) => continue,
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed: {}\n  inputs: {}",
+                                stringify!($name),
+                                msg,
+                                vec![$(format!("{} = {:?}", stringify!($arg), $arg)),*]
+                                    .join(", ")
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Asserts inside a property body (records inputs on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Vetoes the current case without counting it.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Common imports (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 1.5f64..3.0, n in 5usize..20) {
+            prop_assert!((1.5..3.0).contains(&x));
+            prop_assert!((5..20).contains(&n));
+        }
+
+        #[test]
+        fn assume_filters_cases(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_also_works(b in 0u32..7) {
+            prop_assert!(b < 7);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access. The workspace derives
+//! `Serialize`/`Deserialize` on config and result types for downstream
+//! tooling, but never serializes inside this repo — so the traits here are
+//! markers with blanket impls and the derives are no-ops. Swap this path
+//! dependency for the real `serde` when the registry is reachable.
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,12 +1,19 @@
 //! Fig. 8(a): average packet latency versus injection rate at 64 modules —
 //! 8×8 2D mesh vs 4×4(×4) star-mesh vs 4×4×4 3D mesh.
 //!
-//! With `--des`, cross-validates each analytic point with the
-//! discrete-event simulator.
+//! With `--des`, every printed rate is cross-validated with the
+//! discrete-event simulator: a multi-replication sweep per topology adds
+//! a `DES ±2se` column next to each analytic column, plus the measured
+//! saturation knee. `--traffic <uniform|hotspot[:node:frac]|transpose|`
+//! `bitrev|neighbor>` selects the traffic pattern (the analytic model is
+//! uniform-only; non-uniform patterns show how far the paper's uniform
+//! assumption carries) and `--reps <k>` the replications per rate
+//! (default 3).
 
-use wi_bench::{fmt, fmt_opt, has_flag, print_table};
+use wi_bench::{flag_value, fmt, fmt_opt, has_flag, print_table};
 use wi_noc::analytic::{AnalyticModel, RouterParams};
-use wi_noc::des::{simulate, DesConfig};
+use wi_noc::des::traffic::{TrafficKind, TrafficPattern};
+use wi_noc::des::{sweep, DesConfig, SweepConfig, SweepResult};
 use wi_noc::topology::Topology;
 
 fn main() {
@@ -20,58 +27,89 @@ fn main() {
         ("3D-Mesh", AnalyticModel::new(&mesh3d, params)),
     ];
 
-    let rates: Vec<f64> = (1..=80).map(|k| 0.01 * k as f64).collect();
-    let mut rows = Vec::new();
-    for &rate in &rates {
-        // Keep the table readable: print every 0.05 plus fine steps near
-        // the knees.
-        if !((rate * 100.0) as usize).is_multiple_of(5) && rate > 0.05 {
-            continue;
+    let des = has_flag("--des");
+    let traffic = match flag_value("--traffic") {
+        Some(s) => TrafficKind::parse(&s)
+            .unwrap_or_else(|| panic!("unknown traffic pattern {s:?} (try uniform, hotspot, hotspot:<node>:<frac>, transpose, bitrev, neighbor)")),
+        None => TrafficKind::Uniform,
+    };
+    let reps: usize = flag_value("--reps")
+        .map(|s| s.parse().expect("--reps takes a positive integer"))
+        .unwrap_or(3);
+
+    // Printed rates: every 0.05 plus fine steps near the knees.
+    let rates: Vec<f64> = (1..=80)
+        .map(|k| 0.01 * k as f64)
+        .filter(|&r| ((r * 100.0) as usize).is_multiple_of(5) || r <= 0.05)
+        .collect();
+
+    // One parallel replication sweep per topology covers every printed
+    // rate (incomplete replications mark saturation).
+    let sweeps: Option<Vec<SweepResult>> = des.then(|| {
+        [&mesh2d, &star, &mesh3d]
+            .iter()
+            .map(|topo| {
+                let cfg = SweepConfig::new(
+                    rates.clone(),
+                    reps,
+                    DesConfig {
+                        traffic,
+                        warmup_packets: 1_000,
+                        measured_packets: 10_000,
+                        max_events: 5_000_000,
+                        ..DesConfig::default()
+                    },
+                );
+                sweep(topo, &cfg)
+            })
+            .collect()
+    });
+
+    let mut headers: Vec<&str> = vec!["inj. rate"];
+    for (name, _) in &models {
+        headers.push(name);
+        if des {
+            headers.push("DES ±2se");
         }
+    }
+    let mut rows = Vec::new();
+    for (ri, &rate) in rates.iter().enumerate() {
         let mut row = vec![fmt(rate, 2)];
-        for (_, m) in &models {
+        for (mi, (_, m)) in models.iter().enumerate() {
             row.push(fmt_opt(m.mean_latency(rate), 2));
+            if let Some(sweeps) = &sweeps {
+                let p = sweeps[mi].points[ri];
+                row.push(if p.completed == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.2} ±{:.2}", p.mean_latency, 2.0 * p.stderr)
+                });
+            }
         }
         rows.push(row);
     }
-    print_table(
-        "Fig. 8a — average packet latency / cycles (64 modules)",
-        &["inj. rate", "2D-Mesh", "Star-Mesh", "3D-Mesh"],
-        &rows,
-    );
+    let title = if des {
+        format!(
+            "Fig. 8a — packet latency / cycles (64 modules, analytic vs DES, {} traffic, {} reps)",
+            traffic.name(),
+            reps
+        )
+    } else {
+        "Fig. 8a — average packet latency / cycles (64 modules)".to_string()
+    };
+    print_table(&title, &headers, &rows);
 
     println!("\nlow-load latency / saturation rate:");
-    for (name, m) in &models {
+    for (mi, (name, m)) in models.iter().enumerate() {
+        let knee = sweeps
+            .as_ref()
+            .map(|s| format!(", DES knee {}", fmt_opt(s[mi].saturation_knee, 2)))
+            .unwrap_or_default();
         println!(
-            "  {name:10}: {:5.1} cycles / {:.2} flits/cycle/module",
+            "  {name:10}: {:5.1} cycles / {:.2} flits/cycle/module{knee}",
             m.zero_load_latency(),
             m.saturation_rate()
         );
     }
     println!("  paper     : 2D 13 cy / 0.41, star 7 cy / 0.19, 3D 10 cy / 0.75");
-
-    if has_flag("--des") {
-        println!("\nDES cross-validation (exponential service):");
-        for (name, topo) in [
-            ("2D-Mesh", &mesh2d),
-            ("Star-Mesh", &star),
-            ("3D-Mesh", &mesh3d),
-        ] {
-            for rate in [0.05, 0.15] {
-                let des = simulate(
-                    topo,
-                    &DesConfig {
-                        injection_rate: rate,
-                        measured_packets: 30_000,
-                        ..DesConfig::default()
-                    },
-                );
-                println!(
-                    "  {name:10} @ {rate:.2}: DES {:.2} +/- {:.2} cycles",
-                    des.mean_latency,
-                    2.0 * des.stderr
-                );
-            }
-        }
-    }
 }

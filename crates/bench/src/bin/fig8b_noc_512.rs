@@ -1,8 +1,15 @@
 //! Fig. 8(b): average packet latency versus injection rate at 512 modules —
 //! 32×16 2D mesh vs 8×8×8 3D mesh; the latency gap widens with scale.
+//!
+//! With `--des`, the 512-module curves get a DES `±2se` column from a
+//! multi-replication sweep (the paper has no simulation at this scale —
+//! this is the independent check of the analytic claim). `--traffic` and
+//! `--reps` work as in `fig8a_noc_64`.
 
-use wi_bench::{fmt, fmt_opt, print_table};
+use wi_bench::{flag_value, fmt, fmt_opt, has_flag, print_table};
 use wi_noc::analytic::{AnalyticModel, RouterParams};
+use wi_noc::des::traffic::TrafficKind;
+use wi_noc::des::{sweep, DesConfig, SweepConfig, SweepResult};
 use wi_noc::topology::Topology;
 
 fn main() {
@@ -17,30 +24,82 @@ fn main() {
     let m2_64 = AnalyticModel::new(&mesh2d_64, params);
     let m3_64 = AnalyticModel::new(&mesh3d_64, params);
 
+    let des = has_flag("--des");
+    let traffic = match flag_value("--traffic") {
+        Some(s) => TrafficKind::parse(&s)
+            .unwrap_or_else(|| panic!("unknown traffic pattern {s:?} (try uniform, hotspot, hotspot:<node>:<frac>, transpose, bitrev, neighbor)")),
+        None => TrafficKind::Uniform,
+    };
+    let reps: usize = flag_value("--reps")
+        .map(|s| s.parse().expect("--reps takes a positive integer"))
+        .unwrap_or(3);
+
     let rates: Vec<f64> = (1..=14).map(|k| 0.05 * k as f64).collect();
+    let sweeps: Option<Vec<SweepResult>> = des.then(|| {
+        [&mesh2d_512, &mesh3d_512]
+            .iter()
+            .map(|topo| {
+                // The measurement window must scale with the module count:
+                // warmup and measured packets are *global*, so a fixed
+                // budget at 512 modules would sample only the injection
+                // transient and understate queueing near saturation.
+                let n = topo.num_modules();
+                let cfg = SweepConfig::new(
+                    rates.clone(),
+                    reps,
+                    DesConfig {
+                        traffic,
+                        warmup_packets: 20 * n,
+                        measured_packets: 100 * n,
+                        max_events: 10_000_000,
+                        ..DesConfig::default()
+                    },
+                );
+                sweep(topo, &cfg)
+            })
+            .collect()
+    });
+
+    let mut headers = vec!["inj. rate", "2D 512 mod."];
+    if des {
+        headers.push("DES ±2se");
+    }
+    headers.push("3D 512 mod.");
+    if des {
+        headers.push("DES ±2se");
+    }
+    headers.extend(["2D 64 mod.", "3D 64 mod."]);
+
     let rows: Vec<Vec<String>> = rates
         .iter()
-        .map(|&r| {
-            vec![
-                fmt(r, 2),
-                fmt_opt(m2_512.mean_latency(r), 2),
-                fmt_opt(m3_512.mean_latency(r), 2),
-                fmt_opt(m2_64.mean_latency(r), 2),
-                fmt_opt(m3_64.mean_latency(r), 2),
-            ]
+        .enumerate()
+        .map(|(ri, &r)| {
+            let mut row = vec![fmt(r, 2)];
+            for (mi, m) in [&m2_512, &m3_512].iter().enumerate() {
+                row.push(fmt_opt(m.mean_latency(r), 2));
+                if let Some(sweeps) = &sweeps {
+                    let p = sweeps[mi].points[ri];
+                    row.push(if p.completed == 0 {
+                        "-".to_string()
+                    } else {
+                        format!("{:.2} ±{:.2}", p.mean_latency, 2.0 * p.stderr)
+                    });
+                }
+            }
+            row.push(fmt_opt(m2_64.mean_latency(r), 2));
+            row.push(fmt_opt(m3_64.mean_latency(r), 2));
+            row
         })
         .collect();
-    print_table(
-        "Fig. 8b — average packet latency / cycles",
-        &[
-            "inj. rate",
-            "2D 512 mod.",
-            "3D 512 mod.",
-            "2D 64 mod.",
-            "3D 64 mod.",
-        ],
-        &rows,
-    );
+    print_table("Fig. 8b — average packet latency / cycles", &headers, &rows);
+
+    if let Some(sweeps) = &sweeps {
+        println!(
+            "\nDES saturation knees (512 modules): 2D {}, 3D {} flits/cycle/module",
+            fmt_opt(sweeps[0].saturation_knee, 2),
+            fmt_opt(sweeps[1].saturation_knee, 2)
+        );
+    }
 
     let gap64 = m2_64.zero_load_latency() - m3_64.zero_load_latency();
     let gap512 = m2_512.zero_load_latency() - m3_512.zero_load_latency();

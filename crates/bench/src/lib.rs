@@ -60,6 +60,17 @@ pub fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
+/// Value of a `--flag value` pair, if present.
+pub fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +95,10 @@ mod tests {
     #[should_panic(expected = "ragged table row")]
     fn ragged_rows_panic() {
         print_table("demo", &["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn absent_flag_value_is_none() {
+        assert_eq!(flag_value("--definitely-not-passed"), None);
     }
 }

@@ -10,6 +10,8 @@ use wi_ldpc::decoder::{BpConfig, CheckRule};
 use wi_ldpc::window::WindowDecoder;
 use wi_linkbudget::budget::Beamforming;
 use wi_linkbudget::datarate::Polarization;
+use wi_noc::des::traffic::TrafficKind;
+use wi_noc::des::{DesConfig, ServiceDistribution, SweepConfig};
 use wi_noc::topology::Topology;
 
 /// A 3D chip stack: stacked dies with a Network-in-Chip-Stack (§IV).
@@ -142,6 +144,50 @@ pub enum ReceiverModel {
     Shannon,
 }
 
+/// NoC simulation workload: how the discrete-event cross-validation of
+/// the §IV queueing results is driven (traffic pattern, service model,
+/// replication count).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NocWorkloadConfig {
+    /// Destination pattern of injected packets.
+    pub traffic: TrafficKind,
+    /// Link service-time distribution.
+    pub service: ServiceDistribution,
+    /// Independent DES replications per operating point (error bars).
+    pub replications: usize,
+    /// Injection rate for single-point cross-checks (packets/cycle/module).
+    pub injection_rate: f64,
+}
+
+impl NocWorkloadConfig {
+    /// The paper's evaluation setup: uniform traffic, exponential service
+    /// (matching the analytic M/M/1 model), 3 replications, λ = 0.1.
+    pub fn paper_default() -> Self {
+        NocWorkloadConfig {
+            traffic: TrafficKind::Uniform,
+            service: ServiceDistribution::Exponential,
+            replications: 3,
+            injection_rate: 0.1,
+        }
+    }
+
+    /// The [`DesConfig`] this workload implies at its single-point rate.
+    pub fn des_config(&self, seed: u64) -> DesConfig {
+        DesConfig {
+            injection_rate: self.injection_rate,
+            traffic: self.traffic,
+            service: self.service,
+            seed,
+            ..DesConfig::default()
+        }
+    }
+
+    /// A replication-sweep configuration over `rates` for this workload.
+    pub fn sweep_config(&self, rates: Vec<f64>, seed: u64) -> SweepConfig {
+        SweepConfig::new(rates, self.replications, self.des_config(seed))
+    }
+}
+
 /// Error-correction configuration (§V).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CodingConfig {
@@ -212,6 +258,8 @@ pub struct SystemConfig {
     pub link: WirelessLinkConfig,
     /// Error-correction coding.
     pub coding: CodingConfig,
+    /// NoC simulation workload (traffic pattern / replications).
+    pub noc: NocWorkloadConfig,
 }
 
 impl SystemConfig {
@@ -225,6 +273,7 @@ impl SystemConfig {
             stack: StackConfig::paper_64(),
             link: WirelessLinkConfig::paper_default(),
             coding: CodingConfig::paper_default(),
+            noc: NocWorkloadConfig::paper_default(),
         }
     }
 
@@ -263,6 +312,15 @@ impl SystemConfig {
         }
         if let Some(problem) = self.coding.check_rule.problem() {
             problems.push(problem);
+        }
+        if self.noc.replications == 0 {
+            problems.push("NoC workload needs at least one replication".into());
+        }
+        if self.noc.injection_rate <= 0.0 {
+            problems.push("NoC injection rate must be positive".into());
+        }
+        if let Some(problem) = self.noc.traffic.problem(self.stack.cores()) {
+            problems.push(format!("NoC traffic: {problem}"));
         }
         problems
     }
@@ -334,5 +392,31 @@ mod tests {
     #[test]
     fn scaling_point_512() {
         assert_eq!(StackConfig::paper_512().cores(), 512);
+    }
+
+    #[test]
+    fn noc_workload_builds_sim_configs() {
+        let w = NocWorkloadConfig::paper_default();
+        let des = w.des_config(0xD0);
+        assert_eq!(des.injection_rate, 0.1);
+        assert_eq!(des.traffic, TrafficKind::Uniform);
+        assert_eq!(des.seed, 0xD0);
+        let sweep = w.sweep_config(vec![0.05, 0.1], 7);
+        assert_eq!(sweep.replications, 3);
+        assert_eq!(sweep.rates, vec![0.05, 0.1]);
+        assert_eq!(sweep.base.seed, 7);
+    }
+
+    #[test]
+    fn validation_catches_noc_workload_problems() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.noc.replications = 0;
+        cfg.noc.injection_rate = 0.0;
+        cfg.noc.traffic = TrafficKind::Hotspot {
+            node: 9_999,
+            fraction: 0.2,
+        };
+        let problems = cfg.validate();
+        assert_eq!(problems.len(), 3, "{problems:?}");
     }
 }

@@ -23,7 +23,7 @@
 //! star-mesh saturation ≈ 0.20 (paper: 0.19) and 3D-mesh ≈ 0.82
 //! (paper: 0.75).
 
-use crate::routing::route;
+use crate::routing::RouteTable;
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +51,10 @@ impl Default for RouterParams {
 pub struct AnalyticModel<'a> {
     topo: &'a Topology,
     params: RouterParams,
+    /// All-pairs routes in flat CSR form, built once and shared by every
+    /// latency evaluation (the pre-`RouteTable` model re-routed all pairs
+    /// on each [`AnalyticModel::mean_latency`] call).
+    routes: RouteTable,
     /// `pair_count[l]` = number of (src,dst) module pairs whose route uses
     /// directed link `l`.
     pair_count: Vec<u64>,
@@ -71,6 +75,7 @@ impl<'a> AnalyticModel<'a> {
     pub fn new(topo: &'a Topology, params: RouterParams) -> Self {
         let n = topo.num_modules();
         assert!(n >= 2, "need at least two modules");
+        let routes = RouteTable::new(topo);
         let mut pair_count = vec![0u64; topo.num_links()];
         let mut total_hops = 0u64;
         for s in 0..n {
@@ -78,16 +83,17 @@ impl<'a> AnalyticModel<'a> {
                 if s == d {
                     continue;
                 }
-                let p = route(topo, s, d);
-                for &l in &p.links {
-                    pair_count[l] += 1;
+                let links = routes.links(s, d);
+                for &l in links {
+                    pair_count[l as usize] += 1;
                 }
-                total_hops += p.hops() as u64;
+                total_hops += links.len() as u64;
             }
         }
         AnalyticModel {
             topo,
             params,
+            routes,
             pair_count,
             total_hops,
             num_pairs: (n as u64) * (n as u64 - 1),
@@ -186,10 +192,11 @@ impl<'a> AnalyticModel<'a> {
                 if s == d {
                     continue;
                 }
-                let p = route(self.topo, s, d);
-                let mut lat = p.routers.len() as f64 * self.params.routing_delay + ej_delay;
-                for &l in &p.links {
-                    lat += link_delay[l];
+                let links = self.routes.links(s, d);
+                // Routers traversed = hops + 1.
+                let mut lat = (links.len() + 1) as f64 * self.params.routing_delay + ej_delay;
+                for &l in links {
+                    lat += link_delay[l as usize];
                 }
                 total += lat;
             }

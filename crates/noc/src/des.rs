@@ -1,21 +1,43 @@
-//! Discrete-event NoC simulator.
+//! Discrete-event NoC simulation.
 //!
-//! Ref \[14\] validates its analytic queueing model against simulation; this
-//! module plays that role here. It simulates the same system the analytic
-//! model describes — Poisson packet injection, deterministic dimension-order
-//! routes, one FIFO server per directed link plus one per ejection port,
-//! and a fixed pipeline delay per traversed router — so the two can be
-//! compared number-for-number in tests and benches.
+//! Ref \[14\] validates its analytic queueing model against simulation;
+//! this module plays that role here. It simulates the same system the
+//! analytic model describes — Poisson packet injection, deterministic
+//! dimension-order routes, one FIFO server per directed link plus one per
+//! ejection port, and a fixed pipeline delay per traversed router — so
+//! the two can be compared number-for-number in tests and benches.
+//!
+//! The module is organised like the PR-1 decoder stack:
+//!
+//! * [`engine`] — the arena-based event engine: packets in a recycled
+//!   slab, events packed into integer-keyed heap entries, routes from a
+//!   prebuilt [`crate::routing::RouteTable`]; zero allocation in the
+//!   steady-state loop.
+//! * [`reference`] — the original per-event-allocating simulator,
+//!   retained as the correctness oracle (bit-identical to the engine for
+//!   the default uniform/exponential configuration; pinned by tests).
+//! * [`traffic`] — the [`traffic::TrafficPattern`] generators (uniform,
+//!   hotspot, transpose, bit-reversal, nearest-neighbour), all
+//!   seed-deterministic.
+//! * [`sweep`] — multi-replication latency-vs-rate sweeps fanned out over
+//!   scoped threads, bit-identical at any thread count, reporting
+//!   mean/stderr/saturation-knee per rate.
+//!
+//! [`simulate`] is the original entry point, kept as a thin wrapper over
+//! the engine.
+
+pub mod engine;
+pub mod reference;
+pub mod sweep;
+pub mod traffic;
 
 use crate::analytic::RouterParams;
-use crate::routing::route;
 use crate::topology::Topology;
-use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use wi_num::rng::seeded_rng;
-use wi_num::stats::Running;
+use traffic::TrafficKind;
+
+pub use engine::Engine;
+pub use sweep::{sweep, sweep_serial, sweep_with_threads, RatePoint, SweepConfig, SweepResult};
 
 /// Service-time distribution of the link servers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -33,8 +55,10 @@ pub enum ServiceDistribution {
 /// Simulation configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DesConfig {
-    /// Packet injection rate per module (packets/cycle), uniform traffic.
+    /// Packet injection rate per module (packets/cycle).
     pub injection_rate: f64,
+    /// Destination pattern of the injected packets.
+    pub traffic: TrafficKind,
     /// Router timing (shared with the analytic model).
     pub params: RouterParams,
     /// Link service-time distribution.
@@ -54,6 +78,7 @@ impl Default for DesConfig {
     fn default() -> Self {
         DesConfig {
             injection_rate: 0.1,
+            traffic: TrafficKind::Uniform,
             params: RouterParams::default(),
             service: ServiceDistribution::Exponential,
             warmup_packets: 2_000,
@@ -79,175 +104,16 @@ pub struct DesResult {
     pub completed: bool,
 }
 
-/// Total-ordering wrapper for event timestamps.
-#[derive(Clone, Copy, Debug, PartialEq)]
-struct TimeKey(f64);
-
-impl Eq for TimeKey {}
-
-impl PartialOrd for TimeKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for TimeKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
-
-#[derive(Clone, Copy, Debug)]
-enum Event {
-    /// A module's next packet injection.
-    Inject { module: usize },
-    /// A packet is ready to join the queue of its next stage.
-    Ready { packet: usize },
-}
-
-struct Packet {
-    t_inject: f64,
-    /// Link ids along the path.
-    links: Vec<usize>,
-    dst_module: usize,
-    next_stage: usize,
-    measured: bool,
-}
-
-/// Runs the simulation.
+/// Runs one simulation — a thin wrapper over [`engine::simulate`],
+/// pinned bit-for-bit to the pre-refactor [`reference::simulate`] for the
+/// default uniform/exponential configuration.
 ///
 /// # Panics
 ///
-/// Panics if the injection rate is not positive or the topology has fewer
-/// than two modules.
+/// Panics if the injection rate is not positive, the topology has fewer
+/// than two modules, or the traffic pattern is invalid for it.
 pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
-    assert!(
-        config.injection_rate > 0.0,
-        "injection rate must be positive"
-    );
-    let n = topo.num_modules();
-    assert!(n >= 2, "need at least two modules");
-
-    let mut rng = seeded_rng(config.seed);
-    let mut heap: BinaryHeap<Reverse<(TimeKey, u64, usize)>> = BinaryHeap::new();
-    // Events stored separately so the heap stays Copy-friendly.
-    let mut events: Vec<Event> = Vec::new();
-    let mut seq = 0u64;
-    let mut push = |heap: &mut BinaryHeap<_>, events: &mut Vec<Event>, t: f64, e: Event| {
-        events.push(e);
-        let id = events.len() - 1;
-        seq += 1;
-        heap.push(Reverse((TimeKey(t), seq, id)));
-    };
-
-    let mut link_free = vec![0.0f64; topo.num_links()];
-    let mut ej_free = vec![0.0f64; n];
-    let mut packets: Vec<Packet> = Vec::new();
-
-    let mut injected = 0usize;
-    let total_tracked = config.warmup_packets + config.measured_packets;
-    let mut delivered_measured = 0usize;
-    let mut stats = Running::new();
-    let mut event_count = 0u64;
-
-    let exp_sample = |rng: &mut rand::rngs::StdRng, mean: f64| -> f64 {
-        let u: f64 = 1.0 - rng.gen::<f64>();
-        -mean * u.ln()
-    };
-
-    // Seed one injection per module.
-    for m in 0..n {
-        let t = exp_sample(&mut rng, 1.0 / config.injection_rate);
-        push(&mut heap, &mut events, t, Event::Inject { module: m });
-    }
-
-    while let Some(Reverse((TimeKey(now), _, eid))) = heap.pop() {
-        event_count += 1;
-        if event_count > config.max_events {
-            return DesResult {
-                mean_latency: stats.mean(),
-                stderr: stats.stderr(),
-                delivered: delivered_measured,
-                completed: false,
-            };
-        }
-        match events[eid] {
-            Event::Inject { module } => {
-                // Uniform destination, excluding self.
-                let mut dst = rng.gen_range(0..n - 1);
-                if dst >= module {
-                    dst += 1;
-                }
-                let path = route(topo, module, dst);
-                let measured = injected >= config.warmup_packets && injected < total_tracked;
-                packets.push(Packet {
-                    t_inject: now,
-                    links: path.links,
-                    dst_module: dst,
-                    next_stage: 0,
-                    measured,
-                });
-                injected += 1;
-                let pid = packets.len() - 1;
-                // Traverse the source router pipeline, then queue.
-                push(
-                    &mut heap,
-                    &mut events,
-                    now + config.params.routing_delay,
-                    Event::Ready { packet: pid },
-                );
-                // Keep offering load until measurement finishes.
-                if delivered_measured < config.measured_packets {
-                    let t_next = now + exp_sample(&mut rng, 1.0 / config.injection_rate);
-                    push(&mut heap, &mut events, t_next, Event::Inject { module });
-                }
-            }
-            Event::Ready { packet } => {
-                let svc = match config.service {
-                    ServiceDistribution::Exponential => {
-                        exp_sample(&mut rng, config.params.service_time)
-                    }
-                    ServiceDistribution::Deterministic => config.params.service_time,
-                };
-                let stage = packets[packet].next_stage;
-                if stage < packets[packet].links.len() {
-                    // Inter-router link stage.
-                    let l = packets[packet].links[stage];
-                    let start = now.max(link_free[l]);
-                    let finish = start + svc;
-                    link_free[l] = finish;
-                    packets[packet].next_stage += 1;
-                    // Next router pipeline, then next queue.
-                    push(
-                        &mut heap,
-                        &mut events,
-                        finish + config.params.routing_delay,
-                        Event::Ready { packet },
-                    );
-                } else {
-                    // Ejection stage.
-                    let m = packets[packet].dst_module;
-                    let start = now.max(ej_free[m]);
-                    let finish = start + svc;
-                    ej_free[m] = finish;
-                    if packets[packet].measured {
-                        stats.push(finish - packets[packet].t_inject);
-                        delivered_measured += 1;
-                        if delivered_measured >= config.measured_packets {
-                            break;
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    DesResult {
-        mean_latency: stats.mean(),
-        stderr: stats.stderr(),
-        delivered: delivered_measured,
-        completed: delivered_measured >= config.measured_packets,
-    }
+    engine::simulate(topo, config)
 }
 
 #[cfg(test)]
@@ -263,6 +129,47 @@ mod tests {
             seed,
             ..DesConfig::default()
         }
+    }
+
+    #[test]
+    fn engine_matches_reference_for_default_config() {
+        // The arena engine must be bit-identical to the retained reference
+        // simulator for the default uniform/exponential configuration.
+        for topo in [Topology::mesh2d(4, 4), Topology::mesh3d(3, 3, 3)] {
+            for seed in [1u64, 42, 0xDE5] {
+                let cfg = DesConfig {
+                    seed,
+                    ..DesConfig::default()
+                };
+                let old = reference::simulate(&topo, &cfg);
+                let new = simulate(&topo, &cfg);
+                assert_eq!(old, new, "seed {seed} diverged on {:?}", topo.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_with_deterministic_service() {
+        let topo = Topology::mesh2d(4, 4);
+        for seed in [3u64, 8, 13] {
+            let cfg = DesConfig {
+                service: ServiceDistribution::Deterministic,
+                seed,
+                ..quick(0.3, seed)
+            };
+            assert_eq!(reference::simulate(&topo, &cfg), simulate(&topo, &cfg));
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_under_overload() {
+        // The event-limit bailout path must stay pinned too.
+        let topo = Topology::mesh2d(8, 8);
+        let cfg = DesConfig {
+            max_events: 200_000,
+            ..quick(2.0, 5)
+        };
+        assert_eq!(reference::simulate(&topo, &cfg), simulate(&topo, &cfg));
     }
 
     #[test]
@@ -312,6 +219,63 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_service_matches_md1_model() {
+        // Quantitative M/D/1 check: the analytic model is M/M/1, whose
+        // waits are exactly twice the M/D/1 waits at equal utilization.
+        // The M/M/1 latency splits into a load-independent part (the
+        // zero-load latency) plus the queueing waits, so the expected
+        // M/D/1 latency is zero_load + (mm1 − zero_load)/2.
+        let topo = Topology::mesh2d(4, 4);
+        let analytic = AnalyticModel::new(&topo, RouterParams::default());
+        let rate = 0.25;
+        let mm1 = analytic.mean_latency(rate).expect("below saturation");
+        let want = analytic.zero_load_latency() + (mm1 - analytic.zero_load_latency()) / 2.0;
+        let got = simulate(
+            &topo,
+            &DesConfig {
+                service: ServiceDistribution::Deterministic,
+                measured_packets: 20_000,
+                ..quick(rate, 12)
+            },
+        )
+        .mean_latency;
+        assert!(
+            (got - want).abs() / want < 0.10,
+            "M/D/1 DES {got:.2} vs halved-wait model {want:.2}"
+        );
+    }
+
+    #[test]
+    fn saturation_rate_agrees_with_analytic() {
+        // Sweep the 4×4 mesh across the analytic saturation rate: the
+        // DES knee must land within 20 % of the analytic prediction.
+        let topo = Topology::mesh2d(4, 4);
+        let sat = AnalyticModel::new(&topo, RouterParams::default()).saturation_rate();
+        let rates: Vec<f64> = [0.55, 0.7, 0.85, 1.0, 1.15, 1.3]
+            .iter()
+            .map(|&f| f * sat)
+            .collect();
+        let cfg = SweepConfig::new(
+            rates,
+            2,
+            DesConfig {
+                warmup_packets: 1_000,
+                measured_packets: 8_000,
+                max_events: 2_000_000,
+                seed: 0x5A7,
+                ..DesConfig::default()
+            },
+        );
+        let knee = sweep(&topo, &cfg)
+            .saturation_knee
+            .expect("sweep crosses saturation");
+        assert!(
+            (knee - sat).abs() / sat <= 0.20,
+            "DES knee {knee:.3} vs analytic saturation {sat:.3}"
+        );
+    }
+
+    #[test]
     fn latency_grows_with_load() {
         let topo = Topology::mesh3d(3, 3, 3);
         let lo = simulate(&topo, &quick(0.05, 4)).mean_latency;
@@ -330,8 +294,8 @@ mod tests {
     #[test]
     fn overload_reports_incomplete() {
         let topo = Topology::mesh2d(8, 8);
+        // 2.0 packets/cycle/module is far beyond saturation (~0.41).
         let cfg = DesConfig {
-            injection_rate: 2.0, // far beyond saturation (~0.41)
             max_events: 200_000,
             ..quick(2.0, 5)
         };
@@ -346,6 +310,37 @@ mod tests {
         let star = simulate(&Topology::star_mesh(4, 4, 4), &quick(0.02, 6));
         let mesh = simulate(&Topology::mesh2d(8, 8), &quick(0.02, 6));
         assert!(star.mean_latency < mesh.mean_latency);
+    }
+
+    #[test]
+    fn nonuniform_traffic_changes_latency() {
+        // Patterns reshape the load; with the same seed and rate the
+        // measured latencies must differ from uniform, and locality must
+        // win: nearest-neighbour traffic beats uniform.
+        let topo = Topology::mesh3d(3, 3, 3);
+        let base = quick(0.2, 31);
+        let uniform = simulate(&topo, &base);
+        let neighbor = simulate(
+            &topo,
+            &DesConfig {
+                traffic: TrafficKind::NearestNeighbor,
+                ..base
+            },
+        );
+        assert!(
+            neighbor.mean_latency < uniform.mean_latency,
+            "neighbor {} vs uniform {}",
+            neighbor.mean_latency,
+            uniform.mean_latency
+        );
+        let transpose = simulate(
+            &topo,
+            &DesConfig {
+                traffic: TrafficKind::Transpose,
+                ..base
+            },
+        );
+        assert_ne!(transpose.mean_latency, uniform.mean_latency);
     }
 
     #[test]

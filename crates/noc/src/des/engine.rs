@@ -1,0 +1,485 @@
+//! Arena-based discrete-event engine — the allocation-free hot path.
+//!
+//! Same simulated system as [`crate::des::reference`] (Poisson injection,
+//! deterministic dimension-order routes, one FIFO server per directed
+//! link plus one per ejection port, fixed pipeline delay per traversed
+//! router), re-architected the way PR 1's `DecoderWorkspace` re-
+//! architected the decoder:
+//!
+//! * **No per-packet route allocation.** Routes come from a prebuilt
+//!   [`RouteTable`] in flat CSR form; a lookup is two array reads instead
+//!   of the two `Vec` allocations plus per-hop `HashMap` probes of
+//!   [`crate::routing::route`].
+//! * **No per-event allocation.** An event is packed *inside* its
+//!   16-byte heap entry (tag bit + module/packet index in the low bits),
+//!   so the unbounded side `Vec<Event>` of the reference simulator
+//!   disappears entirely.
+//! * **Arena-recycled packets.** Packet state lives in a slab of `Copy`
+//!   slots; ejection returns the slot to a free list, so the live set —
+//!   not the total injected count — bounds memory.
+//! * **Integer heap keys.** Each heap entry is one `u128` priority whose
+//!   high word is the IEEE-754 bit pattern of the (always non-negative)
+//!   event time — an order-preserving integer image of the `f64` — with
+//!   the push sequence number below it as the tie-break. One integer
+//!   comparison reproduces the reference heap's `(total_cmp, seq)` order
+//!   exactly, and the pop of almost every event fuses with the push of
+//!   its successor into a single replace-top sift.
+//!
+//! An [`Engine`] is reusable: [`Engine::run`] resets the arenas without
+//! releasing their capacity, so replication sweeps
+//! ([`crate::des::sweep`]) pay the route-table build once per worker and
+//! allocate nothing per replication in the steady state.
+//!
+//! For the default uniform/exponential configuration the engine consumes
+//! the RNG in exactly the reference order and is therefore **bit-
+//! identical** to [`crate::des::reference::simulate`] — the `des` module
+//! tests pin this. Non-uniform patterns from [`crate::des::traffic`]
+//! plug in through the same loop.
+
+use super::traffic::{TrafficCtx, TrafficPattern};
+use super::{DesConfig, DesResult, ServiceDistribution};
+use crate::routing::RouteTable;
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::Rng;
+use wi_num::rng::seeded_rng;
+use wi_num::stats::Running;
+
+/// Tag bit distinguishing `Ready` events from `Inject` events in the
+/// packed event word.
+const READY_TAG: u32 = 1 << 31;
+
+/// One pending event, packed into a single 16-byte integer priority:
+/// time key (bits 127..64), push sequence number (63..32 — the tie-break
+/// preserving reference event order) and event payload (31..0: tag bit
+/// plus module or packet index).
+///
+/// Event times are sums of non-negative terms, so the IEEE-754 bit
+/// pattern of the `f64` time is an order-preserving integer key, and the
+/// whole entry compares with one `u128` comparison. The payload sits
+/// below the sequence number, which is unique, so it can never influence
+/// the order.
+///
+/// `Ord` is **inverted** (smaller priority compares `Greater`) so that
+/// [`std::collections::BinaryHeap`] — a max-heap — pops the earliest
+/// event first. The std heap is used deliberately: its hole-based sift
+/// loops are internally unchecked, which safe hand-rolled sifting cannot
+/// match, and `PeekMut` gives the pop-and-push fusion ("replace top")
+/// that almost every DES event wants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct HeapEntry {
+    pri: u128,
+}
+
+impl HeapEntry {
+    #[inline]
+    fn new(t: f64, seq: u32, ev: u32) -> Self {
+        // `t + 0.0` normalizes a (vanishingly rare, but possible via
+        // `-mean * 0.0.ln()`-style corner draws) negative zero to +0.0,
+        // whose bit pattern would otherwise order *last* instead of
+        // first. For every other non-negative value the addition is the
+        // identity, keeping `to_bits` an order-preserving integer key.
+        HeapEntry {
+            pri: (((t + 0.0).to_bits()) as u128) << 64 | (seq as u128) << 32 | ev as u128,
+        }
+    }
+
+    #[inline]
+    fn time(&self) -> f64 {
+        f64::from_bits((self.pri >> 64) as u64)
+    }
+
+    #[inline]
+    fn ev(&self) -> u32 {
+        self.pri as u32
+    }
+
+    #[inline]
+    fn with_seq(self, seq: u32) -> Self {
+        HeapEntry {
+            pri: self.pri & !(0xFFFF_FFFFu128 << 32) | (seq as u128) << 32,
+        }
+    }
+}
+
+impl Ord for HeapEntry {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.pri.cmp(&self.pri)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap of [`HeapEntry`]s over the inverted `Ord` above.
+#[derive(Clone, Debug, Default)]
+struct EventHeap {
+    entries: std::collections::BinaryHeap<HeapEntry>,
+}
+
+impl EventHeap {
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    #[inline]
+    fn push(&mut self, e: HeapEntry) {
+        self.entries.push(e);
+    }
+
+    /// The earliest entry, if any.
+    #[inline]
+    fn peek(&self) -> Option<HeapEntry> {
+        self.entries.peek().copied()
+    }
+
+    /// Replaces the earliest entry with `e` — one sift-down instead of
+    /// the pop-and-push pair that almost every DES event would otherwise
+    /// pay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is empty.
+    #[inline]
+    fn replace_top(&mut self, e: HeapEntry) {
+        let mut top = self.entries.peek_mut().expect("replace_top on empty heap");
+        *top = e;
+        // The entry sifts into place when the `PeekMut` guard drops.
+    }
+
+    /// Removes the earliest entry.
+    #[inline]
+    fn pop_top(&mut self) {
+        self.entries.pop();
+    }
+
+    /// Removes and returns the earliest entry (test helper).
+    #[cfg(test)]
+    fn pop(&mut self) -> Option<HeapEntry> {
+        self.entries.pop()
+    }
+
+    /// Compacts the 32-bit sequence numbers to `1..=len` preserving the
+    /// total entry order, and returns the next free sequence number.
+    ///
+    /// Called (cold) when the push counter approaches `u32::MAX`, i.e.
+    /// every ~4 billion events; an ascending-sorted array is a valid heap
+    /// under the inverted `Ord`, so the rebuilt entries can be stored
+    /// back directly.
+    #[cold]
+    fn renumber(&mut self) -> u32 {
+        let mut entries = std::mem::take(&mut self.entries).into_vec();
+        entries.sort_unstable_by_key(|e| e.pri);
+        for (i, e) in entries.iter_mut().enumerate() {
+            *e = e.with_seq(i as u32 + 1);
+        }
+        let next = entries.len() as u32 + 1;
+        self.entries = std::collections::BinaryHeap::from(entries);
+        next
+    }
+}
+
+/// Per-packet state in the arena. Routes are *not* stored here — the
+/// slot carries the packet's precomputed range within the shared
+/// [`RouteTable`]'s flat link buffer.
+#[derive(Clone, Copy, Debug)]
+struct PacketSlot {
+    t_inject: f64,
+    /// Start of the route in [`RouteTable::flat_links`].
+    route_lo: u32,
+    /// Hops remaining (counts down to the ejection stage).
+    remaining: u32,
+    dst: u32,
+    measured: bool,
+}
+
+/// A reusable simulation engine bound to one topology.
+///
+/// Construction precomputes the route table and traffic context (the
+/// only allocations proportional to topology size); [`Engine::run`]
+/// recycles every buffer across calls.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    routes: RouteTable,
+    ctx: TrafficCtx,
+    num_links: usize,
+    heap: EventHeap,
+    packets: Vec<PacketSlot>,
+    free: Vec<u32>,
+    link_free: Vec<f64>,
+    ej_free: Vec<f64>,
+}
+
+impl Engine {
+    /// Builds an engine for `topo`, routing all router pairs once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has fewer than two modules or lacks a link
+    /// some dimension-order route needs.
+    pub fn new(topo: &Topology) -> Self {
+        assert!(topo.num_modules() >= 2, "need at least two modules");
+        Engine {
+            routes: RouteTable::new(topo),
+            ctx: TrafficCtx::new(topo),
+            num_links: topo.num_links(),
+            heap: EventHeap::default(),
+            packets: Vec::new(),
+            free: Vec::new(),
+            link_free: vec![0.0; topo.num_links()],
+            ej_free: vec![0.0; topo.num_modules()],
+        }
+    }
+
+    /// Runs one simulation, reusing the engine's arenas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the injection rate is not positive or the traffic
+    /// pattern is invalid for this topology.
+    pub fn run(&mut self, config: &DesConfig) -> DesResult {
+        assert!(
+            config.injection_rate > 0.0,
+            "injection rate must be positive"
+        );
+        let n = self.ctx.num_modules();
+        assert!(n >= 2, "need at least two modules");
+        if let Some(problem) = config.traffic.problem(n) {
+            panic!("invalid traffic pattern: {problem}");
+        }
+
+        let Engine {
+            routes,
+            ctx,
+            num_links,
+            heap,
+            packets,
+            free,
+            link_free,
+            ej_free,
+        } = self;
+
+        heap.clear();
+        packets.clear();
+        free.clear();
+        link_free.clear();
+        link_free.resize(*num_links, 0.0);
+        ej_free.clear();
+        ej_free.resize(n, 0.0);
+
+        let mut rng = seeded_rng(config.seed);
+        // Sequence numbers are assigned in the reference simulator's push
+        // order; whether an entry then enters via `push` or `replace_top`
+        // cannot matter, because the heap's (key, seq) order is total.
+        let mut seq = 0u32;
+        let entry = |seq: &mut u32, t: f64, ev: u32| {
+            *seq += 1;
+            HeapEntry::new(t, *seq, ev)
+        };
+
+        let mut injected = 0usize;
+        let total_tracked = config.warmup_packets + config.measured_packets;
+        let mut delivered_measured = 0usize;
+        let mut stats = Running::new();
+        let mut event_count = 0u64;
+
+        let inject_mean = 1.0 / config.injection_rate;
+        let exp_sample = |rng: &mut StdRng, mean: f64| -> f64 {
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            -mean * u.ln()
+        };
+
+        // Seed one injection per module.
+        for m in 0..n {
+            let t = exp_sample(&mut rng, inject_mean);
+            let e = entry(&mut seq, t, m as u32);
+            heap.push(e);
+        }
+
+        while let Some(top) = heap.peek() {
+            event_count += 1;
+            if event_count > config.max_events {
+                return DesResult {
+                    mean_latency: stats.mean(),
+                    stderr: stats.stderr(),
+                    delivered: delivered_measured,
+                    completed: false,
+                };
+            }
+            if seq >= u32::MAX - 4 {
+                seq = heap.renumber();
+            }
+            let now = top.time();
+            let ev = top.ev();
+            if ev & READY_TAG == 0 {
+                // Injection at `module`.
+                let module = ev as usize;
+                let dst = config.traffic.dest(module, ctx, &mut rng);
+                let measured = injected >= config.warmup_packets && injected < total_tracked;
+                let span = routes.span(module, dst);
+                let slot = PacketSlot {
+                    t_inject: now,
+                    route_lo: span.start as u32,
+                    remaining: span.len() as u32,
+                    dst: dst as u32,
+                    measured,
+                };
+                let pid = match free.pop() {
+                    Some(i) => {
+                        packets[i as usize] = slot;
+                        i
+                    }
+                    None => {
+                        assert!(
+                            packets.len() < READY_TAG as usize,
+                            "more than 2^31 packets in flight"
+                        );
+                        packets.push(slot);
+                        (packets.len() - 1) as u32
+                    }
+                };
+                injected += 1;
+                // Traverse the source router pipeline, then queue.
+                let ready = entry(&mut seq, now + config.params.routing_delay, READY_TAG | pid);
+                heap.replace_top(ready);
+                // Keep offering load until measurement finishes.
+                if delivered_measured < config.measured_packets {
+                    let t_next = now + exp_sample(&mut rng, inject_mean);
+                    let e = entry(&mut seq, t_next, module as u32);
+                    heap.push(e);
+                }
+            } else {
+                // Packet ready for its next stage.
+                let pid = (ev & !READY_TAG) as usize;
+                let svc = match config.service {
+                    ServiceDistribution::Exponential => {
+                        exp_sample(&mut rng, config.params.service_time)
+                    }
+                    ServiceDistribution::Deterministic => config.params.service_time,
+                };
+                let p = packets[pid];
+                if p.remaining > 0 {
+                    // Inter-router link stage.
+                    let l = routes.flat_links()[p.route_lo as usize] as usize;
+                    let start = now.max(link_free[l]);
+                    let finish = start + svc;
+                    link_free[l] = finish;
+                    packets[pid].route_lo += 1;
+                    packets[pid].remaining -= 1;
+                    // Next router pipeline, then next queue.
+                    let ready = entry(
+                        &mut seq,
+                        finish + config.params.routing_delay,
+                        READY_TAG | pid as u32,
+                    );
+                    heap.replace_top(ready);
+                } else {
+                    // Ejection stage; the slot is recycled either way.
+                    heap.pop_top();
+                    let m = p.dst as usize;
+                    let start = now.max(ej_free[m]);
+                    let finish = start + svc;
+                    ej_free[m] = finish;
+                    free.push(pid as u32);
+                    if p.measured {
+                        stats.push(finish - p.t_inject);
+                        delivered_measured += 1;
+                        if delivered_measured >= config.measured_packets {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        DesResult {
+            mean_latency: stats.mean(),
+            stderr: stats.stderr(),
+            delivered: delivered_measured,
+            completed: delivered_measured >= config.measured_packets,
+        }
+    }
+}
+
+/// One-shot convenience: builds an [`Engine`] and runs it once.
+///
+/// # Panics
+///
+/// See [`Engine::new`] and [`Engine::run`].
+pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
+    Engine::new(topo).run(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_heap_orders_by_key_then_seq() {
+        let mut h = EventHeap::default();
+        for (t, seq, ev) in [
+            (5.0f64, 1u32, 10u32),
+            (3.0, 2, 11),
+            (5.0, 3, 12),
+            (1.0, 4, 13),
+        ] {
+            h.push(HeapEntry::new(t, seq, ev));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop()).map(|e| e.ev()).collect();
+        assert_eq!(order, vec![13, 11, 10, 12]);
+    }
+
+    #[test]
+    fn renumber_preserves_order() {
+        let mut h = EventHeap::default();
+        for (t, seq, ev) in [
+            (5.0f64, 90u32, 10u32),
+            (3.0, 91, 11),
+            (5.0, 92, 12),
+            (1.0, 93, 13),
+        ] {
+            h.push(HeapEntry::new(t, seq, ev));
+        }
+        let next = h.renumber();
+        assert_eq!(next, 5);
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop()).map(|e| e.ev()).collect();
+        assert_eq!(order, vec![13, 11, 10, 12]);
+    }
+
+    #[test]
+    fn engine_is_reusable_and_deterministic() {
+        let topo = Topology::mesh2d(4, 4);
+        let cfg = DesConfig {
+            warmup_packets: 200,
+            measured_packets: 2_000,
+            ..DesConfig::default()
+        };
+        let mut engine = Engine::new(&topo);
+        let a = engine.run(&cfg);
+        let b = engine.run(&cfg);
+        assert_eq!(a, b, "arena reuse must not leak state between runs");
+        assert_eq!(a, simulate(&topo, &cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid traffic pattern")]
+    fn bad_hotspot_panics() {
+        use crate::des::traffic::TrafficKind;
+        let topo = Topology::mesh2d(2, 2);
+        simulate(
+            &topo,
+            &DesConfig {
+                traffic: TrafficKind::Hotspot {
+                    node: 99,
+                    fraction: 0.2,
+                },
+                ..DesConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! The original per-event-allocating simulator, retained as the
+//! correctness oracle for the arena engine.
+//!
+//! This is the PR-1 `decoder::reference` pattern applied to the DES: the
+//! code below is the pre-refactor simulator, kept unoptimized on purpose.
+//! It pushes a fresh [`Event`] and a fresh `Packet` (with a `route()`-
+//! allocated link `Vec`) for everything it schedules, and its event heap
+//! is keyed on raw `f64` time — exactly the behaviour
+//! [`crate::des::engine`] removes. The `des` module tests assert that the
+//! two simulators produce bit-identical [`DesResult`]s for the default
+//! uniform/exponential configuration, and the `des_sim` benches measure
+//! the speedup against it.
+//!
+//! Only uniform traffic is implemented here (the pre-refactor simulator
+//! knew nothing else); the `traffic` field of [`DesConfig`] is ignored.
+
+use super::{DesConfig, DesResult, ServiceDistribution};
+use crate::routing::route;
+use crate::topology::Topology;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use wi_num::rng::seeded_rng;
+use wi_num::stats::Running;
+
+/// Total-ordering wrapper for event timestamps.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct TimeKey(f64);
+
+impl Eq for TimeKey {}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// A module's next packet injection.
+    Inject { module: usize },
+    /// A packet is ready to join the queue of its next stage.
+    Ready { packet: usize },
+}
+
+struct Packet {
+    t_inject: f64,
+    /// Link ids along the path.
+    links: Vec<usize>,
+    dst_module: usize,
+    next_stage: usize,
+    measured: bool,
+}
+
+/// Runs the reference simulation (uniform traffic only).
+///
+/// # Panics
+///
+/// Panics if the injection rate is not positive or the topology has fewer
+/// than two modules.
+pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
+    assert!(
+        config.injection_rate > 0.0,
+        "injection rate must be positive"
+    );
+    let n = topo.num_modules();
+    assert!(n >= 2, "need at least two modules");
+
+    let mut rng = seeded_rng(config.seed);
+    let mut heap: BinaryHeap<Reverse<(TimeKey, u64, usize)>> = BinaryHeap::new();
+    // Events stored separately so the heap stays Copy-friendly.
+    let mut events: Vec<Event> = Vec::new();
+    let mut seq = 0u64;
+    let mut push = |heap: &mut BinaryHeap<_>, events: &mut Vec<Event>, t: f64, e: Event| {
+        events.push(e);
+        let id = events.len() - 1;
+        seq += 1;
+        heap.push(Reverse((TimeKey(t), seq, id)));
+    };
+
+    let mut link_free = vec![0.0f64; topo.num_links()];
+    let mut ej_free = vec![0.0f64; n];
+    let mut packets: Vec<Packet> = Vec::new();
+
+    let mut injected = 0usize;
+    let total_tracked = config.warmup_packets + config.measured_packets;
+    let mut delivered_measured = 0usize;
+    let mut stats = Running::new();
+    let mut event_count = 0u64;
+
+    let exp_sample = |rng: &mut rand::rngs::StdRng, mean: f64| -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -mean * u.ln()
+    };
+
+    // Seed one injection per module.
+    for m in 0..n {
+        let t = exp_sample(&mut rng, 1.0 / config.injection_rate);
+        push(&mut heap, &mut events, t, Event::Inject { module: m });
+    }
+
+    while let Some(Reverse((TimeKey(now), _, eid))) = heap.pop() {
+        event_count += 1;
+        if event_count > config.max_events {
+            return DesResult {
+                mean_latency: stats.mean(),
+                stderr: stats.stderr(),
+                delivered: delivered_measured,
+                completed: false,
+            };
+        }
+        match events[eid] {
+            Event::Inject { module } => {
+                // Uniform destination, excluding self.
+                let mut dst = rng.gen_range(0..n - 1);
+                if dst >= module {
+                    dst += 1;
+                }
+                let path = route(topo, module, dst);
+                let measured = injected >= config.warmup_packets && injected < total_tracked;
+                packets.push(Packet {
+                    t_inject: now,
+                    links: path.links,
+                    dst_module: dst,
+                    next_stage: 0,
+                    measured,
+                });
+                injected += 1;
+                let pid = packets.len() - 1;
+                // Traverse the source router pipeline, then queue.
+                push(
+                    &mut heap,
+                    &mut events,
+                    now + config.params.routing_delay,
+                    Event::Ready { packet: pid },
+                );
+                // Keep offering load until measurement finishes.
+                if delivered_measured < config.measured_packets {
+                    let t_next = now + exp_sample(&mut rng, 1.0 / config.injection_rate);
+                    push(&mut heap, &mut events, t_next, Event::Inject { module });
+                }
+            }
+            Event::Ready { packet } => {
+                let svc = match config.service {
+                    ServiceDistribution::Exponential => {
+                        exp_sample(&mut rng, config.params.service_time)
+                    }
+                    ServiceDistribution::Deterministic => config.params.service_time,
+                };
+                let stage = packets[packet].next_stage;
+                if stage < packets[packet].links.len() {
+                    // Inter-router link stage.
+                    let l = packets[packet].links[stage];
+                    let start = now.max(link_free[l]);
+                    let finish = start + svc;
+                    link_free[l] = finish;
+                    packets[packet].next_stage += 1;
+                    // Next router pipeline, then next queue.
+                    push(
+                        &mut heap,
+                        &mut events,
+                        finish + config.params.routing_delay,
+                        Event::Ready { packet },
+                    );
+                } else {
+                    // Ejection stage.
+                    let m = packets[packet].dst_module;
+                    let start = now.max(ej_free[m]);
+                    let finish = start + svc;
+                    ej_free[m] = finish;
+                    if packets[packet].measured {
+                        stats.push(finish - packets[packet].t_inject);
+                        delivered_measured += 1;
+                        if delivered_measured >= config.measured_packets {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    DesResult {
+        mean_latency: stats.mean(),
+        stderr: stats.stderr(),
+        delivered: delivered_measured,
+        completed: delivered_measured >= config.measured_packets,
+    }
+}

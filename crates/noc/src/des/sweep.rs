@@ -1,0 +1,298 @@
+//! Multi-replication latency-vs-rate sweeps — the DES version of a
+//! Fig. 8 curve, with error bars.
+//!
+//! A sweep runs `replications` independent simulations at every
+//! injection rate and reports the mean, the standard error **across
+//! replications**, and the saturation knee of the resulting curve. Every
+//! replication derives its own seed from the master seed via
+//! [`derive_seed`] (stream = flat task index), so the work can be fanned
+//! out across scoped threads in any order and at any thread count while
+//! staying **bit-identical** to the serial path — the same contract
+//! `wi_ldpc::ber::simulate_cc_ber` established for Monte-Carlo BER. The
+//! fan-out uses `std::thread::scope` directly (no `rayon` in the build
+//! environment); each worker owns one reusable [`Engine`], so the only
+//! per-task cost beyond simulation is writing one [`DesResult`] slot.
+//!
+//! The **saturation knee** is the first rate whose point either failed a
+//! majority of its replications (event-limit overruns — the DES symptom
+//! of an unstable queue) or whose mean latency exceeds `knee_factor`
+//! times the latency of the first completed point. Near and above the
+//! analytic saturation rate the measured latency grows with the horizon
+//! rather than converging, so the factor criterion fires reliably even
+//! when short runs still drain within the event budget.
+
+use super::engine::Engine;
+use super::{DesConfig, DesResult};
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+use wi_num::rng::derive_seed;
+use wi_num::stats::Running;
+
+/// Configuration of a latency-vs-rate sweep.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Injection rates to simulate (packets/cycle/module).
+    pub rates: Vec<f64>,
+    /// Independent replications per rate (seeded via
+    /// [`derive_seed`] from `base.seed`).
+    pub replications: usize,
+    /// Template configuration; `injection_rate` and `seed` are overridden
+    /// per task.
+    pub base: DesConfig,
+    /// Latency multiple (over the first completed point) that declares
+    /// the saturation knee.
+    pub knee_factor: f64,
+}
+
+impl SweepConfig {
+    /// A sweep over `rates` with `replications` replications of `base`
+    /// per rate and the default knee factor of 4.
+    pub fn new(rates: Vec<f64>, replications: usize, base: DesConfig) -> Self {
+        SweepConfig {
+            rates,
+            replications,
+            base,
+            knee_factor: 4.0,
+        }
+    }
+}
+
+/// Aggregated replications at one injection rate.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RatePoint {
+    /// Injection rate (packets/cycle/module).
+    pub rate: f64,
+    /// Mean of the per-replication mean latencies (completed
+    /// replications only; 0 when none completed).
+    pub mean_latency: f64,
+    /// Standard error across the completed replications' means.
+    pub stderr: f64,
+    /// Replications that drained within the event budget.
+    pub completed: usize,
+    /// Replications attempted.
+    pub replications: usize,
+}
+
+/// Outcome of a sweep.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// One aggregated point per configured rate, in rate order.
+    pub points: Vec<RatePoint>,
+    /// First rate at which the network shows saturation symptoms (see
+    /// module docs), `None` if the whole sweep stays below the knee.
+    pub saturation_knee: Option<f64>,
+}
+
+/// Threads used by the auto-parallel entry point.
+fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs the sweep, fanning replications out over all available cores.
+/// Bit-identical to [`sweep_serial`] at the same configuration.
+///
+/// # Panics
+///
+/// See [`sweep_with_threads`].
+pub fn sweep(topo: &Topology, config: &SweepConfig) -> SweepResult {
+    sweep_with_threads(topo, config, auto_threads())
+}
+
+/// Serial reference path of [`sweep`] (single thread, no fan-out).
+pub fn sweep_serial(topo: &Topology, config: &SweepConfig) -> SweepResult {
+    sweep_with_threads(topo, config, 1)
+}
+
+/// [`sweep`] with an explicit worker-thread count.
+///
+/// # Panics
+///
+/// Panics if `rates` is empty, `replications` is zero, or any rate is
+/// not positive.
+pub fn sweep_with_threads(topo: &Topology, config: &SweepConfig, threads: usize) -> SweepResult {
+    assert!(!config.rates.is_empty(), "sweep needs at least one rate");
+    assert!(
+        config.replications > 0,
+        "sweep needs at least one replication"
+    );
+    assert!(
+        config.rates.iter().all(|&r| r > 0.0),
+        "injection rates must be positive"
+    );
+
+    let reps = config.replications;
+    let tasks: Vec<DesConfig> = config
+        .rates
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, &rate)| {
+            (0..reps).map(move |rep| DesConfig {
+                injection_rate: rate,
+                seed: derive_seed(config.base.seed, (ri * reps + rep) as u64),
+                ..config.base
+            })
+        })
+        .collect();
+
+    let mut results: Vec<Option<DesResult>> = vec![None; tasks.len()];
+    let threads = threads.clamp(1, tasks.len());
+    // Route the topology once; workers clone the prototype (a memcpy of
+    // the route table and arenas) instead of re-walking all router pairs.
+    let mut proto = Engine::new(topo);
+    if threads <= 1 {
+        for (slot, cfg) in results.iter_mut().zip(&tasks) {
+            *slot = Some(proto.run(cfg));
+        }
+    } else {
+        let per_worker = tasks.len().div_ceil(threads);
+        let proto = &proto;
+        std::thread::scope(|scope| {
+            for (slots, cfgs) in results.chunks_mut(per_worker).zip(tasks.chunks(per_worker)) {
+                scope.spawn(move || {
+                    // One engine per worker for the whole sweep.
+                    let mut engine = proto.clone();
+                    for (slot, cfg) in slots.iter_mut().zip(cfgs) {
+                        *slot = Some(engine.run(cfg));
+                    }
+                });
+            }
+        });
+    }
+
+    // Serial fold in task order — the thread count cannot affect anything
+    // from here on.
+    let mut points = Vec::with_capacity(config.rates.len());
+    for (ri, &rate) in config.rates.iter().enumerate() {
+        let mut acc = Running::new();
+        let mut completed = 0usize;
+        for rep in 0..reps {
+            let r = results[ri * reps + rep].expect("every task ran");
+            if r.completed {
+                acc.push(r.mean_latency);
+                completed += 1;
+            }
+        }
+        points.push(RatePoint {
+            rate,
+            mean_latency: acc.mean(),
+            stderr: acc.stderr(),
+            completed,
+            replications: reps,
+        });
+    }
+
+    let baseline = points
+        .iter()
+        .find(|p| p.completed > 0)
+        .map(|p| p.mean_latency);
+    let saturation_knee = points
+        .iter()
+        .find(|p| {
+            2 * p.completed < reps
+                || baseline
+                    .is_some_and(|b| p.completed > 0 && p.mean_latency > config.knee_factor * b)
+        })
+        .map(|p| p.rate);
+
+    SweepResult {
+        points,
+        saturation_knee,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::traffic::TrafficKind;
+
+    fn quick_base(seed: u64) -> DesConfig {
+        DesConfig {
+            warmup_packets: 300,
+            measured_packets: 3_000,
+            max_events: 400_000,
+            seed,
+            ..DesConfig::default()
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bit_for_bit() {
+        let topo = Topology::mesh2d(4, 4);
+        let cfg = SweepConfig::new(vec![0.05, 0.2, 0.5, 0.9], 3, quick_base(0x5EED));
+        let serial = sweep_serial(&topo, &cfg);
+        for threads in [2, 3, 8, 64] {
+            let par = sweep_with_threads(&topo, &cfg, threads);
+            assert_eq!(serial, par, "thread count {threads} changed the sweep");
+        }
+    }
+
+    #[test]
+    fn latency_rises_and_knee_appears_past_saturation() {
+        // 4×4 mesh saturates around 0.78 (analytic); the sweep's knee must
+        // land above the comfortable rates and at or below overload.
+        let topo = Topology::mesh2d(4, 4);
+        let cfg = SweepConfig::new(vec![0.1, 0.3, 0.5, 1.2, 1.6], 2, quick_base(7));
+        let r = sweep(&topo, &cfg);
+        assert!(r.points[0].mean_latency < r.points[2].mean_latency);
+        assert!(r.points.iter().all(|p| p.replications == 2));
+        let knee = r.saturation_knee.expect("overloaded rates must knee");
+        assert!(knee > 0.5 && knee <= 1.2, "knee {knee}");
+    }
+
+    #[test]
+    fn replications_give_nonzero_spread() {
+        let topo = Topology::mesh2d(4, 4);
+        let cfg = SweepConfig::new(vec![0.3], 4, quick_base(21));
+        let r = sweep(&topo, &cfg);
+        let p = r.points[0];
+        assert_eq!(p.completed, 4);
+        assert!(p.stderr > 0.0, "independent replications must differ");
+        assert!(p.mean_latency > 0.0);
+    }
+
+    #[test]
+    fn hotspot_traffic_knees_before_uniform() {
+        // 30 % of packets target module 0, so its ejection port saturates
+        // near service_rate/0.3 — far below the uniform knee.
+        let topo = Topology::mesh2d(4, 4);
+        let uniform = SweepConfig::new(vec![0.2, 0.4, 0.6, 0.8], 2, quick_base(9));
+        let hotspot = SweepConfig {
+            base: DesConfig {
+                traffic: TrafficKind::Hotspot {
+                    node: 0,
+                    fraction: 0.3,
+                },
+                ..quick_base(9)
+            },
+            ..uniform.clone()
+        };
+        let ku = sweep(&topo, &uniform).saturation_knee;
+        let kh = sweep(&topo, &hotspot)
+            .saturation_knee
+            .expect("hotspot must saturate in range");
+        assert!(
+            ku.is_none_or(|u| kh < u),
+            "hotspot knee {kh:?} vs uniform {ku:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rate")]
+    fn empty_rates_panic() {
+        sweep(
+            &Topology::mesh2d(2, 2),
+            &SweepConfig::new(vec![], 2, quick_base(1)),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_panic() {
+        sweep(
+            &Topology::mesh2d(2, 2),
+            &SweepConfig::new(vec![0.1], 0, quick_base(1)),
+        );
+    }
+}

@@ -1,0 +1,526 @@
+//! Synthetic traffic patterns for the discrete-event simulator.
+//!
+//! The paper's §IV evaluation (and the analytic model of ref \[14\]) is
+//! uniform-random only, but multichip-interconnect studies routinely
+//! stress NoCs with a battery of synthetic patterns — hotspot, transpose,
+//! bit-reversal, nearest-neighbour — because adversarial spatial locality
+//! moves the saturation point far from the uniform prediction. This
+//! module provides those generators behind one [`TrafficPattern`] trait.
+//!
+//! Every generator is **seed-deterministic**: destinations depend only on
+//! the source module, the precomputed [`TrafficCtx`], and draws from the
+//! caller's seeded RNG, so a simulation with a fixed seed is reproducible
+//! regardless of pattern. [`Uniform`] consumes the RNG in exactly the
+//! order the pre-refactor simulator did, which is what lets the arena
+//! engine stay bit-identical to [`crate::des::reference`] under the
+//! default configuration.
+//!
+//! [`TrafficKind`] is the plain-data (serde) mirror of the pattern
+//! structs for use in configuration types; it implements
+//! [`TrafficPattern`] by dispatch.
+
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Precomputed per-topology context for destination generation.
+///
+/// Built once per simulation (never inside the event loop), it holds the
+/// flat lookups the patterns need — module↔router maps, a modules-per-
+/// router CSR, a router-adjacency CSR and grid coordinates — so `dest()`
+/// is allocation-free.
+#[derive(Clone, Debug)]
+pub struct TrafficCtx {
+    dims: [usize; 3],
+    module_router: Vec<u32>,
+    /// Index of each module within its router's module list.
+    module_local: Vec<u32>,
+    /// CSR of module ids per router.
+    router_module_offsets: Vec<u32>,
+    router_modules: Vec<u32>,
+    /// CSR of neighbouring router ids per router.
+    neighbor_offsets: Vec<u32>,
+    neighbor_routers: Vec<u32>,
+    router_coords: Vec<[usize; 3]>,
+}
+
+impl TrafficCtx {
+    /// Builds the context for one topology.
+    pub fn new(topo: &Topology) -> Self {
+        let r = topo.num_routers();
+        let n = topo.num_modules();
+
+        let mut per_router: Vec<Vec<u32>> = vec![Vec::new(); r];
+        let mut module_local = vec![0u32; n];
+        for (m, local) in module_local.iter_mut().enumerate() {
+            let router = topo.router_of(m);
+            *local = per_router[router].len() as u32;
+            per_router[router].push(m as u32);
+        }
+        let mut router_module_offsets = Vec::with_capacity(r + 1);
+        router_module_offsets.push(0u32);
+        let mut router_modules = Vec::with_capacity(n);
+        for mods in &per_router {
+            router_modules.extend_from_slice(mods);
+            router_module_offsets.push(router_modules.len() as u32);
+        }
+
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); r];
+        for l in topo.links() {
+            adj[l.src].push(l.dst as u32);
+        }
+        let mut neighbor_offsets = Vec::with_capacity(r + 1);
+        neighbor_offsets.push(0u32);
+        let mut neighbor_routers = Vec::new();
+        for a in &adj {
+            neighbor_routers.extend_from_slice(a);
+            neighbor_offsets.push(neighbor_routers.len() as u32);
+        }
+
+        TrafficCtx {
+            dims: topo.dims(),
+            module_router: (0..n).map(|m| topo.router_of(m) as u32).collect(),
+            module_local,
+            router_module_offsets,
+            router_modules,
+            neighbor_offsets,
+            neighbor_routers,
+            router_coords: (0..r).map(|i| topo.coord(i)).collect(),
+        }
+    }
+
+    /// Number of modules.
+    pub fn num_modules(&self) -> usize {
+        self.module_router.len()
+    }
+
+    fn modules_of(&self, router: usize) -> &[u32] {
+        let lo = self.router_module_offsets[router] as usize;
+        let hi = self.router_module_offsets[router + 1] as usize;
+        &self.router_modules[lo..hi]
+    }
+
+    fn neighbors_of(&self, router: usize) -> &[u32] {
+        let lo = self.neighbor_offsets[router] as usize;
+        let hi = self.neighbor_offsets[router + 1] as usize;
+        &self.neighbor_routers[lo..hi]
+    }
+}
+
+/// A destination generator: maps a source module to a destination module,
+/// drawing any required randomness from the caller's seeded RNG.
+pub trait TrafficPattern {
+    /// Short lowercase name (CLI / table labels).
+    fn name(&self) -> &'static str;
+
+    /// Picks the destination module for a packet injected at `src`.
+    ///
+    /// Must return a module in range and different from `src`.
+    fn dest(&self, src: usize, ctx: &TrafficCtx, rng: &mut StdRng) -> usize;
+}
+
+/// Uniform destination over all modules except the source — drawn with
+/// the exact RNG-consumption order of the pre-refactor simulator.
+fn uniform_excluding(src: usize, n: usize, rng: &mut StdRng) -> usize {
+    let mut dst = rng.gen_range(0..n - 1);
+    if dst >= src {
+        dst += 1;
+    }
+    dst
+}
+
+/// Uniform-random traffic: every other module is equally likely
+/// (the paper's §IV assumption).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Uniform;
+
+impl TrafficPattern for Uniform {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn dest(&self, src: usize, ctx: &TrafficCtx, rng: &mut StdRng) -> usize {
+        uniform_excluding(src, ctx.num_modules(), rng)
+    }
+}
+
+/// Hotspot traffic: with probability `fraction` the packet targets the
+/// hotspot module, otherwise a uniform destination (a shared-memory
+/// controller or I/O port in one corner of the stack).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Hotspot {
+    /// The hotspot module.
+    pub node: usize,
+    /// Probability that a packet targets the hotspot.
+    pub fraction: f64,
+}
+
+impl TrafficPattern for Hotspot {
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+
+    fn dest(&self, src: usize, ctx: &TrafficCtx, rng: &mut StdRng) -> usize {
+        let n = ctx.num_modules();
+        // The biased draw happens unconditionally so the RNG stream does
+        // not depend on the source module.
+        let u: f64 = rng.gen();
+        if u < self.fraction && self.node != src && self.node < n {
+            self.node
+        } else {
+            uniform_excluding(src, n, rng)
+        }
+    }
+}
+
+/// Matrix-transpose traffic: the module at router `(x, y, z)` sends to
+/// the router at `(y, x, z)` (coordinates folded into the grid when the
+/// mesh is not square), keeping the same local module index. Diagonal
+/// sources fall back to a uniform draw.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Transpose;
+
+impl TrafficPattern for Transpose {
+    fn name(&self) -> &'static str {
+        "transpose"
+    }
+
+    fn dest(&self, src: usize, ctx: &TrafficCtx, rng: &mut StdRng) -> usize {
+        let [nx, ny, _] = ctx.dims;
+        let [x, y, z] = ctx.router_coords[ctx.module_router[src] as usize];
+        let dst_router = (y % nx) + nx * ((x % ny) + ny * z);
+        let mods = ctx.modules_of(dst_router);
+        let dst = mods[ctx.module_local[src] as usize % mods.len()] as usize;
+        if dst == src {
+            uniform_excluding(src, ctx.num_modules(), rng)
+        } else {
+            dst
+        }
+    }
+}
+
+/// Bit-reversal traffic: module `m` sends to the module whose index is
+/// the bit-reversal of `m` in `ceil(log2 N)` bits — the classic
+/// adversarial pattern for dimension-order routing. Fixed points and
+/// out-of-range reversals fall back to a uniform draw.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BitReversal;
+
+impl TrafficPattern for BitReversal {
+    fn name(&self) -> &'static str {
+        "bitrev"
+    }
+
+    fn dest(&self, src: usize, ctx: &TrafficCtx, rng: &mut StdRng) -> usize {
+        let n = ctx.num_modules();
+        let bits = n.next_power_of_two().trailing_zeros();
+        let rev = if bits == 0 {
+            src
+        } else {
+            ((src as u64).reverse_bits() >> (64 - bits)) as usize
+        };
+        if rev >= n || rev == src {
+            uniform_excluding(src, n, rng)
+        } else {
+            rev
+        }
+    }
+}
+
+/// Nearest-neighbour traffic: destinations are confined to modules on an
+/// adjacent router (picked uniformly), modelling tightly blocked stencil
+/// workloads. Isolated routers fall back to a uniform draw.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NearestNeighbor;
+
+impl TrafficPattern for NearestNeighbor {
+    fn name(&self) -> &'static str {
+        "neighbor"
+    }
+
+    fn dest(&self, src: usize, ctx: &TrafficCtx, rng: &mut StdRng) -> usize {
+        let neighbors = ctx.neighbors_of(ctx.module_router[src] as usize);
+        if neighbors.is_empty() {
+            return uniform_excluding(src, ctx.num_modules(), rng);
+        }
+        let router = neighbors[rng.gen_range(0..neighbors.len())] as usize;
+        let mods = ctx.modules_of(router);
+        if mods.len() == 1 {
+            mods[0] as usize
+        } else {
+            mods[rng.gen_range(0..mods.len())] as usize
+        }
+    }
+}
+
+/// Plain-data mirror of the pattern structs, for configuration types and
+/// CLI flags. Dispatches [`TrafficPattern`] to the corresponding struct.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum TrafficKind {
+    /// [`Uniform`].
+    #[default]
+    Uniform,
+    /// [`Hotspot`].
+    Hotspot {
+        /// The hotspot module.
+        node: usize,
+        /// Probability that a packet targets the hotspot.
+        fraction: f64,
+    },
+    /// [`Transpose`].
+    Transpose,
+    /// [`BitReversal`].
+    BitReversal,
+    /// [`NearestNeighbor`].
+    NearestNeighbor,
+}
+
+impl TrafficKind {
+    /// Parses a CLI spelling: `uniform`, `hotspot` (node 0, fraction 0.1),
+    /// `hotspot:<node>:<fraction>`, `transpose`, `bitrev`, `neighbor`.
+    pub fn parse(s: &str) -> Option<TrafficKind> {
+        match s {
+            "uniform" => Some(TrafficKind::Uniform),
+            "hotspot" => Some(TrafficKind::Hotspot {
+                node: 0,
+                fraction: 0.1,
+            }),
+            "transpose" => Some(TrafficKind::Transpose),
+            "bitrev" | "bitreversal" => Some(TrafficKind::BitReversal),
+            "neighbor" | "nearestneighbor" => Some(TrafficKind::NearestNeighbor),
+            _ => {
+                let mut parts = s.split(':');
+                if parts.next() != Some("hotspot") {
+                    return None;
+                }
+                let node = parts.next()?.parse().ok()?;
+                let fraction = parts.next()?.parse().ok()?;
+                if parts.next().is_some() {
+                    return None;
+                }
+                Some(TrafficKind::Hotspot { node, fraction })
+            }
+        }
+    }
+
+    /// A human-readable configuration problem, if any, for a network of
+    /// `n_modules` modules (`None` when valid).
+    pub fn problem(&self, n_modules: usize) -> Option<String> {
+        match *self {
+            TrafficKind::Hotspot { node, fraction } => {
+                if node >= n_modules {
+                    Some(format!(
+                        "hotspot node {node} out of range for {n_modules} modules"
+                    ))
+                } else if !(0.0..=1.0).contains(&fraction) {
+                    Some(format!("hotspot fraction {fraction} outside [0, 1]"))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+impl TrafficPattern for TrafficKind {
+    fn name(&self) -> &'static str {
+        match *self {
+            TrafficKind::Uniform => Uniform.name(),
+            TrafficKind::Hotspot { .. } => "hotspot",
+            TrafficKind::Transpose => Transpose.name(),
+            TrafficKind::BitReversal => BitReversal.name(),
+            TrafficKind::NearestNeighbor => NearestNeighbor.name(),
+        }
+    }
+
+    fn dest(&self, src: usize, ctx: &TrafficCtx, rng: &mut StdRng) -> usize {
+        match *self {
+            TrafficKind::Uniform => Uniform.dest(src, ctx, rng),
+            TrafficKind::Hotspot { node, fraction } => {
+                Hotspot { node, fraction }.dest(src, ctx, rng)
+            }
+            TrafficKind::Transpose => Transpose.dest(src, ctx, rng),
+            TrafficKind::BitReversal => BitReversal.dest(src, ctx, rng),
+            TrafficKind::NearestNeighbor => NearestNeighbor.dest(src, ctx, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wi_num::rng::seeded_rng;
+
+    fn ctx(topo: &Topology) -> TrafficCtx {
+        TrafficCtx::new(topo)
+    }
+
+    fn all_kinds() -> Vec<TrafficKind> {
+        vec![
+            TrafficKind::Uniform,
+            TrafficKind::Hotspot {
+                node: 3,
+                fraction: 0.3,
+            },
+            TrafficKind::Transpose,
+            TrafficKind::BitReversal,
+            TrafficKind::NearestNeighbor,
+        ]
+    }
+
+    #[test]
+    fn destinations_are_in_range_and_never_self() {
+        for topo in [
+            Topology::mesh2d(4, 4),
+            Topology::mesh3d(3, 3, 3),
+            Topology::star_mesh(3, 3, 4),
+            Topology::mesh2d(5, 3),
+        ] {
+            let c = ctx(&topo);
+            let n = topo.num_modules();
+            for kind in all_kinds() {
+                let mut rng = seeded_rng(17);
+                for src in 0..n {
+                    for _ in 0..40 {
+                        let d = kind.dest(src, &c, &mut rng);
+                        assert!(d < n, "{} produced {d} >= {n}", kind.name());
+                        assert_ne!(d, src, "{} produced self-send from {src}", kind.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn patterns_are_seed_deterministic() {
+        let topo = Topology::mesh3d(3, 3, 3);
+        let c = ctx(&topo);
+        for kind in all_kinds() {
+            let mut a = seeded_rng(5);
+            let mut b = seeded_rng(5);
+            for src in 0..topo.num_modules() {
+                assert_eq!(kind.dest(src, &c, &mut a), kind.dest(src, &c, &mut b));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_matches_reference_rng_consumption() {
+        // The engine's bit-equivalence with des::reference hinges on this
+        // exact draw order.
+        let topo = Topology::mesh2d(4, 4);
+        let c = ctx(&topo);
+        let n = topo.num_modules();
+        let mut a = seeded_rng(11);
+        let mut b = seeded_rng(11);
+        for src in 0..n {
+            let got = Uniform.dest(src, &c, &mut a);
+            let mut want = b.gen_range(0..n - 1);
+            if want >= src {
+                want += 1;
+            }
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let topo = Topology::mesh2d(4, 4);
+        let c = ctx(&topo);
+        let kind = Hotspot {
+            node: 5,
+            fraction: 0.5,
+        };
+        let mut rng = seeded_rng(23);
+        let draws = 4_000;
+        let hits = (0..draws)
+            .filter(|i| kind.dest((i * 7) % 16, &c, &mut rng) == 5)
+            .count();
+        let frac = hits as f64 / draws as f64;
+        // ~0.5 plus the uniform leak-through, minus src == node cases.
+        assert!((0.45..0.62).contains(&frac), "hotspot fraction {frac}");
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let topo = Topology::mesh2d(4, 4);
+        let c = ctx(&topo);
+        let mut rng = seeded_rng(3);
+        // Module at (1, 2) is router 1 + 4·2 = 9; transpose is (2, 1) = 6.
+        assert_eq!(Transpose.dest(9, &c, &mut rng), 6);
+        // Diagonal module falls back to uniform (never self).
+        let d = Transpose.dest(5, &c, &mut rng);
+        assert_ne!(d, 5);
+    }
+
+    #[test]
+    fn bit_reversal_reverses_indices() {
+        let topo = Topology::mesh2d(4, 4); // 16 modules, 4 bits
+        let c = ctx(&topo);
+        let mut rng = seeded_rng(3);
+        // 0b0001 -> 0b1000.
+        assert_eq!(BitReversal.dest(1, &c, &mut rng), 8);
+        // 0b0011 -> 0b1100.
+        assert_eq!(BitReversal.dest(3, &c, &mut rng), 12);
+        // Palindromic index falls back to uniform (never self).
+        assert_ne!(BitReversal.dest(9, &c, &mut rng), 9);
+    }
+
+    #[test]
+    fn nearest_neighbor_stays_adjacent() {
+        let topo = Topology::mesh3d(3, 3, 3);
+        let c = ctx(&topo);
+        let mut rng = seeded_rng(29);
+        for src in 0..topo.num_modules() {
+            for _ in 0..20 {
+                let d = NearestNeighbor.dest(src, &c, &mut rng);
+                assert_eq!(
+                    topo.router_distance(topo.router_of(src), topo.router_of(d)),
+                    1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kind_parsing_round_trips() {
+        assert_eq!(TrafficKind::parse("uniform"), Some(TrafficKind::Uniform));
+        assert_eq!(
+            TrafficKind::parse("hotspot:7:0.25"),
+            Some(TrafficKind::Hotspot {
+                node: 7,
+                fraction: 0.25
+            })
+        );
+        assert_eq!(TrafficKind::parse("bitrev"), Some(TrafficKind::BitReversal));
+        assert_eq!(
+            TrafficKind::parse("neighbor"),
+            Some(TrafficKind::NearestNeighbor)
+        );
+        assert_eq!(
+            TrafficKind::parse("transpose"),
+            Some(TrafficKind::Transpose)
+        );
+        assert_eq!(TrafficKind::parse("nope"), None);
+        assert_eq!(TrafficKind::parse("hotspot:x:0.2"), None);
+    }
+
+    #[test]
+    fn kind_validation() {
+        assert!(TrafficKind::Uniform.problem(64).is_none());
+        assert!(TrafficKind::Hotspot {
+            node: 70,
+            fraction: 0.1
+        }
+        .problem(64)
+        .is_some());
+        assert!(TrafficKind::Hotspot {
+            node: 0,
+            fraction: 1.5
+        }
+        .problem(64)
+        .is_some());
+    }
+}

@@ -8,12 +8,19 @@
 //! (Figs. 7–8).
 //!
 //! * [`topology`] — the four topology families of Fig. 7 as graphs.
-//! * [`routing`] — deterministic dimension-order routing.
+//! * [`routing`] — deterministic dimension-order routing, including the
+//!   all-pairs [`routing::RouteTable`] in flat CSR form that feeds both
+//!   the analytic model and the simulator's hot loop.
 //! * [`analytic`] — the queueing-theory latency model (per-link M/M/1
 //!   servers over exact routed flows), calibrated once against the paper's
 //!   published low-load latencies and saturation points.
 //! * [`des`] — an independent discrete-event simulator of the same system,
-//!   used to validate the analytic model.
+//!   used to validate the analytic model: an arena-based event
+//!   [`des::engine`] (zero allocation in the steady-state loop), the
+//!   pinned [`des::reference`] oracle, synthetic [`des::traffic`]
+//!   patterns (uniform, hotspot, transpose, bit-reversal,
+//!   nearest-neighbour) and parallel multi-replication [`des::sweep`]s
+//!   with per-rate error bars and saturation-knee detection.
 //! * [`metrics`] — structural topology metrics (the quantitative Fig. 7).
 //! * [`irregular`] — partial-TSV (pillar) 3D meshes for the paper's
 //!   future-work ablation: vertical links only on some routers.
@@ -38,7 +45,11 @@ pub mod routing;
 pub mod topology;
 
 pub use analytic::{AnalyticModel, RouterParams};
-pub use des::{simulate, DesConfig, DesResult, ServiceDistribution};
+pub use des::traffic::{TrafficKind, TrafficPattern};
+pub use des::{
+    simulate, sweep, DesConfig, DesResult, Engine, RatePoint, ServiceDistribution, SweepConfig,
+    SweepResult,
+};
 pub use metrics::{topology_metrics, TopologyMetrics};
-pub use routing::{route, Path};
+pub use routing::{route, Path, RouteTable};
 pub use topology::{Topology, TopologyKind};

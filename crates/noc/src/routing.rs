@@ -68,6 +68,145 @@ pub fn route_routers(topo: &Topology, src: usize, dst: usize) -> Path {
     Path { routers, links }
 }
 
+/// All-pairs dimension-order routes in flat CSR form.
+///
+/// [`route`] allocates two `Vec`s per call, which made it the allocation
+/// hot spot of the discrete-event simulator (one call per injected
+/// packet). A `RouteTable` walks every *router* pair once at build time
+/// and stores the link ids contiguously, so a lookup is two array reads
+/// and a slice — no allocation, no per-hop `HashMap` probe. Module pairs
+/// sharing a router map to an empty slice, exactly like [`route`].
+///
+/// The link order of each stored route is identical to the one [`route`]
+/// returns, so consumers switching to the table see bit-identical
+/// behaviour.
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    num_routers: usize,
+    /// `module_router[m]` mirrors [`Topology::router_of`].
+    module_router: Vec<u32>,
+    /// CSR offsets over router pairs `(a, b)` at index `a·R + b`.
+    offsets: Vec<u32>,
+    /// Concatenated link ids of all routes.
+    links: Vec<u32>,
+}
+
+impl RouteTable {
+    /// Builds the table by routing all router pairs once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology lacks a link some dimension-order route
+    /// needs (possible only for hand-edited irregular topologies) — the
+    /// same condition under which [`route`] panics.
+    pub fn new(topo: &Topology) -> Self {
+        let r = topo.num_routers();
+        let mut offsets = Vec::with_capacity(r * r + 1);
+        offsets.push(0u32);
+        let mut links: Vec<u32> = Vec::new();
+        for a in 0..r {
+            let start = topo.coord(a);
+            for b in 0..r {
+                let target = topo.coord(b);
+                let mut here = start;
+                for dim in 0..3 {
+                    while here[dim] != target[dim] {
+                        let mut next = here;
+                        if here[dim] < target[dim] {
+                            next[dim] += 1;
+                        } else {
+                            next[dim] -= 1;
+                        }
+                        let u = topo.router_at(here);
+                        let v = topo.router_at(next);
+                        let link = topo.link_between(u, v).unwrap_or_else(|| {
+                            panic!("no link {u} -> {v} for dimension-order route")
+                        });
+                        links.push(link as u32);
+                        here = next;
+                    }
+                }
+                let end: u32 = links
+                    .len()
+                    .try_into()
+                    .expect("route table exceeds u32 link capacity");
+                offsets.push(end);
+            }
+        }
+        RouteTable {
+            num_routers: r,
+            module_router: (0..topo.num_modules())
+                .map(|m| topo.router_of(m) as u32)
+                .collect(),
+            offsets,
+            links,
+        }
+    }
+
+    /// Number of modules the table was built for.
+    pub fn num_modules(&self) -> usize {
+        self.module_router.len()
+    }
+
+    /// Link ids of the dimension-order route between two routers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either router is out of range.
+    pub fn router_links(&self, src: usize, dst: usize) -> &[u32] {
+        assert!(
+            src < self.num_routers && dst < self.num_routers,
+            "router pair ({src}, {dst}) out of range for {} routers",
+            self.num_routers
+        );
+        let i = src * self.num_routers + dst;
+        &self.links[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Link ids of the dimension-order route between two modules
+    /// (empty when both attach to the same router).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either module is out of range.
+    pub fn links(&self, src_module: usize, dst_module: usize) -> &[u32] {
+        self.router_links(
+            self.module_router[src_module] as usize,
+            self.module_router[dst_module] as usize,
+        )
+    }
+
+    /// Inter-router hop count between two modules.
+    pub fn hops(&self, src_module: usize, dst_module: usize) -> usize {
+        self.links(src_module, dst_module).len()
+    }
+
+    /// Range of the module pair's route within [`RouteTable::flat_links`]
+    /// — lets a hot loop resolve the route once per packet and then index
+    /// the flat buffer directly per hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either module is out of range.
+    pub fn span(&self, src_module: usize, dst_module: usize) -> std::ops::Range<usize> {
+        let src = self.module_router[src_module] as usize;
+        let dst = self.module_router[dst_module] as usize;
+        assert!(
+            src < self.num_routers && dst < self.num_routers,
+            "router pair ({src}, {dst}) out of range for {} routers",
+            self.num_routers
+        );
+        let i = src * self.num_routers + dst;
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+
+    /// The concatenated link ids of all routes (indexed via
+    /// [`RouteTable::span`]).
+    pub fn flat_links(&self) -> &[u32] {
+        &self.links
+    }
+}
+
 /// Checks that dimension-order routing can serve every module pair of the
 /// topology (true for all regular meshes; useful for irregular variants).
 pub fn all_pairs_routable(topo: &Topology) -> bool {
@@ -166,5 +305,41 @@ mod tests {
         assert!(all_pairs_routable(&Topology::mesh2d(4, 4)));
         assert!(all_pairs_routable(&Topology::mesh3d(3, 3, 3)));
         assert!(all_pairs_routable(&Topology::star_mesh(4, 4, 4)));
+    }
+
+    #[test]
+    fn route_table_matches_route_for_all_pairs() {
+        for topo in [
+            Topology::mesh2d(5, 3),
+            Topology::mesh3d(3, 3, 3),
+            Topology::star_mesh(3, 3, 4),
+            Topology::ciliated_mesh3d(3, 2, 2, 2),
+        ] {
+            let table = RouteTable::new(&topo);
+            assert_eq!(table.num_modules(), topo.num_modules());
+            for s in 0..topo.num_modules() {
+                for d in 0..topo.num_modules() {
+                    let p = route(&topo, s, d);
+                    let want: Vec<u32> = p.links.iter().map(|&l| l as u32).collect();
+                    assert_eq!(table.links(s, d), &want[..], "pair ({s},{d})");
+                    assert_eq!(table.hops(s, d), p.hops());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_table_same_router_pair_is_empty() {
+        let t = Topology::star_mesh(4, 4, 4);
+        let table = RouteTable::new(&t);
+        assert!(table.links(0, 1).is_empty());
+        assert!(table.router_links(2, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn route_table_rejects_bad_router() {
+        let t = Topology::mesh2d(2, 2);
+        RouteTable::new(&t).router_links(0, 4);
     }
 }

@@ -1,0 +1,68 @@
+//! Criterion benches for the discrete-event NoC simulator: the retained
+//! per-event-allocating reference vs the arena engine, and the arena
+//! engine across the oblivious routing policies.
+//!
+//! Split out of `kernels.rs` so the CI `bench-quick` job (and a human
+//! chasing a DES regression) can run the simulator suite by itself:
+//! `cargo bench -p wi-bench --bench des_sim`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wi_noc::des::{reference as des_reference, DesConfig, Engine};
+use wi_noc::routing::RoutingKind;
+use wi_noc::topology::Topology;
+
+fn bench_des_sim(c: &mut Criterion) {
+    // The retained per-event-allocating simulator vs the arena engine on
+    // the default uniform/exponential run (the speedup the engine exists
+    // for; results are bit-identical, only wall clock differs).
+    for (name, topo) in [
+        ("4x4", Topology::mesh2d(4, 4)),
+        ("8x8", Topology::mesh2d(8, 8)),
+    ] {
+        let cfg = DesConfig::default();
+        c.bench_function(&format!("des_sim_reference_{name}_20k"), |b| {
+            b.iter(|| des_reference::simulate(black_box(&topo), black_box(&cfg)))
+        });
+        let mut engine = Engine::new(&topo);
+        c.bench_function(&format!("des_sim_engine_{name}_20k"), |b| {
+            b.iter(|| engine.run(black_box(&cfg)))
+        });
+    }
+}
+
+fn bench_des_routing(c: &mut Criterion) {
+    // The arena engine under each routing policy on the paper's winning
+    // 4x4x4 3D mesh — the multi-route tables must not slow the hot loop
+    // (selection is one hash; routes stay flat-CSR), though Valiant's
+    // longer detour paths do honest extra hops.
+    let topo = Topology::mesh3d(4, 4, 4);
+    for routing in [
+        RoutingKind::DimensionOrder,
+        RoutingKind::O1Turn,
+        RoutingKind::valiant(),
+    ] {
+        let cfg = DesConfig {
+            routing,
+            ..DesConfig::default()
+        };
+        let mut engine = Engine::with_routing(&topo, routing);
+        c.bench_function(
+            &format!("des_sim_engine_4x4x4_{}_20k", routing.name()),
+            |b| b.iter(|| engine.run(black_box(&cfg))),
+        );
+    }
+    // Table construction is the per-policy setup cost sweeps pay once.
+    c.bench_function("route_table_build_4x4x4_valiant8", |b| {
+        b.iter(|| {
+            wi_noc::routing::RouteTable::with_policy(black_box(&topo), RoutingKind::valiant())
+        })
+    });
+}
+
+criterion_group! {
+    name = des_sim;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_des_sim, bench_des_routing
+}
+criterion_main!(des_sim);

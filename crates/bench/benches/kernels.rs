@@ -14,7 +14,7 @@ use wi_ldpc::decoder::{awgn_llrs, reference, BpConfig, BpDecoder, CheckRule, Dec
 use wi_ldpc::window::{CoupledCode, WindowDecoder, WindowWorkspace};
 use wi_ldpc::LdpcCode;
 use wi_noc::analytic::{AnalyticModel, RouterParams};
-use wi_noc::des::{reference as des_reference, simulate, DesConfig, Engine};
+use wi_noc::des::{simulate, DesConfig};
 use wi_noc::topology::Topology;
 use wi_num::fft::{dft, Direction};
 use wi_num::rng::{seeded_rng, Gaussian};
@@ -85,25 +85,6 @@ fn bench_noc(c: &mut Criterion) {
             )
         })
     });
-}
-
-fn bench_des_sim(c: &mut Criterion) {
-    // The retained per-event-allocating simulator vs the arena engine on
-    // the default uniform/exponential run (the speedup the engine exists
-    // for; results are bit-identical, only wall clock differs).
-    for (name, topo) in [
-        ("4x4", Topology::mesh2d(4, 4)),
-        ("8x8", Topology::mesh2d(8, 8)),
-    ] {
-        let cfg = DesConfig::default();
-        c.bench_function(&format!("des_sim_reference_{name}_20k"), |b| {
-            b.iter(|| des_reference::simulate(black_box(&topo), black_box(&cfg)))
-        });
-        let mut engine = Engine::new(&topo);
-        c.bench_function(&format!("des_sim_engine_{name}_20k"), |b| {
-            b.iter(|| engine.run(black_box(&cfg)))
-        });
-    }
 }
 
 fn bench_ldpc(c: &mut Criterion) {
@@ -187,6 +168,6 @@ fn bench_ber(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_fft, bench_vna, bench_info_rate, bench_noc, bench_des_sim, bench_ldpc, bench_ber
+    targets = bench_fft, bench_vna, bench_info_rate, bench_noc, bench_ldpc, bench_ber
 }
 criterion_main!(kernels);

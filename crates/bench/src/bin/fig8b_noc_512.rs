@@ -3,13 +3,26 @@
 //!
 //! With `--des`, the 512-module curves get a DES `±2se` column from a
 //! multi-replication sweep (the paper has no simulation at this scale —
-//! this is the independent check of the analytic claim). `--traffic` and
-//! `--reps` work as in `fig8a_noc_64`.
+//! this is the independent check of the analytic claim). `--traffic`,
+//! `--reps` and `--rates` work as in `fig8a_noc_64`, as does
+//! `--routing <dor|o1turn|valiant[:k]>` (implies `--des`; the analytic
+//! columns stay dimension-order). `--routing all` prints the
+//! policy-per-topology saturation-knee summary instead of the latency
+//! table — at 512 modules the per-policy route tables are large (the
+//! Valiant table is `2k ×` the dimension-order one), so expect this mode
+//! to take minutes. The adversarial recovery measured at 64 modules
+//! (fig8a doc table) persists at scale: O1TURN lifts the 8×8×8 mesh's
+//! transpose/bit-reversal knees above dimension-order's while matching
+//! it under uniform load.
 
-use wi_bench::{flag_value, fmt, fmt_opt, has_flag, print_table};
+use wi_bench::{
+    fmt, fmt_opt, has_flag, print_table, rates_flag, reps_flag, routing_flag, traffic_flag,
+    RoutingArg,
+};
 use wi_noc::analytic::{AnalyticModel, RouterParams};
-use wi_noc::des::traffic::TrafficKind;
-use wi_noc::des::{sweep, DesConfig, SweepConfig, SweepResult};
+use wi_noc::des::traffic::TrafficPattern;
+use wi_noc::des::{sweep, sweep_policies, DesConfig, SweepConfig, SweepResult};
+use wi_noc::routing::RoutingKind;
 use wi_noc::topology::Topology;
 
 fn main() {
@@ -24,39 +37,76 @@ fn main() {
     let m2_64 = AnalyticModel::new(&mesh2d_64, params);
     let m3_64 = AnalyticModel::new(&mesh3d_64, params);
 
-    let des = has_flag("--des");
-    let traffic = match flag_value("--traffic") {
-        Some(s) => TrafficKind::parse(&s)
-            .unwrap_or_else(|| panic!("unknown traffic pattern {s:?} (try uniform, hotspot, hotspot:<node>:<frac>, transpose, bitrev, neighbor)")),
-        None => TrafficKind::Uniform,
-    };
-    let reps: usize = flag_value("--reps")
-        .map(|s| s.parse().expect("--reps takes a positive integer"))
-        .unwrap_or(3);
+    let traffic = traffic_flag();
+    let reps = reps_flag(3);
+    let routing = routing_flag();
+    let rates: Vec<f64> =
+        rates_flag().unwrap_or_else(|| (1..=14).map(|k| 0.05 * k as f64).collect());
 
-    let rates: Vec<f64> = (1..=14).map(|k| 0.05 * k as f64).collect();
+    // DES sweep template; the measurement window must scale with the
+    // module count: warmup and measured packets are *global*, so a fixed
+    // budget at 512 modules would sample only the injection transient and
+    // understate queueing near saturation.
+    let sweep_cfg = |topo: &Topology, routing: RoutingKind| {
+        let n = topo.num_modules();
+        SweepConfig::new(
+            rates.clone(),
+            reps,
+            DesConfig {
+                traffic,
+                routing,
+                warmup_packets: 20 * n,
+                measured_packets: 100 * n,
+                max_events: 10_000_000,
+                ..DesConfig::default()
+            },
+        )
+    };
+
+    if let Some(RoutingArg::All) = routing {
+        let max_rate = rates.iter().cloned().fold(f64::NAN, f64::max);
+        let policies = [
+            RoutingKind::DimensionOrder,
+            RoutingKind::O1Turn,
+            RoutingKind::Valiant { choices: 8 },
+        ];
+        let headers: Vec<&str> = std::iter::once("topology")
+            .chain(policies.iter().map(|p| p.name()))
+            .collect();
+        let rows: Vec<Vec<String>> = [("2D 512 mod.", &mesh2d_512), ("3D 512 mod.", &mesh3d_512)]
+            .iter()
+            .map(|(name, topo)| {
+                let mut row = vec![name.to_string()];
+                let cfg = sweep_cfg(topo, RoutingKind::DimensionOrder);
+                for (_, result) in sweep_policies(topo, &cfg, &policies) {
+                    row.push(match result.saturation_knee {
+                        Some(k) => fmt(k, 2),
+                        None => format!(">{max_rate:.2}"),
+                    });
+                }
+                row
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Fig. 8b — DES saturation knees at 512 modules, {} traffic ({reps} reps)",
+                traffic.name()
+            ),
+            &headers,
+            &rows,
+        );
+        return;
+    }
+    let policy = match routing {
+        Some(RoutingArg::Policy(k)) => k,
+        _ => RoutingKind::DimensionOrder,
+    };
+    let des = has_flag("--des") || routing.is_some();
+
     let sweeps: Option<Vec<SweepResult>> = des.then(|| {
         [&mesh2d_512, &mesh3d_512]
             .iter()
-            .map(|topo| {
-                // The measurement window must scale with the module count:
-                // warmup and measured packets are *global*, so a fixed
-                // budget at 512 modules would sample only the injection
-                // transient and understate queueing near saturation.
-                let n = topo.num_modules();
-                let cfg = SweepConfig::new(
-                    rates.clone(),
-                    reps,
-                    DesConfig {
-                        traffic,
-                        warmup_packets: 20 * n,
-                        measured_packets: 100 * n,
-                        max_events: 10_000_000,
-                        ..DesConfig::default()
-                    },
-                );
-                sweep(topo, &cfg)
-            })
+            .map(|topo| sweep(topo, &sweep_cfg(topo, policy)))
             .collect()
     });
 
@@ -95,7 +145,9 @@ fn main() {
 
     if let Some(sweeps) = &sweeps {
         println!(
-            "\nDES saturation knees (512 modules): 2D {}, 3D {} flits/cycle/module",
+            "\nDES saturation knees (512 modules, {} traffic, {} routing): 2D {}, 3D {} flits/cycle/module",
+            traffic.name(),
+            policy.name(),
             fmt_opt(sweeps[0].saturation_knee, 2),
             fmt_opt(sweeps[1].saturation_knee, 2)
         );

@@ -10,6 +10,8 @@
 //! exists; the default presets finish in seconds to a few minutes.
 
 use std::fmt::Write as _;
+use wi_noc::des::traffic::TrafficKind;
+use wi_noc::routing::RoutingKind;
 
 /// Prints a fixed-width table with a header rule.
 ///
@@ -71,6 +73,94 @@ pub fn flag_value(flag: &str) -> Option<String> {
     None
 }
 
+/// Parsed form of the shared `--routing` flag: one policy, or `all`
+/// (print the policy × traffic saturation-knee matrix).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingArg {
+    /// A single routing policy.
+    Policy(RoutingKind),
+    /// Sweep every policy and print the knee matrix.
+    All,
+}
+
+/// Parses a `--routing` spelling: a [`RoutingKind`] spelling or `all`.
+pub fn parse_routing_arg(s: &str) -> Option<RoutingArg> {
+    if s == "all" {
+        return Some(RoutingArg::All);
+    }
+    RoutingKind::parse(s).map(RoutingArg::Policy)
+}
+
+/// The shared `--routing` flag, if present.
+///
+/// # Panics
+///
+/// Panics with usage guidance on an unknown spelling.
+pub fn routing_flag() -> Option<RoutingArg> {
+    flag_value("--routing").map(|s| {
+        parse_routing_arg(&s).unwrap_or_else(|| {
+            panic!("unknown routing policy {s:?} (try dor, o1turn, valiant, valiant:<k>, all)")
+        })
+    })
+}
+
+/// The shared `--traffic` flag ([`TrafficKind::Uniform`] when absent).
+///
+/// # Panics
+///
+/// Panics with usage guidance on an unknown spelling.
+pub fn traffic_flag() -> TrafficKind {
+    match flag_value("--traffic") {
+        Some(s) => TrafficKind::parse(&s).unwrap_or_else(|| {
+            panic!(
+                "unknown traffic pattern {s:?} (try uniform, hotspot, \
+                 hotspot:<node>:<frac>, transpose, bitrev, neighbor)"
+            )
+        }),
+        None => TrafficKind::Uniform,
+    }
+}
+
+/// The shared `--reps` flag (replications per sweep point).
+///
+/// # Panics
+///
+/// Panics if the value is not a positive integer.
+pub fn reps_flag(default: usize) -> usize {
+    let reps = flag_value("--reps")
+        .map(|s| s.parse().expect("--reps takes a positive integer"))
+        .unwrap_or(default);
+    assert!(reps > 0, "--reps takes a positive integer");
+    reps
+}
+
+/// Parses a comma-separated list of positive injection rates.
+pub fn parse_rates(s: &str) -> Option<Vec<f64>> {
+    let rates: Vec<f64> = s
+        .split(',')
+        .map(|part| part.trim().parse::<f64>().ok())
+        .collect::<Option<_>>()?;
+    if rates.is_empty() || !rates.iter().all(|&r| r.is_finite() && r > 0.0) {
+        return None;
+    }
+    Some(rates)
+}
+
+/// The shared `--rates` flag: a comma-separated injection-rate grid
+/// overriding a bin's default (e.g. `--rates 0.05,0.15,0.25` for the CI
+/// smoke runs).
+///
+/// # Panics
+///
+/// Panics with usage guidance if any rate fails to parse or is not
+/// positive.
+pub fn rates_flag() -> Option<Vec<f64>> {
+    flag_value("--rates").map(|s| {
+        parse_rates(&s)
+            .unwrap_or_else(|| panic!("--rates takes comma-separated positive rates, got {s:?}"))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +190,41 @@ mod tests {
     #[test]
     fn absent_flag_value_is_none() {
         assert_eq!(flag_value("--definitely-not-passed"), None);
+    }
+
+    #[test]
+    fn routing_arg_parses_policies_and_all() {
+        assert_eq!(
+            parse_routing_arg("dor"),
+            Some(RoutingArg::Policy(RoutingKind::DimensionOrder))
+        );
+        assert_eq!(
+            parse_routing_arg("o1turn"),
+            Some(RoutingArg::Policy(RoutingKind::O1Turn))
+        );
+        assert_eq!(
+            parse_routing_arg("valiant:4"),
+            Some(RoutingArg::Policy(RoutingKind::Valiant { choices: 4 }))
+        );
+        assert_eq!(parse_routing_arg("all"), Some(RoutingArg::All));
+        assert_eq!(parse_routing_arg("nope"), None);
+    }
+
+    #[test]
+    fn rates_parse_rejects_garbage() {
+        assert_eq!(parse_rates("0.05,0.15,0.25"), Some(vec![0.05, 0.15, 0.25]));
+        assert_eq!(parse_rates(" 0.1 , 0.2 "), Some(vec![0.1, 0.2]));
+        assert_eq!(parse_rates("0.1,x"), None);
+        assert_eq!(parse_rates("0.1,-0.2"), None);
+        assert_eq!(parse_rates("0.0"), None);
+        assert_eq!(parse_rates(""), None);
+    }
+
+    #[test]
+    fn absent_shared_flags_take_defaults() {
+        assert_eq!(traffic_flag(), TrafficKind::Uniform);
+        assert_eq!(reps_flag(3), 3);
+        assert_eq!(routing_flag(), None);
+        assert_eq!(rates_flag(), None);
     }
 }

@@ -12,6 +12,7 @@ use wi_linkbudget::budget::Beamforming;
 use wi_linkbudget::datarate::Polarization;
 use wi_noc::des::traffic::TrafficKind;
 use wi_noc::des::{DesConfig, ServiceDistribution, SweepConfig};
+use wi_noc::routing::RoutingKind;
 use wi_noc::topology::Topology;
 
 /// A 3D chip stack: stacked dies with a Network-in-Chip-Stack (§IV).
@@ -151,6 +152,8 @@ pub enum ReceiverModel {
 pub struct NocWorkloadConfig {
     /// Destination pattern of injected packets.
     pub traffic: TrafficKind,
+    /// Oblivious routing policy (dimension-order, O1TURN or Valiant).
+    pub routing: RoutingKind,
     /// Link service-time distribution.
     pub service: ServiceDistribution,
     /// Independent DES replications per operating point (error bars).
@@ -165,6 +168,7 @@ impl NocWorkloadConfig {
     pub fn paper_default() -> Self {
         NocWorkloadConfig {
             traffic: TrafficKind::Uniform,
+            routing: RoutingKind::DimensionOrder,
             service: ServiceDistribution::Exponential,
             replications: 3,
             injection_rate: 0.1,
@@ -176,6 +180,7 @@ impl NocWorkloadConfig {
         DesConfig {
             injection_rate: self.injection_rate,
             traffic: self.traffic,
+            routing: self.routing,
             service: self.service,
             seed,
             ..DesConfig::default()
@@ -322,6 +327,9 @@ impl SystemConfig {
         if let Some(problem) = self.noc.traffic.problem(self.stack.cores()) {
             problems.push(format!("NoC traffic: {problem}"));
         }
+        if let Some(problem) = self.noc.routing.problem() {
+            problems.push(format!("NoC routing: {problem}"));
+        }
         problems
     }
 }
@@ -400,7 +408,13 @@ mod tests {
         let des = w.des_config(0xD0);
         assert_eq!(des.injection_rate, 0.1);
         assert_eq!(des.traffic, TrafficKind::Uniform);
+        assert_eq!(des.routing, RoutingKind::DimensionOrder);
         assert_eq!(des.seed, 0xD0);
+        let randomized = NocWorkloadConfig {
+            routing: RoutingKind::valiant(),
+            ..w
+        };
+        assert_eq!(randomized.des_config(1).routing, RoutingKind::valiant());
         let sweep = w.sweep_config(vec![0.05, 0.1], 7);
         assert_eq!(sweep.replications, 3);
         assert_eq!(sweep.rates, vec![0.05, 0.1]);
@@ -416,7 +430,8 @@ mod tests {
             node: 9_999,
             fraction: 0.2,
         };
+        cfg.noc.routing = RoutingKind::Valiant { choices: 0 };
         let problems = cfg.validate();
-        assert_eq!(problems.len(), 3, "{problems:?}");
+        assert_eq!(problems.len(), 4, "{problems:?}");
     }
 }

@@ -15,7 +15,7 @@
 //! heap allocation**: check updates stream over `edge_var` /
 //! `check_offsets` (see [`LdpcCode`]) and the syndrome check is folded
 //! into the variable-to-check pass instead of a separate graph traversal.
-//! The original nested-`Vec` decoder is retained in [`reference`] as the
+//! The original nested-`Vec` decoder is retained in [`mod@reference`] as the
 //! correctness oracle; the engines are bit-identical (see
 //! `tests/csr_equivalence.rs`).
 

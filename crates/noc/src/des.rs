@@ -2,10 +2,12 @@
 //!
 //! Ref \[14\] validates its analytic queueing model against simulation;
 //! this module plays that role here. It simulates the same system the
-//! analytic model describes — Poisson packet injection, deterministic
-//! dimension-order routes, one FIFO server per directed link plus one per
-//! ejection port, and a fixed pipeline delay per traversed router — so
-//! the two can be compared number-for-number in tests and benches.
+//! analytic model describes — Poisson packet injection, precomputed
+//! routes (dimension-order by default; O1TURN/Valiant via
+//! [`crate::routing::RoutingKind`]), one FIFO server per directed link
+//! plus one per ejection port, and a fixed pipeline delay per traversed
+//! router — so the two can be compared number-for-number in tests and
+//! benches.
 //!
 //! The module is organised like the PR-1 decoder stack:
 //!
@@ -13,13 +15,13 @@
 //!   slab, events packed into integer-keyed heap entries, routes from a
 //!   prebuilt [`crate::routing::RouteTable`]; zero allocation in the
 //!   steady-state loop.
-//! * [`reference`] — the original per-event-allocating simulator,
+//! * [`mod@reference`] — the original per-event-allocating simulator,
 //!   retained as the correctness oracle (bit-identical to the engine for
 //!   the default uniform/exponential configuration; pinned by tests).
 //! * [`traffic`] — the [`traffic::TrafficPattern`] generators (uniform,
 //!   hotspot, transpose, bit-reversal, nearest-neighbour), all
 //!   seed-deterministic.
-//! * [`sweep`] — multi-replication latency-vs-rate sweeps fanned out over
+//! * [`mod@sweep`] — multi-replication latency-vs-rate sweeps fanned out over
 //!   scoped threads, bit-identical at any thread count, reporting
 //!   mean/stderr/saturation-knee per rate.
 //!
@@ -32,12 +34,15 @@ pub mod sweep;
 pub mod traffic;
 
 use crate::analytic::RouterParams;
+use crate::routing::RoutingKind;
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
 use traffic::TrafficKind;
 
 pub use engine::Engine;
-pub use sweep::{sweep, sweep_serial, sweep_with_threads, RatePoint, SweepConfig, SweepResult};
+pub use sweep::{
+    sweep, sweep_policies, sweep_serial, sweep_with_threads, RatePoint, SweepConfig, SweepResult,
+};
 
 /// Service-time distribution of the link servers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,6 +64,10 @@ pub struct DesConfig {
     pub injection_rate: f64,
     /// Destination pattern of the injected packets.
     pub traffic: TrafficKind,
+    /// Routing policy: routes come from a per-policy
+    /// [`crate::routing::RouteTable`]; multi-route policies pick per
+    /// packet via the deterministic [`crate::routing::route_choice`] hash.
+    pub routing: RoutingKind,
     /// Router timing (shared with the analytic model).
     pub params: RouterParams,
     /// Link service-time distribution.
@@ -79,6 +88,7 @@ impl Default for DesConfig {
         DesConfig {
             injection_rate: 0.1,
             traffic: TrafficKind::Uniform,
+            routing: RoutingKind::DimensionOrder,
             params: RouterParams::default(),
             service: ServiceDistribution::Exponential,
             warmup_packets: 2_000,
@@ -146,6 +156,68 @@ mod tests {
                 assert_eq!(old, new, "seed {seed} diverged on {:?}", topo.kind());
             }
         }
+    }
+
+    #[test]
+    fn engine_matches_reference_under_all_routing_policies() {
+        // The policy tables and the per-packet route-choice hash must keep
+        // the arena engine bit-identical to the naive oracle (which
+        // re-materializes the chosen route per packet) for every policy.
+        for kind in [
+            RoutingKind::DimensionOrder,
+            RoutingKind::O1Turn,
+            RoutingKind::valiant(),
+            RoutingKind::Valiant { choices: 3 },
+        ] {
+            for topo in [Topology::mesh2d(4, 4), Topology::mesh3d(3, 3, 3)] {
+                for seed in [1u64, 42, 0xDE5] {
+                    let cfg = DesConfig {
+                        routing: kind,
+                        seed,
+                        ..quick(0.2, seed)
+                    };
+                    let old = reference::simulate(&topo, &cfg);
+                    let new = simulate(&topo, &cfg);
+                    assert_eq!(
+                        old,
+                        new,
+                        "{} seed {seed} diverged on {:?}",
+                        kind.name(),
+                        topo.kind()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_routing_changes_latency_but_stays_sane() {
+        // Valiant detours lengthen low-load paths; O1Turn stays minimal,
+        // so its low-load latency must stay close to dimension-order's.
+        let topo = Topology::mesh3d(3, 3, 3);
+        let base = quick(0.05, 11);
+        let dor = simulate(&topo, &base).mean_latency;
+        let o1 = simulate(
+            &topo,
+            &DesConfig {
+                routing: RoutingKind::O1Turn,
+                ..base
+            },
+        )
+        .mean_latency;
+        let val = simulate(
+            &topo,
+            &DesConfig {
+                routing: RoutingKind::valiant(),
+                ..base
+            },
+        )
+        .mean_latency;
+        assert!(val > dor, "valiant {val} must detour past dor {dor}");
+        assert!(
+            (o1 - dor).abs() / dor < 0.10,
+            "o1turn {o1} vs dor {dor} at low load"
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //!
 //! An [`Engine`] is reusable: [`Engine::run`] resets the arenas without
 //! releasing their capacity, so replication sweeps
-//! ([`crate::des::sweep`]) pay the route-table build once per worker and
+//! ([`mod@crate::des::sweep`]) pay the route-table build once per worker and
 //! allocate nothing per replication in the steady state.
 //!
 //! For the default uniform/exponential configuration the engine consumes
@@ -38,10 +38,11 @@
 
 use super::traffic::{TrafficCtx, TrafficPattern};
 use super::{DesConfig, DesResult, ServiceDistribution};
-use crate::routing::RouteTable;
+use crate::routing::{route_choice, RouteTable, RoutingKind};
 use crate::topology::Topology;
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::sync::Arc;
 use wi_num::rng::seeded_rng;
 use wi_num::stats::Running;
 
@@ -205,7 +206,13 @@ struct PacketSlot {
 /// recycles every buffer across calls.
 #[derive(Clone, Debug)]
 pub struct Engine {
-    routes: RouteTable,
+    /// Kept so a [`Engine::run`] whose config asks for a different
+    /// [`RoutingKind`] can rebuild the route table.
+    topo: Topology,
+    /// Shared behind an [`Arc`]: sweep workers clone the prototype engine,
+    /// and the (potentially large — `choices ×` the dimension-order size)
+    /// policy table is read-only during a run, so clones share one copy.
+    routes: Arc<RouteTable>,
     ctx: TrafficCtx,
     num_links: usize,
     heap: EventHeap,
@@ -216,16 +223,30 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Builds an engine for `topo`, routing all router pairs once.
+    /// Builds an engine for `topo` with dimension-order routes, routing
+    /// all router pairs once.
     ///
     /// # Panics
     ///
     /// Panics if the topology has fewer than two modules or lacks a link
     /// some dimension-order route needs.
     pub fn new(topo: &Topology) -> Self {
+        Self::with_routing(topo, RoutingKind::DimensionOrder)
+    }
+
+    /// Builds an engine for `topo` with the route table of `routing`
+    /// prematerialized (a [`Engine::run`] whose config asks for another
+    /// policy still works — it rebuilds the table first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has fewer than two modules, the policy is
+    /// invalid, or the topology lacks a link some route needs.
+    pub fn with_routing(topo: &Topology, routing: RoutingKind) -> Self {
         assert!(topo.num_modules() >= 2, "need at least two modules");
         Engine {
-            routes: RouteTable::new(topo),
+            topo: topo.clone(),
+            routes: Arc::new(RouteTable::with_policy(topo, routing)),
             ctx: TrafficCtx::new(topo),
             num_links: topo.num_links(),
             heap: EventHeap::default(),
@@ -238,10 +259,14 @@ impl Engine {
 
     /// Runs one simulation, reusing the engine's arenas.
     ///
+    /// Changing `config.routing` between runs rebuilds the route table
+    /// (the one non-recycled cost); runs sharing a policy — every
+    /// replication of a sweep — pay it once.
+    ///
     /// # Panics
     ///
     /// Panics if the injection rate is not positive or the traffic
-    /// pattern is invalid for this topology.
+    /// pattern / routing policy is invalid for this topology.
     pub fn run(&mut self, config: &DesConfig) -> DesResult {
         assert!(
             config.injection_rate > 0.0,
@@ -251,6 +276,9 @@ impl Engine {
         assert!(n >= 2, "need at least two modules");
         if let Some(problem) = config.traffic.problem(n) {
             panic!("invalid traffic pattern: {problem}");
+        }
+        if self.routes.kind() != config.routing {
+            self.routes = Arc::new(RouteTable::with_policy(&self.topo, config.routing));
         }
 
         let Engine {
@@ -262,7 +290,10 @@ impl Engine {
             free,
             link_free,
             ej_free,
+            ..
         } = self;
+        let routes: &RouteTable = routes;
+        let route_choices = routes.num_choices();
 
         heap.clear();
         packets.clear();
@@ -321,7 +352,8 @@ impl Engine {
                 let module = ev as usize;
                 let dst = config.traffic.dest(module, ctx, &mut rng);
                 let measured = injected >= config.warmup_packets && injected < total_tracked;
-                let span = routes.span(module, dst);
+                let choice = route_choice(config.seed, injected as u64, module, dst, route_choices);
+                let span = routes.span_choice(module, dst, choice);
                 let slot = PacketSlot {
                     t_inject: now,
                     route_lo: span.start as u32,
@@ -406,13 +438,14 @@ impl Engine {
     }
 }
 
-/// One-shot convenience: builds an [`Engine`] and runs it once.
+/// One-shot convenience: builds an [`Engine`] for the config's routing
+/// policy and runs it once.
 ///
 /// # Panics
 ///
-/// See [`Engine::new`] and [`Engine::run`].
+/// See [`Engine::with_routing`] and [`Engine::run`].
 pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
-    Engine::new(topo).run(config)
+    Engine::with_routing(topo, config.routing).run(config)
 }
 
 #[cfg(test)]
@@ -464,6 +497,46 @@ mod tests {
         let b = engine.run(&cfg);
         assert_eq!(a, b, "arena reuse must not leak state between runs");
         assert_eq!(a, simulate(&topo, &cfg));
+    }
+
+    #[test]
+    fn engine_rebuilds_table_when_policy_changes() {
+        // One engine must serve configs with different routing kinds,
+        // rebuilding the table on the transition and matching a fresh
+        // engine built for that policy directly.
+        let topo = Topology::mesh3d(3, 3, 3);
+        let base = DesConfig {
+            warmup_packets: 200,
+            measured_packets: 2_000,
+            ..DesConfig::default()
+        };
+        let mut engine = Engine::new(&topo);
+        for routing in [
+            RoutingKind::O1Turn,
+            RoutingKind::valiant(),
+            RoutingKind::DimensionOrder,
+        ] {
+            let cfg = DesConfig { routing, ..base };
+            assert_eq!(
+                engine.run(&cfg),
+                Engine::with_routing(&topo, routing).run(&cfg),
+                "{}",
+                routing.name()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid routing policy")]
+    fn bad_valiant_panics() {
+        let topo = Topology::mesh2d(2, 2);
+        simulate(
+            &topo,
+            &DesConfig {
+                routing: RoutingKind::Valiant { choices: 0 },
+                ..DesConfig::default()
+            },
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! This is the PR-1 `decoder::reference` pattern applied to the DES: the
 //! code below is the pre-refactor simulator, kept unoptimized on purpose.
-//! It pushes a fresh [`Event`] and a fresh `Packet` (with a `route()`-
+//! It pushes a fresh `Event` and a fresh `Packet` (with a `route()`-
 //! allocated link `Vec`) for everything it schedules, and its event heap
 //! is keyed on raw `f64` time — exactly the behaviour
 //! [`crate::des::engine`] removes. The `des` module tests assert that the
@@ -13,9 +13,13 @@
 //!
 //! Only uniform traffic is implemented here (the pre-refactor simulator
 //! knew nothing else); the `traffic` field of [`DesConfig`] is ignored.
+//! Routing policies **are** implemented — the oracle picks the same
+//! per-packet [`route_choice`] the engine does and then re-materializes
+//! the chosen route naively with [`policy_route`], so the `des` module
+//! tests can pin the engine's policy tables bit-for-bit.
 
 use super::{DesConfig, DesResult, ServiceDistribution};
-use crate::routing::route;
+use crate::routing::{policy_route, route_choice};
 use crate::topology::Topology;
 use rand::Rng;
 use std::cmp::Reverse;
@@ -122,7 +126,14 @@ pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
                 if dst >= module {
                     dst += 1;
                 }
-                let path = route(topo, module, dst);
+                let choice = route_choice(
+                    config.seed,
+                    injected as u64,
+                    module,
+                    dst,
+                    config.routing.choices(),
+                );
+                let path = policy_route(topo, config.routing, module, dst, choice);
                 let measured = injected >= config.warmup_packets && injected < total_tracked;
                 packets.push(Packet {
                     t_inject: now,

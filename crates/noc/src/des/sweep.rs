@@ -23,6 +23,7 @@
 
 use super::engine::Engine;
 use super::{DesConfig, DesResult};
+use crate::routing::RoutingKind;
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
 use wi_num::rng::derive_seed;
@@ -138,9 +139,10 @@ pub fn sweep_with_threads(topo: &Topology, config: &SweepConfig, threads: usize)
 
     let mut results: Vec<Option<DesResult>> = vec![None; tasks.len()];
     let threads = threads.clamp(1, tasks.len());
-    // Route the topology once; workers clone the prototype (a memcpy of
-    // the route table and arenas) instead of re-walking all router pairs.
-    let mut proto = Engine::new(topo);
+    // Route the topology once under the sweep's policy; workers clone the
+    // prototype (sharing its route table through an `Arc`) instead of
+    // re-walking all router pairs per replication.
+    let mut proto = Engine::with_routing(topo, config.base.routing);
     if threads <= 1 {
         for (slot, cfg) in results.iter_mut().zip(&tasks) {
             *slot = Some(proto.run(cfg));
@@ -202,6 +204,36 @@ pub fn sweep_with_threads(topo: &Topology, config: &SweepConfig, threads: usize)
     }
 }
 
+/// Runs [`sweep`] once per routing policy (`config.base.routing` is
+/// overridden), returning the results in policy order — the building
+/// block of the policy × traffic saturation-knee matrix the `fig8a`
+/// bin prints under `--routing all`.
+///
+/// # Panics
+///
+/// See [`sweep_with_threads`]; additionally panics if `policies` is
+/// empty.
+pub fn sweep_policies(
+    topo: &Topology,
+    config: &SweepConfig,
+    policies: &[RoutingKind],
+) -> Vec<(RoutingKind, SweepResult)> {
+    assert!(!policies.is_empty(), "sweep needs at least one policy");
+    policies
+        .iter()
+        .map(|&routing| {
+            let cfg = SweepConfig {
+                base: DesConfig {
+                    routing,
+                    ..config.base
+                },
+                ..config.clone()
+            };
+            (routing, sweep(topo, &cfg))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +257,62 @@ mod tests {
         for threads in [2, 3, 8, 64] {
             let par = sweep_with_threads(&topo, &cfg, threads);
             assert_eq!(serial, par, "thread count {threads} changed the sweep");
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_under_randomized_routing() {
+        // The per-packet route-choice hash must keep sweeps bit-identical
+        // at any thread count for the multi-route policies too.
+        let topo = Topology::mesh3d(3, 3, 3);
+        for routing in [RoutingKind::O1Turn, RoutingKind::valiant()] {
+            let cfg = SweepConfig::new(
+                vec![0.05, 0.2, 0.45],
+                3,
+                DesConfig {
+                    routing,
+                    ..quick_base(0xB17)
+                },
+            );
+            let serial = sweep_with_threads(&topo, &cfg, 1);
+            for threads in [4, 64] {
+                let par = sweep_with_threads(&topo, &cfg, threads);
+                assert_eq!(
+                    serial,
+                    par,
+                    "{} diverged at {threads} threads",
+                    routing.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_policies_covers_each_policy() {
+        let topo = Topology::mesh2d(4, 4);
+        let cfg = SweepConfig::new(vec![0.1, 0.3], 2, quick_base(0x90C));
+        let policies = [
+            RoutingKind::DimensionOrder,
+            RoutingKind::O1Turn,
+            RoutingKind::Valiant { choices: 4 },
+        ];
+        let results = sweep_policies(&topo, &cfg, &policies);
+        assert_eq!(results.len(), 3);
+        for ((kind, result), want) in results.iter().zip(policies) {
+            assert_eq!(*kind, want);
+            assert_eq!(result.points.len(), 2);
+            // Each per-policy sweep must equal a direct sweep at that policy.
+            let direct = sweep(
+                &topo,
+                &SweepConfig {
+                    base: DesConfig {
+                        routing: want,
+                        ..cfg.base
+                    },
+                    ..cfg.clone()
+                },
+            );
+            assert_eq!(*result, direct, "{}", want.name());
         }
     }
 

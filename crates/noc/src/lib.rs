@@ -19,7 +19,7 @@
 //!   [`des::engine`] (zero allocation in the steady-state loop), the
 //!   pinned [`des::reference`] oracle, synthetic [`des::traffic`]
 //!   patterns (uniform, hotspot, transpose, bit-reversal,
-//!   nearest-neighbour) and parallel multi-replication [`des::sweep`]s
+//!   nearest-neighbour) and parallel multi-replication [`mod@des::sweep`]s
 //!   with per-rate error bars and saturation-knee detection.
 //! * [`metrics`] — structural topology metrics (the quantitative Fig. 7).
 //! * [`irregular`] — partial-TSV (pillar) 3D meshes for the paper's

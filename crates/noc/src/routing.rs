@@ -1,13 +1,168 @@
-//! Deterministic dimension-order (XYZ) routing.
+//! Routing policies: deterministic dimension-order (XYZ) routing plus the
+//! standard oblivious randomized remedies, O1TURN and Valiant.
 //!
 //! The analytic model of ref \[14\] needs deterministic routes so that
 //! per-link flows are exact sums over source/destination pairs. Dimension-
 //! order routing resolves X first, then Y, then Z; it is minimal and
 //! deadlock-free on meshes, and it is what the paper's reference topologies
-//! use.
+//! use. Under non-uniform traffic, however, dimension-order routing
+//! concentrates flows (the PR-2 sweeps measured hotspot and bit-reversal
+//! saturation knees 2–4× below uniform), so this module also materializes
+//! the classic oblivious alternatives behind one [`RoutingKind`]:
+//!
+//! * [`RoutingKind::DimensionOrder`] — one route per pair, X then Y then Z.
+//! * [`RoutingKind::O1Turn`] — one route per dimension-order permutation
+//!   ([`O1TURN_ORDERS`]); a packet picks one of the six orders, spreading
+//!   minimal paths over both sides of each turn.
+//! * [`RoutingKind::Valiant`] — `choices` routes per pair, each through a
+//!   seed-chosen random intermediate router with two dimension-order legs
+//!   (Valiant's randomized load balancing; non-minimal, but traffic-
+//!   oblivious worst-case optimal).
+//!
+//! Every policy is **precomputed**: [`RouteTable::with_policy`] stores the
+//! whole choice set per router pair in flat CSR form, so the simulator's
+//! hot loop stays allocation-free, and a packet selects its route with the
+//! deterministic hash [`route_choice`] — no RNG draws, which keeps the
+//! arena engine bit-identical to the naive oracle under every policy.
 
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
+
+/// The six dimension-order permutations of a 3D mesh, as visit orders over
+/// the coordinate axes. Order 0 is X-then-Y-then-Z — plain dimension-order
+/// routing — so choice 0 of an [`RoutingKind::O1Turn`] table is always the
+/// [`RoutingKind::DimensionOrder`] route.
+pub const O1TURN_ORDERS: [[usize; 3]; 6] = [
+    [0, 1, 2],
+    [0, 2, 1],
+    [1, 0, 2],
+    [1, 2, 0],
+    [2, 0, 1],
+    [2, 1, 0],
+];
+
+/// Default number of Valiant intermediates materialized per pair.
+pub const VALIANT_DEFAULT_CHOICES: usize = 8;
+
+/// Fixed salt for the Valiant intermediate construction, so route tables
+/// are reproducible across runs and independent of the simulation seed
+/// (per-replication seeds must not force a table rebuild).
+const VALIANT_SALT: u64 = 0x5EED_0420_0DD5_5A1F;
+
+/// An oblivious routing policy (serde-able plain data, for configuration
+/// types and CLI flags).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingKind {
+    /// Deterministic X-then-Y-then-Z routing: one route per pair.
+    #[default]
+    DimensionOrder,
+    /// One minimal route per dimension-order permutation
+    /// ([`O1TURN_ORDERS`]); packets randomize over the six.
+    O1Turn,
+    /// Valiant randomized routing: `choices` precomputed routes per pair,
+    /// each via a random intermediate router with two dimension-order legs.
+    Valiant {
+        /// Precomputed intermediate routers per pair.
+        choices: usize,
+    },
+}
+
+impl RoutingKind {
+    /// A Valiant policy with the default choice count.
+    pub fn valiant() -> Self {
+        RoutingKind::Valiant {
+            choices: VALIANT_DEFAULT_CHOICES,
+        }
+    }
+
+    /// Short lowercase name (CLI / table labels).
+    pub fn name(&self) -> &'static str {
+        match *self {
+            RoutingKind::DimensionOrder => "dor",
+            RoutingKind::O1Turn => "o1turn",
+            RoutingKind::Valiant { .. } => "valiant",
+        }
+    }
+
+    /// Routes materialized per (src, dst) router pair.
+    pub fn choices(&self) -> usize {
+        match *self {
+            RoutingKind::DimensionOrder => 1,
+            RoutingKind::O1Turn => O1TURN_ORDERS.len(),
+            RoutingKind::Valiant { choices } => choices,
+        }
+    }
+
+    /// Parses a CLI spelling: `dor` (also `xyz`, `dimension-order`),
+    /// `o1turn`, `valiant` (default choice count), `valiant:<k>`.
+    pub fn parse(s: &str) -> Option<RoutingKind> {
+        match s {
+            "dor" | "xyz" | "dimension-order" | "dimensionorder" => {
+                Some(RoutingKind::DimensionOrder)
+            }
+            "o1turn" => Some(RoutingKind::O1Turn),
+            "valiant" => Some(RoutingKind::valiant()),
+            _ => {
+                let mut parts = s.split(':');
+                if parts.next() != Some("valiant") {
+                    return None;
+                }
+                let choices: usize = parts.next()?.parse().ok()?;
+                if parts.next().is_some() {
+                    return None;
+                }
+                Some(RoutingKind::Valiant { choices })
+            }
+        }
+    }
+
+    /// A human-readable configuration problem, if any (`None` when valid).
+    pub fn problem(&self) -> Option<String> {
+        match *self {
+            RoutingKind::Valiant { choices: 0 } => {
+                Some("valiant routing needs at least one choice per pair".into())
+            }
+            RoutingKind::Valiant { choices } if choices > 4096 => Some(format!(
+                "valiant choice count {choices} exceeds the 4096 table cap"
+            )),
+            _ => None,
+        }
+    }
+}
+
+/// Selects a route choice for one packet: a deterministic SplitMix64-style
+/// hash of (simulation seed, packet index, src module, dst module) reduced
+/// modulo the choice count.
+///
+/// Both the arena engine and the naive reference oracle call this — and
+/// never the simulation RNG — so randomized routing perturbs neither the
+/// RNG stream nor the engines' bit-identity. `choices <= 1` always yields
+/// choice 0 (dimension-order tables pay nothing).
+pub fn route_choice(seed: u64, packet: u64, src: usize, dst: usize, choices: usize) -> usize {
+    if choices <= 1 {
+        return 0;
+    }
+    let mut z = seed
+        .wrapping_add(packet.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(((src as u64) << 32) ^ dst as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % choices as u64) as usize
+}
+
+/// The intermediate router of Valiant choice `choice` for router pair
+/// `(src, dst)` — a fixed-salt hash, so the whole table is reproducible
+/// from the topology alone.
+pub fn valiant_intermediate(num_routers: usize, src: usize, dst: usize, choice: usize) -> usize {
+    let mut z = VALIANT_SALT
+        .wrapping_add((choice as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(((src as u64) << 32) ^ dst as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % num_routers as u64) as usize
+}
 
 /// A routed path between two modules.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,11 +198,31 @@ pub fn route(topo: &Topology, src_module: usize, dst_module: usize) -> Path {
 ///
 /// See [`route`].
 pub fn route_routers(topo: &Topology, src: usize, dst: usize) -> Path {
+    route_routers_ordered(topo, src, dst, [0, 1, 2])
+}
+
+/// Minimal route between two routers resolving the grid dimensions in the
+/// given visit order (`[0, 1, 2]` is plain dimension-order routing; the
+/// other permutations are the O1TURN alternatives).
+///
+/// # Panics
+///
+/// See [`route`].
+pub fn route_routers_ordered(topo: &Topology, src: usize, dst: usize, order: [usize; 3]) -> Path {
+    let mut path = Path {
+        routers: vec![src],
+        links: Vec::new(),
+    };
+    extend_ordered(topo, src, dst, order, &mut path);
+    path
+}
+
+/// Walks the ordered minimal route from `src` to `dst`, appending to
+/// `path` (whose last router must be `src`).
+fn extend_ordered(topo: &Topology, src: usize, dst: usize, order: [usize; 3], path: &mut Path) {
     let mut here = topo.coord(src);
     let target = topo.coord(dst);
-    let mut routers = vec![src];
-    let mut links = Vec::new();
-    for dim in 0..3 {
+    for dim in order {
         while here[dim] != target[dim] {
             let mut next = here;
             if here[dim] < target[dim] {
@@ -60,39 +235,126 @@ pub fn route_routers(topo: &Topology, src: usize, dst: usize) -> Path {
             let link = topo
                 .link_between(a, b)
                 .unwrap_or_else(|| panic!("no link {a} -> {b} for dimension-order route"));
-            links.push(link);
-            routers.push(b);
+            path.links.push(link);
+            path.routers.push(b);
             here = next;
         }
     }
-    Path { routers, links }
 }
 
-/// All-pairs dimension-order routes in flat CSR form.
+/// Materializes choice `choice` of policy `kind` between two routers:
+/// the naive (allocating) construction the [`RouteTable`] stores and the
+/// reference simulator replays per packet.
+///
+/// Pairs sharing a router get an empty path under every policy — a packet
+/// that never enters the mesh takes no detour.
+///
+/// # Panics
+///
+/// Panics if a router is out of range, `choice >= kind.choices()`, or the
+/// topology lacks a link the route needs.
+pub fn policy_route_routers(
+    topo: &Topology,
+    kind: RoutingKind,
+    src: usize,
+    dst: usize,
+    choice: usize,
+) -> Path {
+    let mut path = Path {
+        routers: Vec::new(),
+        links: Vec::new(),
+    };
+    policy_route_into(topo, kind, src, dst, choice, &mut path);
+    path
+}
+
+/// [`policy_route_routers`] into a caller-owned `path` (cleared first) —
+/// lets the table builder reuse one scratch path across all
+/// (pair, choice) walks instead of allocating two `Vec`s per route.
+fn policy_route_into(
+    topo: &Topology,
+    kind: RoutingKind,
+    src: usize,
+    dst: usize,
+    choice: usize,
+    path: &mut Path,
+) {
+    assert!(
+        choice < kind.choices(),
+        "choice {choice} out of range for {} ({} choices)",
+        kind.name(),
+        kind.choices()
+    );
+    path.routers.clear();
+    path.links.clear();
+    path.routers.push(src);
+    if src == dst {
+        return;
+    }
+    match kind {
+        RoutingKind::Valiant { .. } => {
+            let mid = valiant_intermediate(topo.num_routers(), src, dst, choice);
+            extend_ordered(topo, src, mid, [0, 1, 2], path);
+            extend_ordered(topo, mid, dst, [0, 1, 2], path);
+        }
+        _ => extend_ordered(topo, src, dst, choice_order(kind, choice), path),
+    }
+}
+
+/// Materializes choice `choice` of policy `kind` between two modules.
+///
+/// # Panics
+///
+/// See [`policy_route_routers`].
+pub fn policy_route(
+    topo: &Topology,
+    kind: RoutingKind,
+    src_module: usize,
+    dst_module: usize,
+    choice: usize,
+) -> Path {
+    policy_route_routers(
+        topo,
+        kind,
+        topo.router_of(src_module),
+        topo.router_of(dst_module),
+        choice,
+    )
+}
+
+/// All-pairs routes of one [`RoutingKind`] in flat CSR form.
 ///
 /// [`route`] allocates two `Vec`s per call, which made it the allocation
 /// hot spot of the discrete-event simulator (one call per injected
-/// packet). A `RouteTable` walks every *router* pair once at build time
-/// and stores the link ids contiguously, so a lookup is two array reads
-/// and a slice — no allocation, no per-hop `HashMap` probe. Module pairs
-/// sharing a router map to an empty slice, exactly like [`route`].
+/// packet). A `RouteTable` walks every *router* pair once per **choice**
+/// at build time and stores the link ids contiguously, so a lookup is two
+/// array reads and a slice — no allocation, no per-hop `HashMap` probe.
+/// Module pairs sharing a router map to an empty slice, exactly like
+/// [`route`].
 ///
-/// The link order of each stored route is identical to the one [`route`]
-/// returns, so consumers switching to the table see bit-identical
-/// behaviour.
+/// The stored route of pair `(a, b)` at choice `c` is identical, link for
+/// link, to [`policy_route_routers`]`(topo, kind, a, b, c)` — and for
+/// [`RoutingKind::DimensionOrder`] (the [`RouteTable::new`] default,
+/// choice count 1) identical to the one [`route`] returns, so consumers
+/// switching to the table see bit-identical behaviour.
 #[derive(Clone, Debug)]
 pub struct RouteTable {
+    kind: RoutingKind,
     num_routers: usize,
+    /// Routes per pair (`kind.choices()`, cached as u32 for indexing).
+    choices: u32,
     /// `module_router[m]` mirrors [`Topology::router_of`].
     module_router: Vec<u32>,
-    /// CSR offsets over router pairs `(a, b)` at index `a·R + b`.
+    /// CSR offsets over (router pair, choice) at index
+    /// `(a·R + b)·choices + c`.
     offsets: Vec<u32>,
     /// Concatenated link ids of all routes.
     links: Vec<u32>,
 }
 
 impl RouteTable {
-    /// Builds the table by routing all router pairs once.
+    /// Builds the dimension-order table (one route per pair) — today's
+    /// default policy and the layout every pre-policy consumer expects.
     ///
     /// # Panics
     ///
@@ -100,41 +362,53 @@ impl RouteTable {
     /// needs (possible only for hand-edited irregular topologies) — the
     /// same condition under which [`route`] panics.
     pub fn new(topo: &Topology) -> Self {
+        Self::with_policy(topo, RoutingKind::DimensionOrder)
+    }
+
+    /// Builds the table for one routing policy by materializing every
+    /// (router pair, choice) route once.
+    ///
+    /// The choice count is a property of the *policy*, not the topology:
+    /// an [`RoutingKind::O1Turn`] table on a 2D mesh still stores all six
+    /// permutation routes (the z-degenerate ones are duplicates), trading
+    /// ~3× table memory for a topology-independent choice count — which
+    /// is what keeps the per-packet [`route_choice`] selection identical
+    /// between the arena engine and the table-free reference oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid ([`RoutingKind::problem`]) or the
+    /// topology lacks a link some route needs.
+    pub fn with_policy(topo: &Topology, kind: RoutingKind) -> Self {
+        if let Some(problem) = kind.problem() {
+            panic!("invalid routing policy: {problem}");
+        }
         let r = topo.num_routers();
-        let mut offsets = Vec::with_capacity(r * r + 1);
+        let choices = kind.choices();
+        let mut offsets = Vec::with_capacity(r * r * choices + 1);
         offsets.push(0u32);
         let mut links: Vec<u32> = Vec::new();
+        let mut scratch = Path {
+            routers: Vec::new(),
+            links: Vec::new(),
+        };
         for a in 0..r {
-            let start = topo.coord(a);
             for b in 0..r {
-                let target = topo.coord(b);
-                let mut here = start;
-                for dim in 0..3 {
-                    while here[dim] != target[dim] {
-                        let mut next = here;
-                        if here[dim] < target[dim] {
-                            next[dim] += 1;
-                        } else {
-                            next[dim] -= 1;
-                        }
-                        let u = topo.router_at(here);
-                        let v = topo.router_at(next);
-                        let link = topo.link_between(u, v).unwrap_or_else(|| {
-                            panic!("no link {u} -> {v} for dimension-order route")
-                        });
-                        links.push(link as u32);
-                        here = next;
-                    }
+                for c in 0..choices {
+                    policy_route_into(topo, kind, a, b, c, &mut scratch);
+                    links.extend(scratch.links.iter().map(|&l| l as u32));
+                    let end: u32 = links
+                        .len()
+                        .try_into()
+                        .expect("route table exceeds u32 link capacity");
+                    offsets.push(end);
                 }
-                let end: u32 = links
-                    .len()
-                    .try_into()
-                    .expect("route table exceeds u32 link capacity");
-                offsets.push(end);
             }
         }
         RouteTable {
+            kind,
             num_routers: r,
+            choices: choices as u32,
             module_router: (0..topo.num_modules())
                 .map(|m| topo.router_of(m) as u32)
                 .collect(),
@@ -143,96 +417,175 @@ impl RouteTable {
         }
     }
 
+    /// The policy this table materializes.
+    pub fn kind(&self) -> RoutingKind {
+        self.kind
+    }
+
+    /// Routes stored per (src, dst) router pair.
+    pub fn num_choices(&self) -> usize {
+        self.choices as usize
+    }
+
     /// Number of modules the table was built for.
     pub fn num_modules(&self) -> usize {
         self.module_router.len()
     }
 
-    /// Link ids of the dimension-order route between two routers.
+    #[inline]
+    fn pair_index(&self, src: usize, dst: usize, choice: usize) -> usize {
+        assert!(
+            src < self.num_routers && dst < self.num_routers,
+            "router pair ({src}, {dst}) out of range for {} routers",
+            self.num_routers
+        );
+        assert!(
+            choice < self.choices as usize,
+            "choice {choice} out of range for {} choices",
+            self.choices
+        );
+        (src * self.num_routers + dst) * self.choices as usize + choice
+    }
+
+    /// Link ids of route choice `choice` between two routers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a router or the choice is out of range.
+    pub fn router_links_choice(&self, src: usize, dst: usize, choice: usize) -> &[u32] {
+        let i = self.pair_index(src, dst, choice);
+        &self.links[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Link ids of the first route choice between two routers (for
+    /// dimension-order tables, the only one).
     ///
     /// # Panics
     ///
     /// Panics if either router is out of range.
     pub fn router_links(&self, src: usize, dst: usize) -> &[u32] {
-        assert!(
-            src < self.num_routers && dst < self.num_routers,
-            "router pair ({src}, {dst}) out of range for {} routers",
-            self.num_routers
-        );
-        let i = src * self.num_routers + dst;
-        &self.links[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        self.router_links_choice(src, dst, 0)
     }
 
-    /// Link ids of the dimension-order route between two modules
-    /// (empty when both attach to the same router).
+    /// Link ids of route choice `choice` between two modules (empty when
+    /// both attach to the same router).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a module or the choice is out of range.
+    pub fn links_choice(&self, src_module: usize, dst_module: usize, choice: usize) -> &[u32] {
+        self.router_links_choice(
+            self.module_router[src_module] as usize,
+            self.module_router[dst_module] as usize,
+            choice,
+        )
+    }
+
+    /// Link ids of the first route choice between two modules.
     ///
     /// # Panics
     ///
     /// Panics if either module is out of range.
     pub fn links(&self, src_module: usize, dst_module: usize) -> &[u32] {
-        self.router_links(
-            self.module_router[src_module] as usize,
-            self.module_router[dst_module] as usize,
-        )
+        self.links_choice(src_module, dst_module, 0)
     }
 
-    /// Inter-router hop count between two modules.
+    /// Inter-router hop count of the first route choice between two
+    /// modules (the minimal hop count for every policy but Valiant).
     pub fn hops(&self, src_module: usize, dst_module: usize) -> usize {
         self.links(src_module, dst_module).len()
     }
 
-    /// Range of the module pair's route within [`RouteTable::flat_links`]
-    /// — lets a hot loop resolve the route once per packet and then index
-    /// the flat buffer directly per hop.
+    /// Range of route choice `choice` of the module pair within
+    /// [`RouteTable::flat_links`] — lets a hot loop resolve the route once
+    /// per packet and then index the flat buffer directly per hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a module or the choice is out of range.
+    pub fn span_choice(
+        &self,
+        src_module: usize,
+        dst_module: usize,
+        choice: usize,
+    ) -> std::ops::Range<usize> {
+        let i = self.pair_index(
+            self.module_router[src_module] as usize,
+            self.module_router[dst_module] as usize,
+            choice,
+        );
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+
+    /// Range of the module pair's first route choice within
+    /// [`RouteTable::flat_links`].
     ///
     /// # Panics
     ///
     /// Panics if either module is out of range.
     pub fn span(&self, src_module: usize, dst_module: usize) -> std::ops::Range<usize> {
-        let src = self.module_router[src_module] as usize;
-        let dst = self.module_router[dst_module] as usize;
-        assert!(
-            src < self.num_routers && dst < self.num_routers,
-            "router pair ({src}, {dst}) out of range for {} routers",
-            self.num_routers
-        );
-        let i = src * self.num_routers + dst;
-        self.offsets[i] as usize..self.offsets[i + 1] as usize
+        self.span_choice(src_module, dst_module, 0)
     }
 
     /// The concatenated link ids of all routes (indexed via
-    /// [`RouteTable::span`]).
+    /// [`RouteTable::span`] / [`RouteTable::span_choice`]).
     pub fn flat_links(&self) -> &[u32] {
         &self.links
+    }
+}
+
+/// Dimension visit order of one route choice: the O1TURN permutation for
+/// that policy, plain X-Y-Z for everything else (Valiant applies it to
+/// both legs).
+fn choice_order(kind: RoutingKind, choice: usize) -> [usize; 3] {
+    match kind {
+        RoutingKind::O1Turn => O1TURN_ORDERS[choice],
+        _ => [0, 1, 2],
     }
 }
 
 /// Checks that dimension-order routing can serve every module pair of the
 /// topology (true for all regular meshes; useful for irregular variants).
 pub fn all_pairs_routable(topo: &Topology) -> bool {
+    all_pairs_routable_with(topo, RoutingKind::DimensionOrder)
+}
+
+/// [`all_pairs_routable`] generalized over routing policies: checks that
+/// every (router pair, choice) route of `kind` only crosses links the
+/// topology has.
+pub fn all_pairs_routable_with(topo: &Topology, kind: RoutingKind) -> bool {
     let n = topo.num_routers();
     for s in 0..n {
         for d in 0..n {
             if s == d {
                 continue;
             }
-            let mut here = topo.coord(s);
-            let target = topo.coord(d);
-            for dim in 0..3 {
-                while here[dim] != target[dim] {
-                    let mut next = here;
-                    if here[dim] < target[dim] {
-                        next[dim] += 1;
-                    } else {
-                        next[dim] -= 1;
+            for c in 0..kind.choices() {
+                let waypoints: [usize; 2] = match kind {
+                    RoutingKind::Valiant { .. } => [valiant_intermediate(n, s, d, c), d],
+                    _ => [d, d],
+                };
+                let order = choice_order(kind, c);
+                let mut here = topo.coord(s);
+                for target_router in waypoints {
+                    let target = topo.coord(target_router);
+                    for dim in order {
+                        while here[dim] != target[dim] {
+                            let mut next = here;
+                            if here[dim] < target[dim] {
+                                next[dim] += 1;
+                            } else {
+                                next[dim] -= 1;
+                            }
+                            if topo
+                                .link_between(topo.router_at(here), topo.router_at(next))
+                                .is_none()
+                            {
+                                return false;
+                            }
+                            here = next;
+                        }
                     }
-                    if topo
-                        .link_between(topo.router_at(here), topo.router_at(next))
-                        .is_none()
-                    {
-                        return false;
-                    }
-                    here = next;
                 }
             }
         }
@@ -290,6 +643,21 @@ mod tests {
     }
 
     #[test]
+    fn ordered_route_visits_dims_in_order() {
+        let t = Topology::mesh3d(4, 4, 4);
+        let s = t.router_at([0, 0, 0]);
+        let d = t.router_at([2, 2, 2]);
+        let p = route_routers_ordered(&t, s, d, [2, 1, 0]);
+        let coords: Vec<[usize; 3]> = p.routers.iter().map(|&r| t.coord(r)).collect();
+        // Z changes first, then Y, then X.
+        assert_eq!(coords[1], [0, 0, 1]);
+        assert_eq!(coords[2], [0, 0, 2]);
+        assert_eq!(coords[3], [0, 1, 2]);
+        assert_eq!(coords[5], [1, 2, 2]);
+        assert_eq!(p.hops(), t.router_distance(s, d), "still minimal");
+    }
+
+    #[test]
     fn links_match_router_sequence() {
         let t = Topology::mesh2d(5, 5);
         let p = route(&t, 0, 24);
@@ -308,6 +676,26 @@ mod tests {
     }
 
     #[test]
+    fn regular_meshes_routable_under_all_policies() {
+        for kind in [
+            RoutingKind::DimensionOrder,
+            RoutingKind::O1Turn,
+            RoutingKind::Valiant { choices: 5 },
+        ] {
+            assert!(
+                all_pairs_routable_with(&Topology::mesh3d(3, 3, 3), kind),
+                "{}",
+                kind.name()
+            );
+            assert!(
+                all_pairs_routable_with(&Topology::star_mesh(3, 3, 2), kind),
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
     fn route_table_matches_route_for_all_pairs() {
         for topo in [
             Topology::mesh2d(5, 3),
@@ -317,6 +705,7 @@ mod tests {
         ] {
             let table = RouteTable::new(&topo);
             assert_eq!(table.num_modules(), topo.num_modules());
+            assert_eq!(table.num_choices(), 1);
             for s in 0..topo.num_modules() {
                 for d in 0..topo.num_modules() {
                     let p = route(&topo, s, d);
@@ -329,11 +718,165 @@ mod tests {
     }
 
     #[test]
+    fn policy_tables_match_policy_route_for_all_pairs_and_choices() {
+        for topo in [
+            Topology::mesh3d(3, 3, 2),
+            Topology::mesh2d(4, 3),
+            Topology::star_mesh(3, 2, 3),
+        ] {
+            for kind in [
+                RoutingKind::DimensionOrder,
+                RoutingKind::O1Turn,
+                RoutingKind::Valiant { choices: 4 },
+            ] {
+                let table = RouteTable::with_policy(&topo, kind);
+                assert_eq!(table.kind(), kind);
+                assert_eq!(table.num_choices(), kind.choices());
+                for s in 0..topo.num_modules() {
+                    for d in 0..topo.num_modules() {
+                        for c in 0..kind.choices() {
+                            let p = policy_route(&topo, kind, s, d, c);
+                            let want: Vec<u32> = p.links.iter().map(|&l| l as u32).collect();
+                            assert_eq!(
+                                table.links_choice(s, d, c),
+                                &want[..],
+                                "{} pair ({s},{d}) choice {c}",
+                                kind.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn o1turn_choice_zero_is_dimension_order() {
+        let topo = Topology::mesh3d(3, 3, 3);
+        let table = RouteTable::with_policy(&topo, RoutingKind::O1Turn);
+        let dor = RouteTable::new(&topo);
+        for s in 0..topo.num_modules() {
+            for d in 0..topo.num_modules() {
+                assert_eq!(table.links_choice(s, d, 0), dor.links(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn o1turn_routes_are_minimal() {
+        let topo = Topology::mesh3d(3, 3, 3);
+        let table = RouteTable::with_policy(&topo, RoutingKind::O1Turn);
+        for s in 0..topo.num_modules() {
+            for d in 0..topo.num_modules() {
+                let min = topo.router_distance(topo.router_of(s), topo.router_of(d));
+                for c in 0..table.num_choices() {
+                    assert_eq!(table.links_choice(s, d, c).len(), min);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valiant_routes_are_two_dor_legs() {
+        let topo = Topology::mesh3d(3, 3, 3);
+        let kind = RoutingKind::Valiant { choices: 6 };
+        let table = RouteTable::with_policy(&topo, kind);
+        let r = topo.num_routers();
+        for s in 0..topo.num_modules() {
+            for d in 0..topo.num_modules() {
+                let (a, b) = (topo.router_of(s), topo.router_of(d));
+                for c in 0..kind.choices() {
+                    let len = table.links_choice(s, d, c).len();
+                    if a == b {
+                        assert_eq!(len, 0, "same-router pairs take no detour");
+                    } else {
+                        let mid = valiant_intermediate(r, a, b, c);
+                        assert_eq!(
+                            len,
+                            topo.router_distance(a, mid) + topo.router_distance(mid, b),
+                            "pair ({s},{d}) choice {c} via {mid}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valiant_choices_diversify_routes() {
+        // Across a corner-to-corner pair, the 8 default intermediates must
+        // not all collapse onto one route.
+        let topo = Topology::mesh3d(4, 4, 4);
+        let table = RouteTable::with_policy(&topo, RoutingKind::valiant());
+        let distinct: std::collections::HashSet<Vec<u32>> = (0..table.num_choices())
+            .map(|c| table.links_choice(0, 63, c).to_vec())
+            .collect();
+        assert!(
+            distinct.len() > 2,
+            "only {} distinct routes",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn route_choice_is_deterministic_and_in_range() {
+        for choices in [1usize, 2, 6, 8] {
+            for packet in 0..200u64 {
+                let a = route_choice(0xDE5, packet, 3, 40, choices);
+                let b = route_choice(0xDE5, packet, 3, 40, choices);
+                assert_eq!(a, b);
+                assert!(a < choices);
+            }
+        }
+        assert_eq!(route_choice(1, 2, 3, 4, 1), 0);
+    }
+
+    #[test]
+    fn route_choice_spreads_over_choices() {
+        let choices = 6;
+        let mut counts = vec![0usize; choices];
+        for packet in 0..6_000u64 {
+            counts[route_choice(7, packet, 5, 58, choices)] += 1;
+        }
+        for (c, &n) in counts.iter().enumerate() {
+            // Expect ~1000 per bin; allow a generous band.
+            assert!((700..1300).contains(&n), "choice {c} drawn {n} times");
+        }
+    }
+
+    #[test]
+    fn routing_kind_parses_and_validates() {
+        assert_eq!(RoutingKind::parse("dor"), Some(RoutingKind::DimensionOrder));
+        assert_eq!(RoutingKind::parse("xyz"), Some(RoutingKind::DimensionOrder));
+        assert_eq!(RoutingKind::parse("o1turn"), Some(RoutingKind::O1Turn));
+        assert_eq!(RoutingKind::parse("valiant"), Some(RoutingKind::valiant()));
+        assert_eq!(
+            RoutingKind::parse("valiant:3"),
+            Some(RoutingKind::Valiant { choices: 3 })
+        );
+        assert_eq!(RoutingKind::parse("valiant:x"), None);
+        assert_eq!(RoutingKind::parse("nope"), None);
+
+        assert!(RoutingKind::DimensionOrder.problem().is_none());
+        assert!(RoutingKind::O1Turn.problem().is_none());
+        assert!(RoutingKind::Valiant { choices: 0 }.problem().is_some());
+        assert!(RoutingKind::Valiant { choices: 9999 }.problem().is_some());
+
+        assert_eq!(RoutingKind::DimensionOrder.choices(), 1);
+        assert_eq!(RoutingKind::O1Turn.choices(), 6);
+        assert_eq!(RoutingKind::Valiant { choices: 3 }.choices(), 3);
+    }
+
+    #[test]
     fn route_table_same_router_pair_is_empty() {
         let t = Topology::star_mesh(4, 4, 4);
         let table = RouteTable::new(&t);
         assert!(table.links(0, 1).is_empty());
         assert!(table.router_links(2, 2).is_empty());
+        let valiant = RouteTable::with_policy(&t, RoutingKind::valiant());
+        for c in 0..valiant.num_choices() {
+            assert!(valiant.links_choice(0, 1, c).is_empty());
+        }
     }
 
     #[test]
@@ -341,5 +884,18 @@ mod tests {
     fn route_table_rejects_bad_router() {
         let t = Topology::mesh2d(2, 2);
         RouteTable::new(&t).router_links(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn route_table_rejects_bad_choice() {
+        let t = Topology::mesh2d(2, 2);
+        RouteTable::new(&t).router_links_choice(0, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid routing policy")]
+    fn zero_choice_valiant_table_panics() {
+        RouteTable::with_policy(&Topology::mesh2d(2, 2), RoutingKind::Valiant { choices: 0 });
     }
 }

@@ -8,7 +8,9 @@ use wireless_interconnect::channel::pathloss::{fit_pathloss_exponent, PathlossMo
 use wireless_interconnect::ldpc::code::{Encoder, LdpcCode};
 use wireless_interconnect::linkbudget::budget::LinkBudget;
 use wireless_interconnect::noc::analytic::{AnalyticModel, RouterParams};
-use wireless_interconnect::noc::routing::route;
+use wireless_interconnect::noc::routing::{
+    all_pairs_routable_with, route, valiant_intermediate, RouteTable, RoutingKind,
+};
 use wireless_interconnect::noc::topology::Topology;
 use wireless_interconnect::quantrx::filter::IsiFilter;
 use wireless_interconnect::quantrx::info_rate::{snr_db_to_sigma, symbolwise_information_rate};
@@ -92,6 +94,63 @@ proptest! {
             let link = topo.links()[l];
             prop_assert_eq!(link.src, p.routers[i]);
             prop_assert_eq!(link.dst, p.routers[i + 1]);
+        }
+    }
+
+    #[test]
+    fn multi_route_tables_are_minimal_or_valiant_legal_and_link_valid(
+        nx in 2usize..5,
+        ny in 2usize..5,
+        nz in 1usize..4,
+        policy_idx in 0usize..3,
+        valiant_choices in 1usize..6,
+    ) {
+        // Every route of every policy table must be a contiguous chain of
+        // real links from source to destination router, and either
+        // minimal (dimension-order, O1TURN) or exactly the two minimal
+        // legs through its Valiant intermediate.
+        let topo = Topology::mesh3d(nx, ny, nz);
+        let kind = match policy_idx {
+            0 => RoutingKind::DimensionOrder,
+            1 => RoutingKind::O1Turn,
+            _ => RoutingKind::Valiant { choices: valiant_choices },
+        };
+        prop_assert!(all_pairs_routable_with(&topo, kind));
+        let table = RouteTable::with_policy(&topo, kind);
+        let r = topo.num_routers();
+        for s in 0..topo.num_modules() {
+            for d in 0..topo.num_modules() {
+                let (a, b) = (topo.router_of(s), topo.router_of(d));
+                for c in 0..table.num_choices() {
+                    let links = table.links_choice(s, d, c);
+                    // Link-valid: a contiguous chain from a to b.
+                    let mut here = a;
+                    for &l in links {
+                        let link = topo.links()[l as usize];
+                        prop_assert_eq!(link.src, here);
+                        here = link.dst;
+                    }
+                    prop_assert_eq!(here, b);
+                    // Minimal or Valiant-legal length.
+                    let want = match kind {
+                        RoutingKind::Valiant { .. } if a != b => {
+                            let mid = valiant_intermediate(r, a, b, c);
+                            topo.router_distance(a, mid) + topo.router_distance(mid, b)
+                        }
+                        _ => topo.router_distance(a, b),
+                    };
+                    prop_assert!(
+                        links.len() == want,
+                        "{} ({},{}) choice {}: {} links, want {}",
+                        kind.name(),
+                        s,
+                        d,
+                        c,
+                        links.len(),
+                        want
+                    );
+                }
+            }
         }
     }
 

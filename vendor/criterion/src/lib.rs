@@ -8,7 +8,20 @@
 //! iteration. Results are honest wall-clock measurements — only the
 //! statistical machinery (outlier analysis, regression) of real criterion
 //! is missing.
+//!
+//! Two environment variables drive the CI `bench-quick` job:
+//!
+//! * `WI_BENCH_QUICK=1` — overrides every benchmark's sample count and
+//!   time budget with a reduced preset (5 samples, 200 ms measurement,
+//!   50 ms warm-up) so the whole suite finishes in seconds. Numbers are
+//!   noisier but comparable run-over-run, which is all a per-PR
+//!   trajectory needs.
+//! * `WI_BENCH_JSON=<path>` — appends one JSON object per benchmark
+//!   (`{"name", "min_ns", "median_ns", "mean_ns", "samples"}`, one per
+//!   line) to the file, for the workflow to fold into the `BENCH_<sha>`
+//!   artifact.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -51,15 +64,27 @@ impl Criterion {
         self
     }
 
-    /// Runs one benchmark and prints its timing summary.
+    /// The configured parameters, with the `WI_BENCH_QUICK` reduced
+    /// preset applied when the environment asks for it.
+    fn effective(&self) -> (usize, Duration, Duration) {
+        if quick_mode() {
+            (5, Duration::from_millis(200), Duration::from_millis(50))
+        } else {
+            (self.sample_size, self.measurement_time, self.warm_up_time)
+        }
+    }
+
+    /// Runs one benchmark and prints its timing summary (appending a JSON
+    /// line to `$WI_BENCH_JSON` when set).
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        let (sample_size, measurement_time, warm_up_time) = self.effective();
         let mut bencher = Bencher {
-            sample_size: self.sample_size,
-            measurement_time: self.measurement_time,
-            warm_up_time: self.warm_up_time,
+            sample_size,
+            measurement_time,
+            warm_up_time,
             samples_ns: Vec::new(),
         };
         f(&mut bencher);
@@ -75,8 +100,40 @@ impl Criterion {
             fmt_ns(median),
             fmt_ns(mean)
         );
+        if let Ok(path) = std::env::var("WI_BENCH_JSON") {
+            if let Err(e) = append_json_line(&path, name, min, median, mean, s.len()) {
+                eprintln!("WI_BENCH_JSON: cannot append to {path}: {e}");
+            }
+        }
         self
     }
+}
+
+/// True when `WI_BENCH_QUICK` asks for the reduced CI preset.
+fn quick_mode() -> bool {
+    std::env::var("WI_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Appends one benchmark result as a JSON object line (JSON Lines — the
+/// CI workflow folds them into a single `BENCH_<sha>.json` with `jq -s`).
+fn append_json_line(
+    path: &str,
+    name: &str,
+    min: f64,
+    median: f64,
+    mean: f64,
+    samples: usize,
+) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    // Benchmark names are plain identifiers (no quotes/backslashes), so
+    // the literal embedding below stays valid JSON.
+    writeln!(
+        file,
+        "{{\"name\":\"{name}\",\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\"samples\":{samples}}}"
+    )
 }
 
 fn fmt_ns(ns: f64) -> String {

@@ -11,6 +11,9 @@ use wi_ldpc::ber::{
     ebn0_db_to_sigma, simulate_bc_ber_serial, simulate_bc_ber_with_threads, BerSimOptions,
 };
 use wi_ldpc::decoder::{awgn_llrs, reference, BpConfig, BpDecoder, CheckRule, DecoderWorkspace};
+use wi_ldpc::kernel::{
+    min_sum_scalar, min_sum_unrolled8, sum_product_exact, sum_product_table, PhiTable,
+};
 use wi_ldpc::window::{CoupledCode, WindowDecoder, WindowWorkspace};
 use wi_ldpc::LdpcCode;
 use wi_noc::analytic::{AnalyticModel, RouterParams};
@@ -120,6 +123,66 @@ fn bench_ldpc(c: &mut Criterion) {
     });
     c.bench_function("bp_decode_naive_minsum_n200", |b| {
         b.iter(|| reference::decode(&code, minsum_config, black_box(&llr)))
+    });
+    // The φ-table sum-product rule: sum-product accuracy without the
+    // tanh/atanh inner loop. The acceptance bar for the kernel subsystem
+    // is ≥3× over bp_decode_workspace_n200 (exact sum-product).
+    let sptable_config = BpConfig {
+        check_rule: CheckRule::sum_product_table(),
+        ..BpConfig::default()
+    };
+    let sptable = BpDecoder::new(&code, sptable_config);
+    c.bench_function("bp_decode_sptable_n200", |b| {
+        b.iter(|| sptable.decode_in_place(&mut ws, black_box(&llr)))
+    });
+    c.bench_function("bp_decode_naive_sptable_n200", |b| {
+        b.iter(|| reference::decode(&code, sptable_config, black_box(&llr)))
+    });
+
+    // Check-kernel microbenches over the full check range of the n = 200
+    // code (all checks degree 8): the unrolled min-sum path vs the scalar
+    // two-min tracker, and the φ-table sum-product vs the exact
+    // tanh/atanh kernel.
+    let offsets = code.check_edge_offsets();
+    let n_checks = code.num_checks();
+    let v2c: Vec<f64> = (0..code.num_edges())
+        .map(|_| gauss.sample_with(&mut rng, 0.0, 4.0))
+        .collect();
+    let mut c2v = vec![0.0f64; code.num_edges()];
+    let mut scratch = vec![0.0f64; code.max_check_degree()];
+    let mut fwd = vec![0.0f64; code.max_check_degree() + 1];
+    c.bench_function("check_minsum_deg8_scalar", |b| {
+        b.iter(|| min_sum_scalar(offsets, 0, n_checks, 0.8, black_box(&v2c), &mut c2v))
+    });
+    c.bench_function("check_minsum_deg8_unrolled", |b| {
+        b.iter(|| min_sum_unrolled8(offsets, 0, n_checks, 0.8, black_box(&v2c), &mut c2v))
+    });
+    c.bench_function("check_sumproduct_exact_deg8", |b| {
+        b.iter(|| {
+            sum_product_exact(
+                offsets,
+                0,
+                n_checks,
+                black_box(&v2c),
+                &mut c2v,
+                &mut scratch,
+                &mut fwd,
+            )
+        })
+    });
+    let phi = PhiTable::new(7);
+    c.bench_function("check_sumproduct_table_deg8", |b| {
+        b.iter(|| {
+            sum_product_table(
+                offsets,
+                0,
+                n_checks,
+                &phi,
+                black_box(&v2c),
+                &mut c2v,
+                &mut scratch,
+            )
+        })
     });
 
     let cc = CoupledCode::paper_cc(25, 10, 2);

@@ -3,9 +3,14 @@
 //! versus the LDPC block codes they are derived from.
 //!
 //! Default preset targets BER 1e-3 with moderate frame counts (minutes);
-//! `--full` targets the paper's 1e-5 (much slower). `--minsum` decodes
+//! `--full` targets the paper's 1e-5 (much slower); `--quick` is the CI
+//! smoke preset (BER 1e-2, seconds). `--minsum` decodes
 //! with normalized min-sum (α = 0.8) instead of sum-product — the
 //! hardware-faithful variant, several times faster per iteration.
+//! `--sum-product-table` keeps sum-product accuracy (within 0.05 dB,
+//! pinned by `wi-ldpc/tests/phi_table.rs`) while replacing the
+//! `tanh`/`atanh` inner loop with the φ lookup table — the recommended
+//! preset for fast high-fidelity sweeps.
 //! Absolute dB values are implementation-dependent; the reproduced
 //! *shape* is: required Eb/N0 falls with window size and lifting factor,
 //! and the spatially coupled codes beat the block codes as latency grows.
@@ -13,29 +18,75 @@
 //! Monte-Carlo frames are fanned out over all available cores with
 //! results bit-identical to a serial run (see `wi_ldpc::ber`).
 
-use wi_bench::{fmt, has_flag, print_table};
+use wi_bench::{fmt, has_flag, help_flag, print_table};
 use wi_ldpc::ber::{required_ebn0_db, simulate_bc_ber, simulate_cc_ber, BerSimOptions};
 use wi_ldpc::decoder::{BpConfig, CheckRule};
 use wi_ldpc::window::{CoupledCode, WindowDecoder};
 use wi_ldpc::LdpcCode;
 
+const USAGE: &str = "\
+fig10_latency_ebn0 — required Eb/N0 vs structural decoding latency (Fig. 10)
+
+USAGE:
+    fig10_latency_ebn0 [FLAGS]
+
+FLAGS:
+    --full               target the paper's BER 1e-5 instead of the 1e-3
+                         runtime preset (overnight run)
+    --quick              reduced smoke preset: BER 1e-2, two code families,
+                         coarse bisection -- finishes in under a minute
+                         (used by CI; numbers are indicative only)
+    --minsum             decode with normalized min-sum (alpha = 0.8) --
+                         the hardware-faithful approximation, fastest,
+                         costs a fraction of a dB
+    --sum-product-table  decode with the phi-table sum-product kernel --
+                         sum-product accuracy (within 0.05 dB) without
+                         the tanh/atanh inner loop; recommended for fast
+                         high-fidelity sweeps (overrides --minsum)
+    --help, -h           print this help
+
+Monte-Carlo frames are automatically fanned out over all available CPU
+cores; results are bit-identical to a serial run at any thread count.
+Exact CLI recipes and expected runtimes: docs/REPRODUCING.md.";
+
 fn main() {
+    help_flag(USAGE);
     let full = has_flag("--full");
-    let check_rule = if has_flag("--minsum") {
+    let quick = has_flag("--quick");
+    assert!(
+        !(full && quick),
+        "--full and --quick are mutually exclusive"
+    );
+    let check_rule = if has_flag("--sum-product-table") {
+        CheckRule::sum_product_table()
+    } else if has_flag("--minsum") {
         CheckRule::min_sum()
     } else {
         CheckRule::SumProduct
     };
-    let target_ber = if full { 1e-5 } else { 1e-3 };
+    let target_ber = if full {
+        1e-5
+    } else if quick {
+        1e-2
+    } else {
+        1e-3
+    };
     // Window decoding fails in bursts (a wrong pinned block corrupts its
     // successors), so the error budget must cover several independent
     // failure events or the estimate degenerates to a frame-error rate.
     // The default preset (~2-4 burst events per estimate) sweeps all 19
-    // points in roughly half an hour; --full is an overnight run.
+    // points in roughly half an hour; --full is an overnight run; --quick
+    // is a CI smoke preset that finishes in well under a minute.
     let opts = BerSimOptions {
         target_errors: if full { 600 } else { 120 },
-        max_frames: if full { 20_000 } else { 150 },
-        min_frames: 30,
+        max_frames: if full {
+            20_000
+        } else if quick {
+            60
+        } else {
+            150
+        },
+        min_frames: if quick { 20 } else { 30 },
         seed: 0xF10,
     };
     let term_length = 20;
@@ -46,18 +97,26 @@ fn main() {
     println!(
         "decoder: {} | {} worker thread(s)",
         match check_rule {
-            CheckRule::SumProduct => "sum-product".to_string(),
+            CheckRule::SumProduct => "exact sum-product".to_string(),
+            CheckRule::SumProductTable { bits } => {
+                format!("table sum-product (phi table, {bits} bits)")
+            }
             CheckRule::MinSum { alpha } => format!("normalized min-sum (alpha = {alpha})"),
         },
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
 
     let mut rows = Vec::new();
-    let cc_sweeps: [(usize, Vec<usize>); 3] = [
-        (25, (3..=8).collect()),
-        (40, (3..=8).collect()),
-        (60, (4..=6).collect()),
-    ];
+    let cc_sweeps: Vec<(usize, Vec<usize>)> = if quick {
+        vec![(25, vec![4, 6])]
+    } else {
+        vec![
+            (25, (3..=8).collect()),
+            (40, (3..=8).collect()),
+            (60, (4..=6).collect()),
+        ]
+    };
+    let tol_db = if quick { 0.25 } else { 0.1 };
     for (n, windows) in &cc_sweeps {
         let code = CoupledCode::paper_cc(*n, term_length, 0xCC00 + *n as u64);
         for &w in windows {
@@ -67,7 +126,7 @@ fn main() {
                 target_ber,
                 0.5,
                 8.0,
-                0.1,
+                tol_db,
             );
             rows.push(vec![
                 format!("LDPC-CC N={n}"),
@@ -77,7 +136,12 @@ fn main() {
             ]);
         }
     }
-    for n in [50usize, 100, 200, 400] {
+    let blocks: &[usize] = if quick {
+        &[50, 100]
+    } else {
+        &[50, 100, 200, 400]
+    };
+    for &n in blocks {
         let code = LdpcCode::paper_block(n, 0xBC00 + n as u64);
         let req = required_ebn0_db(
             |e| {
@@ -90,7 +154,7 @@ fn main() {
             target_ber,
             0.5,
             8.0,
-            0.1,
+            tol_db,
         );
         rows.push(vec![
             format!("LDPC-BC N={n}"),

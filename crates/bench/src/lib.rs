@@ -62,6 +62,16 @@ pub fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
+/// Prints `usage` and exits when the CLI was invoked with `--help` or
+/// `-h`. Call this before any expensive work so every bin answers
+/// `--help` instantly.
+pub fn help_flag(usage: &str) {
+    if has_flag("--help") || has_flag("-h") {
+        println!("{usage}");
+        std::process::exit(0);
+    }
+}
+
 /// Value of a `--flag value` pair, if present.
 pub fn flag_value(flag: &str) -> Option<String> {
     let mut args = std::env::args();

@@ -202,7 +202,8 @@ pub struct CodingConfig {
     pub window: usize,
     /// Belief-propagation iterations per window position.
     pub iterations: usize,
-    /// Check-node update rule: exact sum-product, or the
+    /// Check-node update rule: exact sum-product, the φ-table variant
+    /// (sum-product accuracy at a multiple of its speed), or the
     /// hardware-faithful normalized min-sum an on-chip decoder would run.
     pub check_rule: CheckRule,
 }
@@ -221,9 +222,23 @@ impl CodingConfig {
 
     /// The same operating point decoded with normalized min-sum — what a
     /// hardware implementation on the chip stack would actually run.
+    /// For the rule that keeps sum-product *accuracy* while dropping the
+    /// transcendentals, see [`CodingConfig::table_default`].
     pub fn hardware_default() -> Self {
         CodingConfig {
             check_rule: CheckRule::min_sum(),
+            ..Self::paper_default()
+        }
+    }
+
+    /// The paper operating point decoded with the φ-table sum-product
+    /// rule: within 0.05 dB of [`CodingConfig::paper_default`]'s exact
+    /// sum-product on the paper's codes, at a multiple of its speed —
+    /// the preset the Fig. 10 regeneration uses for fast high-fidelity
+    /// sweeps (`fig10_latency_ebn0 --sum-product-table`).
+    pub fn table_default() -> Self {
+        CodingConfig {
+            check_rule: CheckRule::sum_product_table(),
             ..Self::paper_default()
         }
     }
@@ -377,6 +392,13 @@ mod tests {
         let hw = CodingConfig::hardware_default();
         assert_eq!(hw.window_decoder().check_rule, CheckRule::min_sum());
         assert_eq!(hw.structural_latency_bits(), c.structural_latency_bits());
+        let tbl = CodingConfig::table_default();
+        assert_eq!(
+            tbl.window_decoder().check_rule,
+            CheckRule::sum_product_table()
+        );
+        assert_eq!(tbl.bp_config().check_rule, CheckRule::sum_product_table());
+        assert_eq!(tbl.structural_latency_bits(), c.structural_latency_bits());
     }
 
     #[test]
@@ -395,6 +417,11 @@ mod tests {
         cfg.coding.check_rule = CheckRule::MinSum { alpha: 1.5 };
         let problems = cfg.validate();
         assert_eq!(problems.len(), 2, "{problems:?}");
+        cfg.coding.iterations = 50;
+        cfg.coding.check_rule = CheckRule::SumProductTable { bits: 40 };
+        let problems = cfg.validate();
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("bits"), "{problems:?}");
     }
 
     #[test]

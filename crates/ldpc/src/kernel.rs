@@ -1,0 +1,707 @@
+//! Check-node update kernels — the innermost loops of every decoder in
+//! this crate.
+//!
+//! Every [`CheckRule`](crate::decoder::CheckRule) resolves to one of the
+//! streaming kernels below; [`BpDecoder`](crate::decoder::BpDecoder) and
+//! [`WindowDecoder`](crate::window::WindowDecoder) share them through
+//! `decoder::update_checks`, so both engines apply identical numerics.
+//! The kernels are public so the criterion benches (and any external
+//! experiment) can measure them in isolation:
+//!
+//! * [`sum_product_exact`] — the exact `tanh`/`atanh` forward/backward
+//!   kernel of PR 1, bit-identical to the naive reference oracle.
+//! * [`sum_product_table`] — the same check update expressed through the
+//!   involutive φ-function `φ(x) = −ln tanh(x/2)` and evaluated from a
+//!   precomputed [`PhiTable`]: no transcendentals in the loop, accuracy
+//!   bounded by [`PhiTable::error_bound_at`] instead of bit-identity.
+//! * [`min_sum`] — normalized min-sum, dispatching per check to the
+//!   4-wide unrolled degree-8 fast path ([`min_sum_unrolled8`]) for the
+//!   paper's (4,8)-regular codes or to the generic scalar loop
+//!   ([`min_sum_scalar`]); the two paths are bit-identical.
+//!
+//! # The φ formulation
+//!
+//! For a check of degree `d` with incoming messages `m₁ … m_d`, the exact
+//! sum-product extrinsic message to edge `j` is
+//!
+//! ```text
+//! |c2v_j| = φ( Σ_{i≠j} φ(|m_i|) ),   sign(c2v_j) = Π_{i≠j} sign(m_i),
+//! ```
+//!
+//! because φ is its own inverse on `(0, ∞)`. One table evaluation per
+//! edge on the gather pass and one on the scatter pass replace the
+//! `tanh`/`atanh` pair that makes the exact kernel transcendental-bound
+//! (see the ROADMAP item this subsystem closes, and
+//! `docs/ARCHITECTURE.md` for where it sits in the workspace).
+
+use crate::decoder::LLR_CLAMP;
+
+/// Upper edge of the φ-table input domain. Decoder messages are clamped
+/// to `±LLR_CLAMP`, so magnitudes never exceed this; φ-sums beyond it
+/// land in the saturation tail.
+pub const PHI_X_MAX: f64 = LLR_CLAMP;
+
+/// Exact φ-function with the decoder's clamp semantics:
+/// `φ(x) = min(−ln tanh(x/2), LLR_CLAMP)` for `x > 0`, and `LLR_CLAMP`
+/// at `x = 0` (where the true φ diverges — the clamp mirrors the
+/// `±LLR_CLAMP` message clamp every kernel applies).
+///
+/// This is the reference the table kernel is accuracy-tested against.
+pub fn phi_exact(x: f64) -> f64 {
+    phi_raw(x).min(LLR_CLAMP)
+}
+
+/// Unclamped `−ln tanh(x/2)` (`+∞` at 0 via the `ln` of 0); the node
+/// values of the geometric grid, so that interpolation error analysis
+/// never has to reason about the clamp.
+fn phi_raw(x: f64) -> f64 {
+    debug_assert!(x >= 0.0, "phi domain is x >= 0, got {x}");
+    -(x / 2.0).tanh().ln()
+}
+
+/// The input below which the clamped φ is identically [`LLR_CLAMP`]:
+/// `2·atanh(e^-LLR_CLAMP) ≈ 1.87·10⁻¹³`.
+fn phi_clamp_knee() -> f64 {
+    2.0 * (-LLR_CLAMP).exp().atanh()
+}
+
+/// Second derivative `φ''(x) = cosh(x)/sinh²(x)` — positive and strictly
+/// decreasing on `(0, ∞)`, which makes the per-interval linear
+/// interpolation bound of [`PhiTable::error_bound_at`] rigorous.
+fn phi_second_derivative(x: f64) -> f64 {
+    let s = x.sinh();
+    x.cosh() / (s * s)
+}
+
+/// Smallest binary exponent the table resolves: below `2^EXP_MIN`
+/// (≈ 1.1·10⁻¹³) the clamped φ is identically [`LLR_CLAMP`], so nothing
+/// is lost by returning the clamp directly.
+const EXP_MIN: i32 = -43;
+
+/// One-past-largest binary exponent: `PHI_X_MAX = 30 < 2^5`, so octaves
+/// `2^-43 … 2^4` cover the whole domain.
+const EXP_END: i32 = 5;
+
+/// Number of octaves the table spans.
+const N_OCTAVES: usize = (EXP_END - EXP_MIN) as usize;
+
+/// Precomputed lookup table for φ with linear interpolation and a
+/// saturation tail.
+///
+/// Because φ has a logarithmic singularity at 0 — and extrinsic φ-sums
+/// of saturated messages are as small as `10⁻¹²` — the breakpoints are
+/// spaced **geometrically**, not uniformly: each binary octave
+/// `[2^e, 2^(e+1))` of the input gets `2^bits` equal-width cells, indexed
+/// straight from the f64 exponent and top mantissa bits (within a cell
+/// the input is linear in its mantissa, so cell-local interpolation is
+/// ordinary linear interpolation). This keeps the *relative* node
+/// spacing constant, which bounds the interpolation error uniformly over
+/// nine decades: `x²·φ''(x) ≤ 1.15`, so every cell's error is at most
+/// `≈ 1.15 / (8·4^bits)` (about `1.1·10⁻⁵` at the default `bits = 7`).
+///
+/// Inputs below `2^-43` return [`LLR_CLAMP`] (the clamped φ is exactly
+/// that there) and inputs at or beyond [`PHI_X_MAX`] saturate to the
+/// tail value `φ(PHI_X_MAX) ≈ 1.9·10⁻¹³`.
+///
+/// # Accuracy contract
+///
+/// Unlike the CSR engines, which are pinned bit-for-bit to their naive
+/// oracles, this table is **accuracy-tested**: for any input `x` the
+/// evaluation error versus [`phi_exact`] is bounded by
+/// [`error_bound_at(x)`](PhiTable::error_bound_at), a per-cell bound
+/// derived from φ's convexity that shrinks as `4^-bits`.
+/// `tests/phi_table.rs` property-tests the bound, the kernel's sign
+/// symmetry and the monotonicity across `bits` settings, and pins the
+/// end-to-end required Eb/N0 of the table rule to exact sum-product
+/// within 0.05 dB on the paper's codes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhiTable {
+    bits: u32,
+    /// `2^(52 - bits)` mantissa remainder → fraction-in-cell scale.
+    frac_scale: f64,
+    /// Inputs below this return [`LLR_CLAMP`] exactly (the clamp knee
+    /// `2·atanh(e^-LLR_CLAMP)`; above it the unclamped φ is ≤ the clamp,
+    /// so clamping never enters the interpolation error analysis).
+    x_min: f64,
+    /// Worst per-cell interpolation bound over the table (computed at
+    /// build time).
+    max_bound: f64,
+    /// Saturation-tail value `φ(PHI_X_MAX)`, returned for inputs at or
+    /// beyond [`PHI_X_MAX`].
+    tail: f64,
+    /// `values[(e - EXP_MIN)·2^bits + c] = φ(2^e·(1 + c/2^bits))`
+    /// (unclamped), length `N_OCTAVES·2^bits + 1`.
+    values: Vec<f64>,
+}
+
+impl PhiTable {
+    /// Builds the table with `2^bits` geometric cells per input octave
+    /// (`N_OCTAVES · 2^bits + 1` nodes overall).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ bits ≤ 12` (below 2 the worst-cell bound is
+    /// coarser than a tenth of an LLR; above 12 the table outgrows any
+    /// cache for no accuracy the f64 messages can use).
+    pub fn new(bits: u32) -> Self {
+        assert!(
+            (2..=12).contains(&bits),
+            "phi table bits {bits} must be in 2..=12"
+        );
+        let m = 1usize << bits;
+        let n = N_OCTAVES * m;
+        let node = |k: usize| {
+            let exp = EXP_MIN + (k / m) as i32;
+            let cell = (k % m) as f64;
+            (exp as f64).exp2() * (1.0 + cell / m as f64)
+        };
+        let values: Vec<f64> = (0..=n).map(|k| phi_raw(node(k))).collect();
+        let max_bound = (0..n)
+            .map(|k| {
+                let h = node(k + 1) - node(k);
+                phi_second_derivative(node(k)) * h * h / 8.0
+            })
+            .fold(0.0f64, f64::max);
+        PhiTable {
+            bits,
+            frac_scale: (-((52 - bits) as f64)).exp2(),
+            x_min: phi_clamp_knee(),
+            max_bound,
+            tail: phi_raw(PHI_X_MAX),
+            values,
+        }
+    }
+
+    /// The `bits` parameter the table was built with (log₂ of the cells
+    /// per input octave).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Whether the table has been built (a `Default` table is empty and
+    /// must not be evaluated).
+    pub fn is_built(&self) -> bool {
+        !self.values.is_empty()
+    }
+
+    /// Rebuilds the table only when `bits` differs from the current
+    /// build (or the table is still the empty `Default`). Workspaces
+    /// call this once per decode, so switching rules is cheap and
+    /// steady-state decoding never reallocates.
+    pub fn ensure(&mut self, bits: u32) {
+        if !self.is_built() || self.bits != bits {
+            *self = PhiTable::new(bits);
+        }
+    }
+
+    /// Evaluates φ at `x ≥ 0` by cell-local linear interpolation,
+    /// returning [`LLR_CLAMP`] below the clamp knee `2·atanh(e^-30)`
+    /// (where the clamped φ is exactly that) and saturating to
+    /// `φ(PHI_X_MAX)` at or beyond [`PHI_X_MAX`] (the tail) — no
+    /// transcendentals, no division.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the table [`is_built`](PhiTable::is_built) and
+    /// `x` is non-negative.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        debug_assert!(self.is_built(), "evaluating an unbuilt phi table");
+        debug_assert!(x >= 0.0, "phi table domain is x >= 0, got {x}");
+        if x >= PHI_X_MAX {
+            return self.tail;
+        }
+        if x < self.x_min {
+            return LLR_CLAMP;
+        }
+        // x is a positive normal ≥ 2^EXP_MIN here, so its exponent and
+        // top mantissa bits index directly into the geometric grid.
+        let b = x.to_bits();
+        let exp = ((b >> 52) as i32) - 1023;
+        let mant = b & ((1u64 << 52) - 1);
+        let cell = (mant >> (52 - self.bits)) as usize;
+        let frac = (mant & ((1u64 << (52 - self.bits)) - 1)) as f64 * self.frac_scale;
+        let k = (((exp - EXP_MIN) as usize) << self.bits) + cell;
+        let lo = self.values[k];
+        // The cell straddling the clamp knee interpolates from an
+        // unclamped left node > LLR_CLAMP; cap the chord so the ceiling
+        // and monotonicity contracts hold right at the knee (the cap is
+        // 1-Lipschitz, so the documented error bound is unaffected).
+        (lo + frac * (self.values[k + 1] - lo)).min(LLR_CLAMP)
+    }
+
+    /// Documented bound on `|eval(x) − phi_exact(x)|`.
+    ///
+    /// * `x` below the clamp knee `2·atanh(e^-30)`: zero — the clamped φ
+    ///   and the table are both exactly [`LLR_CLAMP`] there.
+    /// * knee `≤ x < PHI_X_MAX`: the linear-interpolation bound
+    ///   `φ''(x_k) · h² / 8` on `x`'s cell (`x_k` the cell's left node,
+    ///   `h = 2^e / 2^bits` its width), rigorous because φ is convex
+    ///   with decreasing `φ''` (above the knee the unclamped φ is below
+    ///   the clamp, so clamping never enters).
+    /// * `x ≥ PHI_X_MAX` (saturation tail): `φ(PHI_X_MAX)` — the table
+    ///   returns that value while the true φ lies in `(0, φ(PHI_X_MAX)]`.
+    ///
+    /// Since the geometric grid keeps `h/x_k ≤ 2^-bits` and
+    /// `x²·φ''(x) ≤ 1.15` on `(0, ∞)`, the bound is uniformly
+    /// `≤ ≈ 1.15 / (8·4^bits)` over the whole table
+    /// ([`max_error_bound`](Self::max_error_bound)).
+    pub fn error_bound_at(&self, x: f64) -> f64 {
+        assert!(self.is_built(), "unbuilt phi table has no error bound");
+        if x >= PHI_X_MAX {
+            return self.tail;
+        }
+        if x < self.x_min {
+            return 0.0;
+        }
+        let b = x.to_bits();
+        let exp = ((b >> 52) as i32) - 1023;
+        let m = 1u64 << self.bits;
+        let cell = ((b & ((1u64 << 52) - 1)) >> (52 - self.bits)) as f64;
+        let octave = (exp as f64).exp2();
+        let node = octave * (1.0 + cell / m as f64);
+        let h = octave / m as f64;
+        phi_second_derivative(node) * h * h / 8.0
+    }
+
+    /// The worst documented error over the whole table — the maximum of
+    /// the per-cell bounds behind
+    /// [`error_bound_at`](Self::error_bound_at), computed at build time;
+    /// `≈ 1.15/(8·4^bits)` (the `x ≈ 2` cells, where `x²·φ''(x)` peaks).
+    /// Quoted per `bits` in `docs/REPRODUCING.md`.
+    pub fn max_error_bound(&self) -> f64 {
+        assert!(self.is_built(), "unbuilt phi table has no error bound");
+        self.max_bound
+    }
+}
+
+/// Gather-side floor on φ values, `−ln(TANH_CLAMP) ≈ 10⁻¹²`: the exact
+/// kernel clamps every `tanh` factor to `±TANH_CLAMP`, which in the
+/// φ-domain is exactly this floor on each summand. Applying it keeps the
+/// table kernel's *saturation* behaviour aligned with the exact kernel
+/// (a fully saturated degree-8 check emits ≈ 26.4 under both, instead of
+/// the φ-clamp 30), which matters in the window decoder, where pinned
+/// blocks make saturated checks ubiquitous.
+pub fn phi_gather_floor() -> f64 {
+    -TANH_CLAMP.ln()
+}
+
+/// Exact sum-product check update over checks `check_lo..check_hi` of the
+/// CSR layout: forward/backward partial products of `tanh(v2c/2)`, each
+/// check in O(degree). `tanhs`/`fwd` are scratch of `max_check_degree`
+/// (+1 for `fwd`) entries. Bit-identical to the naive reference oracle.
+pub fn sum_product_exact(
+    offsets: &[u32],
+    check_lo: usize,
+    check_hi: usize,
+    v2c: &[f64],
+    c2v: &mut [f64],
+    tanhs: &mut [f64],
+    fwd: &mut [f64],
+) {
+    for c in check_lo..check_hi {
+        let lo = offsets[c] as usize;
+        let hi = offsets[c + 1] as usize;
+        let deg = hi - lo;
+        for (t, &m) in tanhs[..deg].iter_mut().zip(&v2c[lo..hi]) {
+            *t = if m >= TANH_SAT {
+                TANH_CLAMP
+            } else if m <= -TANH_SAT {
+                -TANH_CLAMP
+            } else {
+                (m / 2.0).tanh().clamp(-TANH_CLAMP, TANH_CLAMP)
+            };
+        }
+        fwd[0] = 1.0;
+        for j in 0..deg {
+            fwd[j + 1] = fwd[j] * tanhs[j];
+        }
+        let mut bwd = 1.0;
+        for j in (0..deg).rev() {
+            c2v[lo + j] = (2.0 * (fwd[j] * bwd).atanh()).clamp(-LLR_CLAMP, LLR_CLAMP);
+            bwd *= tanhs[j];
+        }
+    }
+}
+
+/// Tanh clamp keeping `atanh` finite in the exact sum-product update.
+pub(crate) const TANH_CLAMP: f64 = 0.999_999_999_999;
+
+/// Message magnitude beyond which `tanh(m/2)` is guaranteed to exceed
+/// [`TANH_CLAMP`], so the clamped result is exactly `±TANH_CLAMP` and the
+/// `tanh` call can be skipped: `tanh(14.25) = 1 − 2e⁻²⁸·⁵ ≈ 1 − 8.4e−13 >
+/// 1 − 1e−12`, with ~1.6e−13 of margin over any rounding of `tanh`.
+/// Saturated beliefs sit at exactly `±LLR_CLAMP = ±30` (and the window
+/// decoder's pinned decisions always do), so this fast path fires
+/// frequently in late iterations while remaining bit-identical to the
+/// naive reference.
+pub(crate) const TANH_SAT: f64 = 28.5;
+
+/// Table-driven sum-product check update: per edge, one φ-table
+/// evaluation on the gather pass (`φ(|m|)`, floored at
+/// [`phi_gather_floor`] and accumulated into the check total) and one on
+/// the scatter pass (`φ(total − φ(|m_j|))`). `phis` is scratch of
+/// `max_check_degree` entries.
+///
+/// The kernel is *accuracy-tested*, not bit-identical, against
+/// [`sum_product_exact`]; see the [`PhiTable`] contract. Both message
+/// engines (`BpDecoder` and the naive reference) run this same code
+/// path, so engine bit-identity still holds under the table rule.
+pub fn sum_product_table(
+    offsets: &[u32],
+    check_lo: usize,
+    check_hi: usize,
+    phi: &PhiTable,
+    v2c: &[f64],
+    c2v: &mut [f64],
+    phis: &mut [f64],
+) {
+    let floor = phi_gather_floor();
+    for c in check_lo..check_hi {
+        let lo = offsets[c] as usize;
+        let hi = offsets[c + 1] as usize;
+        if hi - lo == 8 {
+            // Fixed-degree fast path for the paper's (4,8)-regular
+            // checks: array-typed slices drop the bounds checks from
+            // both passes.
+            let m: &[f64; 8] = v2c[lo..hi].try_into().expect("degree-8 check");
+            let out: &mut [f64; 8] = (&mut c2v[lo..hi]).try_into().expect("degree-8 check");
+            let mut a = [0.0f64; 8];
+            let mut total = 0.0f64;
+            let mut sign_prod = 1.0f64;
+            for j in 0..8 {
+                a[j] = phi.eval(m[j].abs()).max(floor);
+                total += a[j];
+                if m[j] < 0.0 {
+                    sign_prod = -sign_prod;
+                }
+            }
+            for j in 0..8 {
+                let mag = phi.eval((total - a[j]).max(0.0));
+                let sign = if m[j] < 0.0 { -sign_prod } else { sign_prod };
+                out[j] = (sign * mag).clamp(-LLR_CLAMP, LLR_CLAMP);
+            }
+            continue;
+        }
+        let deg = hi - lo;
+        let mut total = 0.0f64;
+        let mut sign_prod = 1.0f64;
+        for (p, &m) in phis[..deg].iter_mut().zip(&v2c[lo..hi]) {
+            let a = phi.eval(m.abs()).max(floor);
+            *p = a;
+            total += a;
+            if m < 0.0 {
+                sign_prod = -sign_prod;
+            }
+        }
+        for (j, &m) in (0..deg).zip(&v2c[lo..hi]) {
+            // Float cancellation can push the extrinsic φ-sum a hair
+            // below zero when one edge dominates; clamp into the domain.
+            let mag = phi.eval((total - phis[j]).max(0.0));
+            let sign = if m < 0.0 { -sign_prod } else { sign_prod };
+            c2v[lo + j] = (sign * mag).clamp(-LLR_CLAMP, LLR_CLAMP);
+        }
+    }
+}
+
+/// Normalized min-sum check update, dispatching per check to the 4-wide
+/// unrolled degree-8 fast path or the generic scalar loop. The two paths
+/// are bit-identical (min/sign arithmetic is exact in f64), so the
+/// engine-vs-oracle equivalence suite covers both.
+pub fn min_sum(
+    offsets: &[u32],
+    check_lo: usize,
+    check_hi: usize,
+    alpha: f64,
+    v2c: &[f64],
+    c2v: &mut [f64],
+) {
+    for c in check_lo..check_hi {
+        let lo = offsets[c] as usize;
+        let hi = offsets[c + 1] as usize;
+        if hi - lo == 8 {
+            min_sum_check8_slices(alpha, &v2c[lo..hi], &mut c2v[lo..hi]);
+        } else {
+            min_sum_check_scalar(alpha, &v2c[lo..hi], &mut c2v[lo..hi]);
+        }
+    }
+}
+
+/// Generic scalar min-sum over `check_lo..check_hi` — the PR-1 kernel,
+/// kept callable so the benches can measure the unrolled path against it
+/// on the same checks.
+pub fn min_sum_scalar(
+    offsets: &[u32],
+    check_lo: usize,
+    check_hi: usize,
+    alpha: f64,
+    v2c: &[f64],
+    c2v: &mut [f64],
+) {
+    for c in check_lo..check_hi {
+        let lo = offsets[c] as usize;
+        let hi = offsets[c + 1] as usize;
+        min_sum_check_scalar(alpha, &v2c[lo..hi], &mut c2v[lo..hi]);
+    }
+}
+
+/// 4-wide unrolled min-sum over `check_lo..check_hi`, all of which must
+/// have degree 8 (the paper's (4,8)-regular codes). Bit-identical to
+/// [`min_sum_scalar`] on the same input.
+///
+/// # Panics
+///
+/// Panics if any check in the range does not have degree 8.
+pub fn min_sum_unrolled8(
+    offsets: &[u32],
+    check_lo: usize,
+    check_hi: usize,
+    alpha: f64,
+    v2c: &[f64],
+    c2v: &mut [f64],
+) {
+    for c in check_lo..check_hi {
+        let lo = offsets[c] as usize;
+        let hi = offsets[c + 1] as usize;
+        assert_eq!(hi - lo, 8, "check {c} has degree {}, expected 8", hi - lo);
+        min_sum_check8_slices(alpha, &v2c[lo..hi], &mut c2v[lo..hi]);
+    }
+}
+
+/// One scalar min-sum check: track the two smallest magnitudes and the
+/// sign product; the extrinsic magnitude is min1 everywhere except at
+/// the position of min1 itself, where it is min2.
+#[inline]
+fn min_sum_check_scalar(alpha: f64, m: &[f64], out: &mut [f64]) {
+    let mut min1 = f64::INFINITY;
+    let mut min2 = f64::INFINITY;
+    let mut min1_at = 0usize;
+    let mut sign_prod = 1.0f64;
+    for (j, &v) in m.iter().enumerate() {
+        let mag = v.abs();
+        if mag < min1 {
+            min2 = min1;
+            min1 = mag;
+            min1_at = j;
+        } else if mag < min2 {
+            min2 = mag;
+        }
+        if v < 0.0 {
+            sign_prod = -sign_prod;
+        }
+    }
+    for (j, &v) in m.iter().enumerate() {
+        let mag = if j == min1_at { min2 } else { min1 };
+        let sign = if v < 0.0 { -sign_prod } else { sign_prod };
+        out[j] = (alpha * sign * mag).clamp(-LLR_CLAMP, LLR_CLAMP);
+    }
+}
+
+/// One degree-8 min-sum check, 4-wide unrolled: branch-free `min` trees
+/// replace the data-dependent two-min tracking branches, which
+/// mispredict heavily on noisy magnitudes. `min1` is the tree minimum;
+/// `min1_at` its first position (matching the scalar loop's
+/// first-strict-improvement semantics on ties); `min2` a second tree
+/// with that lane masked to +∞. All operations are exact, so the result
+/// is bit-identical to [`min_sum_check_scalar`].
+#[inline]
+fn min_sum_check8(alpha: f64, m: &[f64; 8], out: &mut [f64; 8]) {
+    let a = [
+        m[0].abs(),
+        m[1].abs(),
+        m[2].abs(),
+        m[3].abs(),
+        m[4].abs(),
+        m[5].abs(),
+        m[6].abs(),
+        m[7].abs(),
+    ];
+    // 4-wide min tree: 8 → 4 → 2 → 1.
+    let b = [
+        a[0].min(a[4]),
+        a[1].min(a[5]),
+        a[2].min(a[6]),
+        a[3].min(a[7]),
+    ];
+    let min1 = (b[0].min(b[2])).min(b[1].min(b[3]));
+    let mut min1_at = 0usize;
+    while a[min1_at] != min1 {
+        min1_at += 1;
+    }
+    let pick = |j: usize| if j == min1_at { f64::INFINITY } else { a[j] };
+    let c0 = pick(0).min(pick(4));
+    let c1 = pick(1).min(pick(5));
+    let c2 = pick(2).min(pick(6));
+    let c3 = pick(3).min(pick(7));
+    let min2 = (c0.min(c2)).min(c1.min(c3));
+    let negatives = (m[0] < 0.0) as u32
+        + (m[1] < 0.0) as u32
+        + (m[2] < 0.0) as u32
+        + (m[3] < 0.0) as u32
+        + (m[4] < 0.0) as u32
+        + (m[5] < 0.0) as u32
+        + (m[6] < 0.0) as u32
+        + (m[7] < 0.0) as u32;
+    let sign_prod = if negatives % 2 == 1 { -1.0f64 } else { 1.0f64 };
+    for j in 0..8 {
+        let mag = if j == min1_at { min2 } else { min1 };
+        let sign = if m[j] < 0.0 { -sign_prod } else { sign_prod };
+        out[j] = (alpha * sign * mag).clamp(-LLR_CLAMP, LLR_CLAMP);
+    }
+}
+
+/// Array-typed entry to [`min_sum_check8`] for slices of exactly 8.
+#[inline]
+fn min_sum_check8_slices(alpha: f64, m: &[f64], out: &mut [f64]) {
+    let m: &[f64; 8] = m.try_into().expect("degree-8 check");
+    let out: &mut [f64; 8] = out.try_into().expect("degree-8 check");
+    min_sum_check8(alpha, m, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use wi_num::rng::seeded_rng;
+
+    #[test]
+    fn phi_is_its_own_inverse_midrange() {
+        for &x in &[0.2, 0.5, 1.0, 2.0, 5.0, 10.0] {
+            let y = phi_exact(phi_exact(x));
+            assert!((y - x).abs() < 1e-9, "phi(phi({x})) = {y}");
+        }
+    }
+
+    #[test]
+    fn table_edges_and_monotonicity() {
+        let t = PhiTable::new(7);
+        assert_eq!(t.eval(0.0), LLR_CLAMP);
+        assert_eq!(t.eval(1e-300), LLR_CLAMP, "below the clamp knee");
+        assert_eq!(t.eval(PHI_X_MAX), phi_exact(PHI_X_MAX));
+        assert_eq!(t.eval(1000.0), phi_exact(PHI_X_MAX), "saturation tail");
+        // Geometric sweep across every octave: monotone non-increasing.
+        let mut prev = f64::INFINITY;
+        let mut x = 5e-14;
+        while x < 40.0 {
+            let v = t.eval(x);
+            assert!(v <= prev, "eval({x}) = {v} rose above {prev}");
+            prev = v;
+            x *= 1.07;
+        }
+    }
+
+    #[test]
+    fn table_error_within_documented_bound() {
+        for bits in [3u32, 7, 11] {
+            let t = PhiTable::new(bits);
+            let mut rng = seeded_rng(42 + bits as u64);
+            for _ in 0..2_000 {
+                // Log-uniform over the full resolved range.
+                let x = 10f64.powf(rng.gen::<f64>() * 15.0 - 13.5);
+                let err = (t.eval(x) - phi_exact(x)).abs();
+                let bound = t.error_bound_at(x) + 1e-9;
+                assert!(err <= bound, "bits {bits}, x {x}: err {err} > {bound}");
+                assert!(bound <= t.max_error_bound() + 1e-9 || x >= PHI_X_MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn more_bits_means_tighter_bound() {
+        let coarse = PhiTable::new(3).max_error_bound();
+        let fine = PhiTable::new(9).max_error_bound();
+        assert!(
+            fine < coarse / 1000.0,
+            "quadratic shrink: {fine} vs {coarse}"
+        );
+    }
+
+    #[test]
+    fn gather_floor_matches_tanh_clamp() {
+        // −ln(TANH_CLAMP) in the φ domain is exactly the tanh clamp of
+        // the exact kernel; a fully saturated degree-8 check must emit
+        // the same ≈ 26.4 under both kernels.
+        let floor = phi_gather_floor();
+        assert!((floor - 1e-12).abs() < 1e-14, "{floor}");
+        let offsets = [0u32, 8];
+        let v2c = [LLR_CLAMP; 8];
+        let phi = PhiTable::new(7);
+        let mut exact = [0.0f64; 8];
+        let mut table = [0.0f64; 8];
+        let mut scratch = [0.0f64; 8];
+        let mut fwd = [0.0f64; 9];
+        sum_product_exact(&offsets, 0, 1, &v2c, &mut exact, &mut scratch, &mut fwd);
+        sum_product_table(&offsets, 0, 1, &phi, &v2c, &mut table, &mut scratch);
+        for (e, t) in exact.iter().zip(&table) {
+            assert!((e - t).abs() < 0.05, "saturated: exact {e} vs table {t}");
+        }
+    }
+
+    #[test]
+    fn ensure_rebuilds_only_on_bits_change() {
+        let mut t = PhiTable::default();
+        assert!(!t.is_built());
+        t.ensure(7);
+        assert!(t.is_built());
+        let before = t.clone();
+        t.ensure(7);
+        assert_eq!(t, before, "same bits must not rebuild");
+        t.ensure(9);
+        assert_eq!(t.bits(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in 2..=12")]
+    fn absurd_bits_panics() {
+        PhiTable::new(32);
+    }
+
+    #[test]
+    fn unrolled8_matches_scalar_bit_for_bit() {
+        let mut rng = seeded_rng(7);
+        for _ in 0..500 {
+            let m: Vec<f64> = (0..8)
+                .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * LLR_CLAMP)
+                .collect();
+            let mut fast = [0.0f64; 8];
+            let mut slow = [0.0f64; 8];
+            min_sum_check8_slices(0.8, &m, &mut fast);
+            min_sum_check_scalar(0.8, &m, &mut slow);
+            assert_eq!(fast, slow, "inputs {m:?}");
+        }
+    }
+
+    #[test]
+    fn unrolled8_handles_ties_like_scalar() {
+        for m in [
+            [1.0, -1.0, 1.0, 2.0, -2.0, 3.0, 1.0, 4.0],
+            [0.0, 0.0, 5.0, 5.0, -0.0, 2.0, 2.0, 2.0],
+            [3.0; 8],
+        ] {
+            let mut fast = [0.0f64; 8];
+            let mut slow = [0.0f64; 8];
+            min_sum_check8(0.75, &m, &mut fast);
+            min_sum_check_scalar(0.75, &m, &mut slow);
+            assert_eq!(fast, slow, "inputs {m:?}");
+        }
+    }
+
+    #[test]
+    fn table_kernel_tracks_exact_kernel_on_a_check() {
+        // One degree-5 check, moderate messages: the table kernel's c2v
+        // must stay within a few table error bounds of the exact kernel.
+        let offsets = [0u32, 5];
+        let v2c = [1.3, -0.7, 2.4, -5.0, 0.9];
+        let mut exact = [0.0f64; 5];
+        let mut table = [0.0f64; 5];
+        let mut scratch = [0.0f64; 5];
+        let mut fwd = [0.0f64; 6];
+        sum_product_exact(&offsets, 0, 1, &v2c, &mut exact, &mut scratch, &mut fwd);
+        let phi = PhiTable::new(12);
+        sum_product_table(&offsets, 0, 1, &phi, &v2c, &mut table, &mut scratch);
+        for (e, t) in exact.iter().zip(&table) {
+            assert!((e - t).abs() < 5e-3, "exact {exact:?} vs table {table:?}");
+            assert_eq!(e.signum(), t.signum(), "sign flip");
+        }
+    }
+}

@@ -16,11 +16,16 @@
 //!   parity-check structure, plus a reference systematic encoder.
 //! * [`gf2`] — the dense GF(2) linear algebra behind the encoder.
 //! * [`decoder`] — flooding belief propagation over the CSR edge layout:
-//!   exact sum-product or hardware-faithful normalized min-sum
-//!   ([`decoder::CheckRule`]), with a reusable
+//!   exact sum-product, table-driven sum-product or hardware-faithful
+//!   normalized min-sum ([`decoder::CheckRule`]), with a reusable
 //!   [`decoder::DecoderWorkspace`] so the hot decode loop performs zero
 //!   heap allocation (the original nested-`Vec` engine survives as
 //!   [`decoder::reference`], the correctness oracle).
+//! * [`kernel`] — the check-node update kernels behind every rule: the
+//!   exact `tanh`/`atanh` kernel, the φ-table kernel
+//!   ([`kernel::PhiTable`]: lookup + linear interpolation + saturation
+//!   tail, accuracy-tested rather than bit-identical) and the min-sum
+//!   kernels with a 4-wide unrolled degree-8 fast path.
 //! * [`window`] — terminated coupled codes and the sliding-window decoder
 //!   of Fig. 9, with structural-latency accounting and its own reusable
 //!   [`window::WindowWorkspace`].
@@ -41,14 +46,25 @@
 //!   (≈ 135 µs vs ≈ 156 µs per decode); a provably-exact saturation fast
 //!   path (clamped beliefs skip `tanh`) lifts the *window* decoder, whose
 //!   pinned blocks always saturate, by ≈ 1.5×.
+//! * **Table-driven sum-product** breaks the transcendental wall without
+//!   giving up sum-product accuracy: the φ-table kernel
+//!   ([`kernel::PhiTable`]) replaces every `tanh`/`atanh` pair with two
+//!   table interpolations and lands within 0.05 dB of the exact rule on
+//!   the paper's codes (pinned by `tests/phi_table.rs`) at a multiple of
+//!   its speed — see `docs/REPRODUCING.md` for the measured table.
 //! * **Normalized min-sum** eliminates the transcendentals: ≈ 24 µs per
 //!   decode — 1.4× the naive engine running the same min-sum rule and
 //!   **6.4×** the original sum-product decoder this refactor replaced,
 //!   while costing only a fraction of a dB (tracked by the equivalence
-//!   suite).
+//!   suite). The degree-8 checks of the paper's (4,8)-regular codes take
+//!   a 4-wide unrolled branch-free path ([`kernel::min_sum_unrolled8`]).
 //! * The BER harness fans frames out over all cores with bit-identical
 //!   results at any thread count, for a further ~core-count factor on
 //!   multi-core hosts.
+//!
+//! A workspace-wide tour of where this crate sits (and which engines are
+//! pinned to which oracles) is in `docs/ARCHITECTURE.md` at the
+//! repository root.
 //!
 //! # Example
 //!
@@ -65,10 +81,13 @@
 //! assert!(bits.iter().all(|&b| !b));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ber;
 pub mod code;
 pub mod decoder;
 pub mod gf2;
+pub mod kernel;
 pub mod protograph;
 pub mod window;
 
@@ -77,5 +96,6 @@ pub use code::{Encoder, LdpcCode};
 pub use decoder::{
     awgn_llrs, BpConfig, BpDecoder, CheckRule, DecodeResult, DecodeStatus, DecoderWorkspace,
 };
+pub use kernel::PhiTable;
 pub use protograph::{BaseMatrix, EdgeSpreading};
 pub use window::{block_latency_bits, CoupledCode, WindowDecoder, WindowWorkspace};

@@ -11,6 +11,7 @@
 
 use crate::code::LdpcCode;
 use crate::decoder::{update_checks, BpConfig, BpDecoder, CheckRule, LLR_CLAMP};
+use crate::kernel::PhiTable;
 use crate::protograph::EdgeSpreading;
 use serde::{Deserialize, Serialize};
 
@@ -139,10 +140,13 @@ pub struct WindowWorkspace {
     posterior: Vec<f64>,
     /// Hard decisions per variable.
     hard: Vec<bool>,
-    /// Sum-product scratch: `tanh(v2c/2)` per check edge.
-    tanhs: Vec<f64>,
+    /// Per-check scratch: `tanh(v2c/2)` (exact sum-product) or
+    /// `φ(|v2c|)` (table rule).
+    scratch: Vec<f64>,
     /// Sum-product scratch: forward partial products.
     fwd: Vec<f64>,
+    /// φ lookup table (built lazily, only for the table rule).
+    phi: PhiTable,
 }
 
 impl WindowWorkspace {
@@ -164,13 +168,22 @@ impl WindowWorkspace {
         self.llr.resize(n, 0.0);
         self.posterior.resize(n, 0.0);
         self.hard.resize(n, false);
-        self.tanhs.resize(d, 0.0);
+        self.scratch.resize(d, 0.0);
         self.fwd.resize(d + 1, 1.0);
     }
 
     /// Hard decisions of the last decode (true = bit 1).
     pub fn hard(&self) -> &[bool] {
         &self.hard
+    }
+
+    /// Builds rule-dependent state (the φ table) if `rule` needs it —
+    /// a no-op after the first decode with a given rule. Mirrors
+    /// [`crate::decoder::DecoderWorkspace::ensure_rule`].
+    pub fn ensure_rule(&mut self, rule: CheckRule) {
+        if let CheckRule::SumProductTable { bits } = rule {
+            self.phi.ensure(bits);
+        }
     }
 }
 
@@ -196,7 +209,8 @@ pub struct WindowDecoder {
     pub iterations: usize,
     /// Retain messages across window positions instead of restarting.
     pub reuse_messages: bool,
-    /// Check-node update rule (sum-product or normalized min-sum).
+    /// Check-node update rule (exact or table-driven sum-product, or
+    /// normalized min-sum).
     pub check_rule: CheckRule,
 }
 
@@ -284,6 +298,7 @@ impl WindowDecoder {
         let l = code.num_blocks();
         let block_checks = code.block_checks();
         ws.ensure(code.code());
+        ws.ensure_rule(self.check_rule);
 
         // Working LLRs: raw channel values, with decided blocks overwritten
         // by saturated pins. Future blocks always enter the window with
@@ -359,9 +374,10 @@ impl WindowDecoder {
                 check_lo,
                 check_hi,
                 self.check_rule,
+                &ws.phi,
                 &ws.v2c,
                 &mut ws.c2v,
-                &mut ws.tanhs,
+                &mut ws.scratch,
                 &mut ws.fwd,
             );
             // Posterior: channel plus all incoming active check messages.

@@ -25,10 +25,14 @@ fn noisy_zero_llrs(n: usize, sigma: f64, seed: u64) -> Vec<f64> {
 }
 
 fn rule_from_selector(selector: u8) -> CheckRule {
-    match selector % 3 {
+    match selector % 4 {
         0 => CheckRule::SumProduct,
         1 => CheckRule::min_sum(),
-        _ => CheckRule::MinSum { alpha: 0.7 },
+        2 => CheckRule::MinSum { alpha: 0.7 },
+        // The table rule is accuracy-tested against exact sum-product
+        // (tests/phi_table.rs), but the two *engines* must still agree
+        // bit-for-bit when both run it.
+        _ => CheckRule::sum_product_table(),
     }
 }
 
@@ -41,7 +45,7 @@ proptest! {
         code_seed in 0u64..1000,
         noise_seed in 0u64..1000,
         sigma in 0.45f64..1.3,
-        rule_selector in 0u8..3,
+        rule_selector in 0u8..4,
     ) {
         let code = LdpcCode::paper_block(lifting, code_seed);
         let config = BpConfig {

@@ -204,6 +204,26 @@ struct PacketSlot {
 /// Construction precomputes the route table and traffic context (the
 /// only allocations proportional to topology size); [`Engine::run`]
 /// recycles every buffer across calls.
+///
+/// # Example
+///
+/// ```
+/// use wi_noc::des::{DesConfig, Engine};
+/// use wi_noc::topology::Topology;
+///
+/// let topo = Topology::mesh2d(3, 3);
+/// let mut engine = Engine::new(&topo);
+/// let config = DesConfig {
+///     injection_rate: 0.05,
+///     warmup_packets: 100,
+///     measured_packets: 500,
+///     ..DesConfig::default()
+/// };
+/// let result = engine.run(&config);
+/// assert!(result.completed && result.mean_latency > 0.0);
+/// // A second run reuses the engine's arenas and is bit-identical.
+/// assert_eq!(engine.run(&config), result);
+/// ```
 #[derive(Clone, Debug)]
 pub struct Engine {
     /// Kept so a [`Engine::run`] whose config asks for a different

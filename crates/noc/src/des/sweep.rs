@@ -94,6 +94,29 @@ fn auto_threads() -> usize {
 /// Runs the sweep, fanning replications out over all available cores.
 /// Bit-identical to [`sweep_serial`] at the same configuration.
 ///
+/// # Example
+///
+/// ```
+/// use wi_noc::des::{sweep, DesConfig, SweepConfig};
+/// use wi_noc::topology::Topology;
+///
+/// let topo = Topology::mesh3d(2, 2, 2);
+/// let base = DesConfig {
+///     warmup_packets: 50,
+///     measured_packets: 300,
+///     ..DesConfig::default()
+/// };
+/// let result = sweep(&topo, &SweepConfig::new(vec![0.02, 0.05], 2, base));
+/// assert_eq!(result.points.len(), 2);
+/// for point in &result.points {
+///     // Both rates are far below saturation: every replication drains
+///     // and reports a positive latency.
+///     assert_eq!(point.completed, point.replications);
+///     assert!(point.mean_latency > 0.0);
+/// }
+/// assert_eq!(result.saturation_knee, None);
+/// ```
+///
 /// # Panics
 ///
 /// See [`sweep_with_threads`].

@@ -25,6 +25,10 @@
 //! * [`irregular`] — partial-TSV (pillar) 3D meshes for the paper's
 //!   future-work ablation: vertical links only on some routers.
 //!
+//! A workspace-wide tour of where this crate sits (and which engines are
+//! pinned to which oracles) is in `docs/ARCHITECTURE.md` at the
+//! repository root.
+//!
 //! # Example
 //!
 //! ```
@@ -36,6 +40,8 @@
 //! let latency = model.mean_latency(0.1).expect("below saturation");
 //! assert!(latency > 0.0 && latency < 20.0);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod analytic;
 pub mod des;

@@ -21,6 +21,11 @@
 //! | [`system`] | all | end-to-end system evaluation |
 //! | [`num`] | — | shared numerics |
 //!
+//! A deeper workspace tour (engines, retained oracles, verification
+//! contracts, vendored stubs) is in `docs/ARCHITECTURE.md`; the
+//! figure-by-figure reproduction guide with exact CLI invocations is in
+//! `docs/REPRODUCING.md`.
+//!
 //! # Quickstart
 //!
 //! ```

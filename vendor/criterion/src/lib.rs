@@ -9,7 +9,8 @@
 //! statistical machinery (outlier analysis, regression) of real criterion
 //! is missing.
 //!
-//! Two environment variables drive the CI `bench-quick` job:
+//! Three environment variables drive the CI `bench-quick` job and local
+//! iteration:
 //!
 //! * `WI_BENCH_QUICK=1` — overrides every benchmark's sample count and
 //!   time budget with a reduced preset (5 samples, 200 ms measurement,
@@ -20,6 +21,10 @@
 //!   (`{"name", "min_ns", "median_ns", "mean_ns", "samples"}`, one per
 //!   line) to the file, for the workflow to fold into the `BENCH_<sha>`
 //!   artifact.
+//! * `WI_BENCH_FILTER=<substring>` — runs only the benchmarks whose name
+//!   contains the substring (real criterion takes the filter as a CLI
+//!   argument, which `cargo bench` forwards; the stub's entry point does
+//!   not parse arguments, so the environment carries it instead).
 
 use std::io::Write as _;
 use std::time::{Duration, Instant};
@@ -80,6 +85,11 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        if let Ok(filter) = std::env::var("WI_BENCH_FILTER") {
+            if !filter.is_empty() && !name.contains(&filter) {
+                return self;
+            }
+        }
         let (sample_size, measurement_time, warm_up_time) = self.effective();
         let mut bencher = Bencher {
             sample_size,

@@ -7,9 +7,7 @@ use std::hint::black_box;
 use wi_channel::geometry::BoardLink;
 use wi_channel::rays::TwoBoardScene;
 use wi_channel::vna::SyntheticVna;
-use wi_ldpc::ber::{
-    ebn0_db_to_sigma, simulate_bc_ber_serial, simulate_bc_ber_with_threads, BerSimOptions,
-};
+use wi_ldpc::ber::{ebn0_db_to_sigma, simulate_ber_with_threads, BerSimOptions, BlockBerTarget};
 use wi_ldpc::decoder::{awgn_llrs, reference, BpConfig, BpDecoder, CheckRule, DecoderWorkspace};
 use wi_ldpc::kernel::{
     min_sum_scalar, min_sum_unrolled8, sum_product_exact, sum_product_table, PhiTable,
@@ -210,21 +208,13 @@ fn bench_ber(c: &mut Criterion) {
         min_frames: 24,
         seed: 0xBE5,
     };
+    let target = BlockBerTarget::new(&code, BpConfig::default(), 0.5);
     c.bench_function("ber_bc_n100_24f_serial", |b| {
-        b.iter(|| simulate_bc_ber_serial(&code, BpConfig::default(), 2.5, 0.5, black_box(&opts)))
+        b.iter(|| simulate_ber_with_threads(&target, 2.5, black_box(&opts), 1))
     });
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     c.bench_function("ber_bc_n100_24f_parallel", |b| {
-        b.iter(|| {
-            simulate_bc_ber_with_threads(
-                &code,
-                BpConfig::default(),
-                2.5,
-                0.5,
-                black_box(&opts),
-                threads,
-            )
-        })
+        b.iter(|| simulate_ber_with_threads(&target, 2.5, black_box(&opts), threads))
     });
 }
 

@@ -2,11 +2,13 @@
 //! per position versus retained messages, at equal window size.
 
 use wi_bench::{fmt, print_table};
-use wi_ldpc::ber::{simulate_cc_ber, BerSimOptions};
+use wi_ldpc::ber::{simulate_ber, BerSimOptions, CoupledBerTarget};
 use wi_ldpc::window::{CoupledCode, WindowDecoder};
 
 fn main() {
     let code = CoupledCode::paper_cc(25, 20, 0xAB1);
+    let restart_target = CoupledBerTarget::new(&code, WindowDecoder::new(8, 50));
+    let reuse_target = CoupledBerTarget::new(&code, WindowDecoder::with_reuse(8, 10));
     let opts = BerSimOptions {
         target_errors: 100,
         max_frames: 80,
@@ -15,8 +17,8 @@ fn main() {
     };
     let mut rows = Vec::new();
     for ebn0 in [2.5, 3.0, 3.5, 4.0] {
-        let restart = simulate_cc_ber(&code, &WindowDecoder::new(8, 50), ebn0, &opts);
-        let reuse = simulate_cc_ber(&code, &WindowDecoder::with_reuse(8, 10), ebn0, &opts);
+        let restart = simulate_ber(&restart_target, ebn0, &opts);
+        let reuse = simulate_ber(&reuse_target, ebn0, &opts);
         rows.push(vec![
             fmt(ebn0, 1),
             format!("{:.2e}", restart.ber),

@@ -36,8 +36,8 @@
 //! trade-off.
 
 use wi_bench::{
-    fmt, fmt_opt, has_flag, print_table, rates_flag, reps_flag, routing_flag, traffic_flag,
-    RoutingArg,
+    fmt, fmt_opt, has_flag, help_flag, print_table, rates_flag, reps_flag, routing_flag,
+    traffic_flag, RoutingArg,
 };
 use wi_noc::analytic::{AnalyticModel, RouterParams};
 use wi_noc::des::traffic::{TrafficKind, TrafficPattern};
@@ -52,7 +52,33 @@ const MATRIX_POLICIES: [RoutingKind; 3] = [
     RoutingKind::Valiant { choices: 8 },
 ];
 
+const USAGE: &str = "\
+fig8a_noc_64 — average packet latency vs injection rate, 64 modules (Fig. 8a)
+
+USAGE:
+    fig8a_noc_64 [FLAGS]
+
+FLAGS:
+    --des                cross-validate every printed rate with the
+                         discrete-event simulator (adds a `DES +-2se`
+                         column per topology plus the measured saturation
+                         knee; ~1-2 min)
+    --traffic <kind>     DES traffic pattern: uniform (default),
+                         hotspot[:node:frac], transpose, bitrev, neighbor
+    --routing <policy>   oblivious routing policy of the DES sweeps
+                         (implies --des): dor, o1turn, valiant[:k];
+                         `all` prints the policy x traffic saturation-knee
+                         matrix on the 4x4x4 3D mesh (~10-20 min)
+    --reps <k>           DES replications per rate (default 3)
+    --rates <csv>        override the injection-rate grid, e.g.
+                         0.05,0.15,0.25 (the CI smoke grid)
+    --help, -h           print this help
+
+The analytic columns are always dimension-order; non-default routing only
+affects the simulator. Exact recipes: docs/REPRODUCING.md.";
+
 fn main() {
+    help_flag(USAGE);
     let traffic = traffic_flag();
     let reps = reps_flag(3);
     let routing = routing_flag();

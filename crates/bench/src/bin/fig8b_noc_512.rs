@@ -16,8 +16,8 @@
 //! it under uniform load.
 
 use wi_bench::{
-    fmt, fmt_opt, has_flag, print_table, rates_flag, reps_flag, routing_flag, traffic_flag,
-    RoutingArg,
+    fmt, fmt_opt, has_flag, help_flag, print_table, rates_flag, reps_flag, routing_flag,
+    traffic_flag, RoutingArg,
 };
 use wi_noc::analytic::{AnalyticModel, RouterParams};
 use wi_noc::des::traffic::TrafficPattern;
@@ -25,7 +25,33 @@ use wi_noc::des::{sweep, sweep_policies, DesConfig, SweepConfig, SweepResult};
 use wi_noc::routing::RoutingKind;
 use wi_noc::topology::Topology;
 
+const USAGE: &str = "\
+fig8b_noc_512 — average packet latency vs injection rate, 512 modules (Fig. 8b)
+
+USAGE:
+    fig8b_noc_512 [FLAGS]
+
+FLAGS:
+    --des                cross-validate every printed rate with the
+                         discrete-event simulator (adds a `DES +-2se`
+                         column per topology; minutes at 512 modules)
+    --traffic <kind>     DES traffic pattern: uniform (default),
+                         hotspot[:node:frac], transpose, bitrev, neighbor
+    --routing <policy>   oblivious routing policy of the DES sweeps
+                         (implies --des): dor, o1turn, valiant[:k];
+                         `all` prints the policy-per-topology knee
+                         summary instead of the latency table (minutes:
+                         the 512-module Valiant table is large)
+    --reps <k>           DES replications per rate (default 3)
+    --rates <csv>        override the injection-rate grid, e.g.
+                         0.05,0.15,0.25
+    --help, -h           print this help
+
+The analytic columns are always dimension-order; non-default routing only
+affects the simulator. Exact recipes: docs/REPRODUCING.md.";
+
 fn main() {
+    help_flag(USAGE);
     let params = RouterParams::default();
     let mesh2d_512 = Topology::mesh2d(32, 16);
     let mesh3d_512 = Topology::mesh3d(8, 8, 8);

@@ -10,6 +10,7 @@
 //! exists; the default presets finish in seconds to a few minutes.
 
 use std::fmt::Write as _;
+use wi_ldpc::ber::SearchStrategy;
 use wi_noc::des::traffic::TrafficKind;
 use wi_noc::routing::RoutingKind;
 
@@ -112,6 +113,22 @@ pub fn routing_flag() -> Option<RoutingArg> {
             panic!("unknown routing policy {s:?} (try dor, o1turn, valiant, valiant:<k>, all)")
         })
     })
+}
+
+/// The shared `--search` flag: the required-Eb/N0 search strategy
+/// ([`SearchStrategy::Bisection`] when absent — the bit-identical
+/// pre-redesign ladder).
+///
+/// # Panics
+///
+/// Panics with usage guidance on an unknown spelling.
+pub fn search_flag() -> SearchStrategy {
+    match flag_value("--search") {
+        Some(s) => SearchStrategy::parse(&s).unwrap_or_else(|| {
+            panic!("unknown search strategy {s:?} (try bisect, concurrent, paired)")
+        }),
+        None => SearchStrategy::Bisection,
+    }
 }
 
 /// The shared `--traffic` flag ([`TrafficKind::Uniform`] when absent).
@@ -236,5 +253,6 @@ mod tests {
         assert_eq!(reps_flag(3), 3);
         assert_eq!(routing_flag(), None);
         assert_eq!(rates_flag(), None);
+        assert_eq!(search_flag(), SearchStrategy::Bisection);
     }
 }

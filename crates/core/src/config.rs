@@ -6,8 +6,11 @@
 //! board-to-board links instead of a backplane.
 
 use serde::{Deserialize, Serialize};
+use wi_ldpc::ber::{
+    search_required_ebn0, BerSimOptions, CoupledBerTarget, SearchConfig, SearchReport,
+};
 use wi_ldpc::decoder::{BpConfig, CheckRule};
-use wi_ldpc::window::WindowDecoder;
+use wi_ldpc::window::{CoupledCode, WindowDecoder};
 use wi_linkbudget::budget::Beamforming;
 use wi_linkbudget::datarate::Polarization;
 use wi_noc::des::traffic::TrafficKind;
@@ -206,17 +209,24 @@ pub struct CodingConfig {
     /// (sum-product accuracy at a multiple of its speed), or the
     /// hardware-faithful normalized min-sum an on-chip decoder would run.
     pub check_rule: CheckRule,
+    /// Required-Eb/N0 search driving
+    /// [`required_ebn0`](CodingConfig::required_ebn0): strategy
+    /// (bisection ladder, CI-pruned concurrent bisection, or paired
+    /// grid), bracket/grid, CI multiplier and frame cap.
+    pub search: SearchConfig,
 }
 
 impl CodingConfig {
     /// The paper's 3 dB operating point: N = 40, W = 5 → 200 information
-    /// bits of structural latency, with 50 sum-product iterations.
+    /// bits of structural latency, with 50 sum-product iterations and
+    /// the bit-identical bisection search.
     pub fn paper_default() -> Self {
         CodingConfig {
             lifting: 40,
             window: 5,
             iterations: 50,
             check_rule: CheckRule::SumProduct,
+            search: SearchConfig::default(),
         }
     }
 
@@ -260,6 +270,28 @@ impl CodingConfig {
     /// Window decoder implied by this coding setup.
     pub fn window_decoder(&self) -> WindowDecoder {
         WindowDecoder::new(self.window, self.iterations).with_rule(self.check_rule)
+    }
+
+    /// The terminated coupled code this configuration describes, built
+    /// with the Fig. 10 conventions (termination length 20, lifting
+    /// seed `0xCC00 + N` — the same code `fig10_latency_ebn0` sweeps).
+    pub fn coupled_code(&self) -> CoupledCode {
+        CoupledCode::paper_cc(self.lifting, 20, 0xCC00 + self.lifting as u64)
+    }
+
+    /// Searches the Eb/N0 this operating point needs to reach
+    /// `target_ber` — the single Fig. 10 point this configuration
+    /// describes — using the configured [`SearchConfig`] strategy over
+    /// [`coupled_code`](CodingConfig::coupled_code) and
+    /// [`window_decoder`](CodingConfig::window_decoder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the check rule or search configuration is invalid.
+    pub fn required_ebn0(&self, target_ber: f64, opts: &BerSimOptions) -> SearchReport {
+        let code = self.coupled_code();
+        let target = CoupledBerTarget::new(&code, self.window_decoder());
+        search_required_ebn0(&target, target_ber, opts, &self.search)
     }
 }
 
@@ -332,6 +364,9 @@ impl SystemConfig {
         }
         if let Some(problem) = self.coding.check_rule.problem() {
             problems.push(problem);
+        }
+        if let Some(problem) = self.coding.search.problem() {
+            problems.push(format!("Eb/N0 search: {problem}"));
         }
         if self.noc.replications == 0 {
             problems.push("NoC workload needs at least one replication".into());
@@ -422,6 +457,58 @@ mod tests {
         let problems = cfg.validate();
         assert_eq!(problems.len(), 1, "{problems:?}");
         assert!(problems[0].contains("bits"), "{problems:?}");
+    }
+
+    #[test]
+    fn config_driven_required_ebn0_search() {
+        use wi_ldpc::ber::SearchStrategy;
+        // A deliberately tiny operating point so the search runs in
+        // milliseconds; the configured strategy must drive the search.
+        let coding = CodingConfig {
+            lifting: 10,
+            window: 3,
+            iterations: 8,
+            check_rule: CheckRule::min_sum(),
+            search: SearchConfig {
+                strategy: SearchStrategy::ConcurrentBisection,
+                lo_db: 0.5,
+                hi_db: 8.0,
+                tol_db: 1.0,
+                ..SearchConfig::default()
+            },
+        };
+        assert_eq!(coding.coupled_code().lifting(), 10);
+        let opts = BerSimOptions {
+            target_errors: 40,
+            max_frames: 16,
+            min_frames: 4,
+            seed: 0xC0DE,
+        };
+        let report = coding.required_ebn0(0.05, &opts);
+        assert!(report.probes > 0 && report.frames > 0);
+        assert!(
+            report.outcome.value().is_some(),
+            "tiny code should bracket BER 5e-2: {:?}",
+            report.outcome
+        );
+        // Determinism: the config-driven search is reproducible.
+        assert_eq!(report, coding.required_ebn0(0.05, &opts));
+    }
+
+    #[test]
+    fn validation_catches_search_problems() {
+        use wi_ldpc::ber::SearchStrategy;
+        let mut cfg = SystemConfig::paper_default();
+        assert_eq!(cfg.coding.search.strategy, SearchStrategy::Bisection);
+        cfg.coding.search.grid_points = 1;
+        let problems = cfg.validate();
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("Eb/N0 search"), "{problems:?}");
+        cfg.coding.search = SearchConfig {
+            strategy: SearchStrategy::PairedGrid,
+            ..SearchConfig::default()
+        };
+        assert!(cfg.validate().is_empty());
     }
 
     #[test]

@@ -1,35 +1,76 @@
-//! AWGN/BPSK bit-error-rate simulation and required-Eb/N0 search (Fig. 10).
+//! AWGN/BPSK bit-error-rate evaluation and required-Eb/N0 search (Fig. 10).
 //!
-//! Fig. 10 plots the Eb/N0 required to reach BER 10⁻⁵ against the
+//! Fig. 10 plots the Eb/N0 required to reach the target BER against the
 //! structural decoding latency. This module provides the Monte-Carlo BER
 //! estimator (all-zero codeword — exact for linear codes on the
-//! output-symmetric AWGN channel with a sign-symmetric decoder) and a
-//! bisection search for the required Eb/N0.
+//! output-symmetric AWGN channel with a sign-symmetric decoder) and the
+//! required-Eb/N0 search strategies that drive the Fig. 10 regeneration.
+//!
+//! # The three abstractions
+//!
+//! * [`BerTarget`] — one object-safe surface
+//!   ([`eval_frames`](BerTarget::eval_frames)) unifying everything a BER
+//!   point can be measured on: the BP-decoded block code
+//!   ([`BlockBerTarget`]) and the window-decoded coupled code
+//!   ([`CoupledBerTarget`]). Frame `f` of a target is a pure function of
+//!   `(seed, f, ebn0_db)`, which is what makes common random numbers,
+//!   thread fan-out and frame reuse expressible at all.
+//! * [`BerEstimate`] — a BER point that carries its own uncertainty:
+//!   per-frame error sums and squared sums travel with the estimate, so
+//!   [`stderr`](BerEstimate::stderr) / [`ci`](BerEstimate::ci) need no
+//!   side channel. Frame-level (not bit-level) variance is the honest
+//!   scale here: window decoding fails in bursts, so bits within a frame
+//!   are strongly correlated.
+//! * [`Ebn0Search`](SearchStrategy) — the strategy enum behind
+//!   [`search_required_ebn0`]: [`SearchStrategy::Bisection`] (the
+//!   retained oracle ladder, bit-identical to the pre-redesign search),
+//!   [`SearchStrategy::ConcurrentBisection`] (several probes per round
+//!   across threads, each pruned early once its confidence interval
+//!   excludes the target) and [`SearchStrategy::PairedGrid`] (fixed
+//!   shared grid + common random numbers + log-linear interpolation —
+//!   the right statistical design for *comparing* decoders, where
+//!   bisection's grid quantization would dominate small differences).
+//!
+//! The pre-redesign free functions (`simulate_{bc,cc}_ber*`) survive as
+//! `#[deprecated]` wrappers pinned bit-identical at fixed seed.
 //!
 //! # Parallelism and determinism
 //!
 //! Every frame is independent: its RNG is derived from
-//! `derive_seed(opts.seed, frame)` and its [`Gaussian`] sampler is frame
-//! local (a shared sampler's cached Box–Muller variate would leak state
-//! between frames and make results depend on simulation order). Frames
-//! are therefore fanned out across threads in chunks, while the
-//! early-stopping rule (`target_errors` / `min_frames` / `max_frames`) is
-//! applied by a serial fold over the per-frame results **in frame order**
-//! — so [`simulate_cc_ber`] and [`simulate_bc_ber`] return bit-identical
-//! [`BerEstimate`]s for any thread count, including the serial reference
-//! paths ([`simulate_cc_ber_serial`] / [`simulate_bc_ber_serial`]). Each
-//! worker reuses one decoder workspace and one LLR buffer, so the hot
-//! loop does not allocate.
+//! `derive_seed(seed, frame)` and its [`Gaussian`] sampler is frame local
+//! (a shared sampler's cached Box–Muller variate would leak state between
+//! frames and make results depend on simulation order). Frames are fanned
+//! out across threads in chunks, while every stopping rule — the
+//! `target_errors` / `min_frames` / `max_frames` budget of
+//! [`BerSimOptions`] *and* the CI pruning of
+//! [`SearchStrategy::ConcurrentBisection`] — is applied by a serial fold
+//! over the per-frame results **in frame order**. [`simulate_ber`] and
+//! [`search_required_ebn0`] therefore return bit-identical results for
+//! any thread count; extra frames speculatively simulated past a stopping
+//! point are discarded without being counted. Each worker reuses one
+//! [`BerWorkspace`], so the hot loop does not allocate.
 //!
 //! The thread fan-out uses `std::thread::scope` directly (the build
 //! environment cannot fetch `rayon`; the chunked scope below is the
 //! dependency-free equivalent for this embarrassingly parallel loop).
+//!
+//! # Bit-identical vs statistically equivalent
+//!
+//! [`SearchStrategy::Bisection`] reproduces the pre-redesign ladder probe
+//! for probe and is the pinned oracle. The other two strategies simulate
+//! *different frames* (CI-pruned budgets, interpolation instead of
+//! ladder quantization) and are therefore only statistically equivalent:
+//! deterministic and thread-count invariant, but not bit-comparable to
+//! the ladder. `docs/ARCHITECTURE.md` tabulates the contract per path.
 
 use crate::code::LdpcCode;
 use crate::decoder::{BpConfig, BpDecoder, DecoderWorkspace};
 use crate::window::{CoupledCode, WindowDecoder, WindowWorkspace};
 use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::ops::Range;
 use wi_num::rng::{derive_seed, seeded_rng, Gaussian};
+use wi_num::stats::{normal_ci, sample_variance_from_sums};
 
 /// Noise standard deviation for BPSK at the given `Eb/N0` (dB) and code
 /// rate: `σ² = 1/(2·R·(Eb/N0))`.
@@ -68,7 +109,44 @@ impl Default for BerSimOptions {
     }
 }
 
-/// A BER estimate.
+/// Raw Monte-Carlo counts for a range of frames, as returned by
+/// [`BerTarget::eval_frames`].
+///
+/// Sums are order-independent, so partial stats from parallel workers
+/// [`merge`](FrameStats::merge) into the same totals regardless of
+/// scheduling. `errors_sq` (the sum of squared per-frame error counts)
+/// is what lets a merged estimate still report its frame-level variance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameStats {
+    /// Frames simulated.
+    pub frames: u64,
+    /// Code bits simulated.
+    pub bits: u64,
+    /// Bit errors observed.
+    pub bit_errors: u64,
+    /// Sum of squared per-frame bit-error counts (exact in `u128`).
+    pub errors_sq: u128,
+}
+
+impl FrameStats {
+    /// Accumulates one frame's outcome.
+    pub fn push_frame(&mut self, bits: u64, bit_errors: u64) {
+        self.frames += 1;
+        self.bits += bits;
+        self.bit_errors += bit_errors;
+        self.errors_sq += (bit_errors as u128) * (bit_errors as u128);
+    }
+
+    /// Adds another stats block (order-independent).
+    pub fn merge(&mut self, other: &FrameStats) {
+        self.frames += other.frames;
+        self.bits += other.bits;
+        self.bit_errors += other.bit_errors;
+        self.errors_sq += other.errors_sq;
+    }
+}
+
+/// A BER estimate with its own frame-level uncertainty.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BerEstimate {
     /// Estimated bit error rate.
@@ -79,20 +157,247 @@ pub struct BerEstimate {
     pub bits: u64,
     /// Simulated frames.
     pub frames: u64,
+    /// Sum of squared per-frame bit-error counts (drives
+    /// [`stderr`](BerEstimate::stderr)).
+    pub errors_sq: u128,
 }
 
 impl BerEstimate {
-    fn from_counts(bit_errors: u64, bits: u64, frames: u64) -> Self {
+    /// Builds an estimate from raw frame counts.
+    pub fn from_stats(stats: FrameStats) -> Self {
         BerEstimate {
-            ber: if bits == 0 {
+            ber: if stats.bits == 0 {
                 0.0
             } else {
-                bit_errors as f64 / bits as f64
+                stats.bit_errors as f64 / stats.bits as f64
             },
-            bit_errors,
-            bits,
-            frames,
+            bit_errors: stats.bit_errors,
+            bits: stats.bits,
+            frames: stats.frames,
+            errors_sq: stats.errors_sq,
         }
+    }
+
+    /// Unbiased sample variance of the per-frame bit-error count.
+    pub fn frame_error_variance(&self) -> f64 {
+        sample_variance_from_sums(self.frames, self.bit_errors as f64, self.errors_sq as f64)
+    }
+
+    /// Standard error of [`ber`](BerEstimate::ber), from the *frame-level*
+    /// error variance (bits within a frame are correlated — window
+    /// decoding fails in bursts — so a per-bit binomial error bar would
+    /// be dishonestly small).
+    pub fn stderr(&self) -> f64 {
+        if self.frames == 0 || self.bits == 0 {
+            return 0.0;
+        }
+        (self.frame_error_variance() * self.frames as f64).sqrt() / self.bits as f64
+    }
+
+    /// Two-sided confidence interval `ber ± z·stderr`, lower endpoint
+    /// clamped at 0.
+    pub fn ci(&self, z: f64) -> (f64, f64) {
+        let (lo, hi) = normal_ci(self.ber, self.stderr(), z);
+        (lo.max(0.0), hi)
+    }
+}
+
+/// Type-erased per-worker scratch state for a [`BerTarget`].
+///
+/// Each simulation worker owns one workspace for its whole run; the
+/// target lazily installs whatever concrete state it needs (decoder
+/// workspace + LLR buffer) on the first frame via
+/// [`state`](BerWorkspace::state) and reuses it afterwards, so the hot
+/// loop does not allocate. Erasing the type here is what keeps
+/// [`BerTarget`] object-safe while letting block and coupled targets
+/// (and downstream custom targets) carry different scratch shapes.
+#[derive(Debug, Default)]
+pub struct BerWorkspace {
+    state: Option<Box<dyn Any + Send>>,
+}
+
+impl BerWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        BerWorkspace::default()
+    }
+
+    /// Returns the workspace's state of type `T`, installing `init()`
+    /// first if the workspace is empty or currently holds another type
+    /// (a workspace handed from one target kind to another is rebuilt,
+    /// not corrupted).
+    pub fn state<T: Send + 'static>(&mut self, init: impl FnOnce() -> T) -> &mut T {
+        let stale = match &self.state {
+            Some(boxed) => !boxed.is::<T>(),
+            None => true,
+        };
+        if stale {
+            self.state = Some(Box::new(init()));
+        }
+        self.state
+            .as_mut()
+            .expect("state installed above")
+            .downcast_mut::<T>()
+            .expect("type checked above")
+    }
+}
+
+/// Anything a BER point can be Monte-Carlo-measured on.
+///
+/// The contract that every search strategy builds on: frame `f` at a
+/// given `ebn0_db` must be a pure function of `(seed, f)` — same noise
+/// realization whenever the same `(seed, f)` pair is evaluated,
+/// regardless of worker, chunking or which other frames run. That single
+/// property yields thread-count invariance (fold in frame order), common
+/// random numbers (same seed across Eb/N0 points or across targets) and
+/// frame reuse across search steps.
+pub trait BerTarget: Sync {
+    /// Code bits simulated per frame.
+    fn bits_per_frame(&self) -> u64;
+
+    /// Code rate used for the Eb/N0 → noise conversion.
+    fn rate(&self) -> f64;
+
+    /// Simulates frames `frames` at `ebn0_db` and returns their counts.
+    ///
+    /// Implementations derive each frame's RNG from
+    /// `derive_seed(seed, frame)` (see [`fill_frame_llrs`]) and keep all
+    /// scratch in `ws`.
+    fn eval_frames(
+        &self,
+        ws: &mut BerWorkspace,
+        ebn0_db: f64,
+        seed: u64,
+        frames: Range<u64>,
+    ) -> FrameStats;
+}
+
+/// [`BerTarget`] for a BP-decoded LDPC block code over AWGN/BPSK.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockBerTarget<'a> {
+    code: &'a LdpcCode,
+    config: BpConfig,
+    rate: f64,
+}
+
+impl<'a> BlockBerTarget<'a> {
+    /// Creates a block-code target decoding with `config` at code `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `(0, 1]` or the check rule is invalid.
+    pub fn new(code: &'a LdpcCode, config: BpConfig, rate: f64) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
+        config.check_rule.validate();
+        BlockBerTarget { code, config, rate }
+    }
+}
+
+/// Concrete scratch a [`BlockBerTarget`] keeps inside a [`BerWorkspace`].
+struct BlockState {
+    ws: DecoderWorkspace,
+    llr: Vec<f64>,
+}
+
+impl BerTarget for BlockBerTarget<'_> {
+    fn bits_per_frame(&self) -> u64 {
+        self.code.len() as u64
+    }
+
+    fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn eval_frames(
+        &self,
+        ws: &mut BerWorkspace,
+        ebn0_db: f64,
+        seed: u64,
+        frames: Range<u64>,
+    ) -> FrameStats {
+        let sigma = ebn0_db_to_sigma(ebn0_db, self.rate);
+        let n = self.code.len();
+        let decoder = BpDecoder::new(self.code, self.config);
+        let state = ws.state(|| BlockState {
+            ws: DecoderWorkspace::new(self.code),
+            llr: vec![0.0; n],
+        });
+        state.ws.ensure(self.code);
+        state.llr.resize(n, 0.0);
+        let mut stats = FrameStats::default();
+        for frame in frames {
+            fill_frame_llrs(&mut state.llr, sigma, seed, frame);
+            decoder.decode_in_place(&mut state.ws, &state.llr);
+            let errors = state.ws.hard().iter().filter(|&&b| b).count() as u64;
+            stats.push_frame(n as u64, errors);
+        }
+        stats
+    }
+}
+
+/// [`BerTarget`] for a window-decoded LDPC convolutional code.
+///
+/// Uses the design rate (1/2 for the paper's codes) for the Eb/N0
+/// conversion, matching the paper's convention for both code families,
+/// and counts errors over all code bits of all blocks.
+#[derive(Clone, Copy, Debug)]
+pub struct CoupledBerTarget<'a> {
+    code: &'a CoupledCode,
+    decoder: WindowDecoder,
+}
+
+impl<'a> CoupledBerTarget<'a> {
+    /// Creates a coupled-code target window-decoded by `decoder`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decoder's check rule is invalid.
+    pub fn new(code: &'a CoupledCode, decoder: WindowDecoder) -> Self {
+        decoder.check_rule.validate();
+        CoupledBerTarget { code, decoder }
+    }
+}
+
+/// Concrete scratch a [`CoupledBerTarget`] keeps inside a
+/// [`BerWorkspace`].
+struct CoupledState {
+    ws: WindowWorkspace,
+    llr: Vec<f64>,
+}
+
+impl BerTarget for CoupledBerTarget<'_> {
+    fn bits_per_frame(&self) -> u64 {
+        self.code.code().len() as u64
+    }
+
+    fn rate(&self) -> f64 {
+        self.code.design_rate()
+    }
+
+    fn eval_frames(
+        &self,
+        ws: &mut BerWorkspace,
+        ebn0_db: f64,
+        seed: u64,
+        frames: Range<u64>,
+    ) -> FrameStats {
+        let sigma = ebn0_db_to_sigma(ebn0_db, self.code.design_rate());
+        let n = self.code.code().len();
+        let state = ws.state(|| CoupledState {
+            ws: WindowWorkspace::new(self.code.code()),
+            llr: vec![0.0; n],
+        });
+        state.ws.ensure(self.code.code());
+        state.llr.resize(n, 0.0);
+        let mut stats = FrameStats::default();
+        for frame in frames {
+            fill_frame_llrs(&mut state.llr, sigma, seed, frame);
+            self.decoder
+                .decode_in_place(&mut state.ws, self.code, &state.llr);
+            let errors = state.ws.hard().iter().filter(|&&b| b).count() as u64;
+            stats.push_frame(n as u64, errors);
+        }
+        stats
     }
 }
 
@@ -109,59 +414,96 @@ fn auto_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Whether the Monte-Carlo loop should simulate another frame.
-fn keep_going(opts: &BerSimOptions, frames: u64, errors: u64) -> bool {
-    frames < opts.max_frames && (frames < opts.min_frames || errors < opts.target_errors)
+/// The frame-budget stop rules a single BER point runs under (the
+/// strategy-resolved view of [`BerSimOptions`] plus any search-level
+/// cap).
+#[derive(Clone, Copy, Debug)]
+struct FrameBudget {
+    min_frames: u64,
+    max_frames: u64,
+    target_errors: u64,
 }
 
-/// Shared Monte-Carlo driver: runs `frame_errors(frame, workspace)` over
-/// frames `0, 1, 2, …` with the early-stopping rule of `opts`, fanning
-/// frames out over `threads` workers.
+impl FrameBudget {
+    /// The options' own budget, with the search-level frame cap applied.
+    fn from_opts(opts: &BerSimOptions, cap: u64) -> Self {
+        FrameBudget {
+            min_frames: opts.min_frames,
+            max_frames: opts.max_frames.min(cap),
+            target_errors: opts.target_errors,
+        }
+    }
+
+    /// Exactly `frames` frames: every early stop disabled (the
+    /// common-random-numbers mode of [`ber_curve`]).
+    fn exactly(frames: u64) -> Self {
+        FrameBudget {
+            min_frames: frames,
+            max_frames: frames,
+            target_errors: u64::MAX,
+        }
+    }
+}
+
+/// Whether the Monte-Carlo loop should simulate another frame.
 ///
-/// The stop rule is evaluated serially in frame order over the fanned-out
-/// results, so the returned estimate is identical for every `threads`
-/// value — extra frames speculatively simulated past the stopping point
-/// are discarded without being counted.
-fn run_frames<W, F>(
-    opts: &BerSimOptions,
-    bits_per_frame: u64,
+/// `extra_stop` is the strategy-specific early-out (CI pruning); it is
+/// only consulted once the frame budget's own rules allow stopping, and
+/// always over the serial in-order fold — so any rule expressed here is
+/// automatically thread-count invariant.
+fn keep_going(
+    fold: &FrameStats,
+    budget: &FrameBudget,
+    extra_stop: &mut dyn FnMut(&FrameStats) -> bool,
+) -> bool {
+    fold.frames < budget.max_frames
+        && (fold.frames < budget.min_frames
+            || (fold.bit_errors < budget.target_errors && !extra_stop(fold)))
+}
+
+/// Shared Monte-Carlo driver: runs `target` over frames `0, 1, 2, …`
+/// with the given stopping rules, fanning frames out over `threads`
+/// workers.
+///
+/// The stop rules are evaluated serially in frame order over the
+/// fanned-out results, so the returned estimate is identical for every
+/// `threads` value — extra frames speculatively simulated past the
+/// stopping point are discarded without being counted.
+fn run_target(
+    target: &dyn BerTarget,
+    ebn0_db: f64,
+    seed: u64,
     threads: usize,
-    make_workspace: impl Fn() -> W + Sync,
-    frame_errors: F,
-) -> BerEstimate
-where
-    W: Send,
-    F: Fn(u64, &mut W) -> u64 + Sync,
-{
-    let mut errors = 0u64;
-    let mut bits = 0u64;
-    let mut frames = 0u64;
+    budget: FrameBudget,
+    extra_stop: &mut dyn FnMut(&FrameStats) -> bool,
+) -> BerEstimate {
+    let mut fold = FrameStats::default();
+    let max_frames = budget.max_frames;
 
     // More workers than the simulation can ever have frames is pure
     // workspace-allocation waste.
-    let threads = threads.min(opts.max_frames.max(1).try_into().unwrap_or(usize::MAX));
+    let threads = threads.min(max_frames.max(1).try_into().unwrap_or(usize::MAX));
 
     if threads <= 1 {
-        let mut ws = make_workspace();
-        while keep_going(opts, frames, errors) {
-            errors += frame_errors(frames, &mut ws);
-            bits += bits_per_frame;
-            frames += 1;
+        let mut ws = BerWorkspace::new();
+        while keep_going(&fold, &budget, extra_stop) {
+            let frame = fold.frames;
+            fold.merge(&target.eval_frames(&mut ws, ebn0_db, seed, frame..frame + 1));
         }
-        return BerEstimate::from_counts(errors, bits, frames);
+        return BerEstimate::from_stats(fold);
     }
 
     let chunk_target = threads as u64 * FRAMES_PER_WORKER;
     // One workspace per worker for the whole simulation, not per round —
     // a decode fully reinitializes its workspace, so reuse cannot leak
     // state between frames.
-    let mut workspaces: Vec<W> = (0..threads).map(|_| make_workspace()).collect();
-    let mut results: Vec<u64> = Vec::new();
-    'mc: while keep_going(opts, frames, errors) {
-        let chunk_len = chunk_target.min(opts.max_frames - frames) as usize;
-        let base = frames;
+    let mut workspaces: Vec<BerWorkspace> = (0..threads).map(|_| BerWorkspace::new()).collect();
+    let mut results: Vec<FrameStats> = Vec::new();
+    'mc: while keep_going(&fold, &budget, extra_stop) {
+        let chunk_len = chunk_target.min(max_frames - fold.frames) as usize;
+        let base = fold.frames;
         results.clear();
-        results.resize(chunk_len, 0);
+        results.resize(chunk_len, FrameStats::default());
         let per_worker = chunk_len.div_ceil(threads);
         std::thread::scope(|scope| {
             for ((w, slice), ws) in results
@@ -170,30 +512,35 @@ where
                 .zip(workspaces.iter_mut())
             {
                 let first = base + (w * per_worker) as u64;
-                let frame_errors = &frame_errors;
                 scope.spawn(move || {
                     for (i, slot) in slice.iter_mut().enumerate() {
-                        *slot = frame_errors(first + i as u64, ws);
+                        let frame = first + i as u64;
+                        *slot = target.eval_frames(ws, ebn0_db, seed, frame..frame + 1);
                     }
                 });
             }
         });
-        for &frame_result in &results {
-            errors += frame_result;
-            bits += bits_per_frame;
-            frames += 1;
-            if !keep_going(opts, frames, errors) {
+        for frame_stats in &results {
+            fold.merge(frame_stats);
+            if !keep_going(&fold, &budget, extra_stop) {
                 break 'mc;
             }
         }
     }
-    BerEstimate::from_counts(errors, bits, frames)
+    BerEstimate::from_stats(fold)
 }
 
 /// Fills `llr` with the channel LLRs of one all-zero-codeword frame:
 /// `LLR = (2/σ²)·(1 + n)`, noise drawn from the frame's own seeded RNG
 /// and Gaussian sampler.
-fn fill_frame_llrs(llr: &mut [f64], sigma: f64, seed: u64, frame: u64) {
+///
+/// This is the common-random-numbers anchor of the whole module: the
+/// noise of frame `f` depends only on `(seed, f)`, never on `sigma`'s
+/// history or which other frames ran, so evaluating different Eb/N0
+/// points (or different decoders) at the same `(seed, f)` pairs shares
+/// one noise realization and the Monte-Carlo noise cancels in
+/// differences.
+pub fn fill_frame_llrs(llr: &mut [f64], sigma: f64, seed: u64, frame: u64) {
     let mut rng = seeded_rng(derive_seed(seed, frame));
     let mut gauss = Gaussian::new();
     let scale = 2.0 / (sigma * sigma);
@@ -202,123 +549,138 @@ fn fill_frame_llrs(llr: &mut [f64], sigma: f64, seed: u64, frame: u64) {
     }
 }
 
-/// Simulates the window-decoded LDPC-CC over AWGN/BPSK at `ebn0_db`,
-/// fanning frames out over all available cores.
+/// Monte-Carlo BER of `target` at `ebn0_db`, fanning frames out over all
+/// available cores. Bit-identical to a serial run at the same options
+/// (see the module docs).
+pub fn simulate_ber(target: &dyn BerTarget, ebn0_db: f64, opts: &BerSimOptions) -> BerEstimate {
+    simulate_ber_with_threads(target, ebn0_db, opts, auto_threads())
+}
+
+/// [`simulate_ber`] with an explicit worker-thread count (1 = the serial
+/// reference path).
+pub fn simulate_ber_with_threads(
+    target: &dyn BerTarget,
+    ebn0_db: f64,
+    opts: &BerSimOptions,
+    threads: usize,
+) -> BerEstimate {
+    run_target(
+        target,
+        ebn0_db,
+        opts.seed,
+        threads,
+        FrameBudget::from_opts(opts, u64::MAX),
+        &mut |_| false,
+    )
+}
+
+/// Measures a full BER curve over `grid` with common random numbers:
+/// every point simulates exactly `opts.max_frames` frames (the
+/// `target_errors` / `min_frames` early stops are disabled so all points
+/// share the *same* frame set), and frame `f` uses the same noise
+/// realization at every point.
 ///
-/// Uses the all-zero codeword and counts errors over all code bits of all
-/// blocks. The design rate (1/2) converts Eb/N0 to noise power, matching
-/// the paper's convention for both code families. Bit-identical to
-/// [`simulate_cc_ber_serial`] at the same options.
-pub fn simulate_cc_ber(
-    code: &CoupledCode,
-    decoder: &WindowDecoder,
-    ebn0_db: f64,
+/// Two targets measured with the same `opts` therefore pair
+/// frame-for-frame, which is what makes curve *differences* (e.g. the
+/// φ-table rule vs exact sum-product in `tests/phi_table.rs`) resolvable
+/// far below the per-curve Monte-Carlo noise.
+pub fn ber_curve(
+    target: &dyn BerTarget,
+    grid: &[f64],
     opts: &BerSimOptions,
-) -> BerEstimate {
-    simulate_cc_ber_with_threads(code, decoder, ebn0_db, opts, auto_threads())
+) -> Vec<(f64, BerEstimate)> {
+    ber_curve_with_threads(target, grid, opts, auto_threads())
 }
 
-/// Serial reference path of [`simulate_cc_ber`] (single thread, no
-/// fan-out).
-pub fn simulate_cc_ber_serial(
-    code: &CoupledCode,
-    decoder: &WindowDecoder,
-    ebn0_db: f64,
-    opts: &BerSimOptions,
-) -> BerEstimate {
-    simulate_cc_ber_with_threads(code, decoder, ebn0_db, opts, 1)
-}
-
-/// [`simulate_cc_ber`] with an explicit worker-thread count.
-pub fn simulate_cc_ber_with_threads(
-    code: &CoupledCode,
-    decoder: &WindowDecoder,
-    ebn0_db: f64,
+/// [`ber_curve`] with an explicit worker-thread count.
+pub fn ber_curve_with_threads(
+    target: &dyn BerTarget,
+    grid: &[f64],
     opts: &BerSimOptions,
     threads: usize,
-) -> BerEstimate {
-    let sigma = ebn0_db_to_sigma(ebn0_db, code.design_rate());
-    let n = code.code().len();
-    run_frames(
-        opts,
-        n as u64,
-        threads,
-        || (WindowWorkspace::new(code.code()), vec![0.0; n]),
-        |frame, (ws, llr)| {
-            fill_frame_llrs(llr, sigma, opts.seed, frame);
-            decoder.decode_in_place(ws, code, llr);
-            ws.hard().iter().filter(|&&b| b).count() as u64
-        },
-    )
+) -> Vec<(f64, BerEstimate)> {
+    grid.iter()
+        .map(|&ebn0_db| {
+            let est = run_target(
+                target,
+                ebn0_db,
+                opts.seed,
+                threads,
+                FrameBudget::exactly(opts.max_frames),
+                &mut |_| false,
+            );
+            (ebn0_db, est)
+        })
+        .collect()
 }
 
-/// Simulates the BP-decoded LDPC block code over AWGN/BPSK at `ebn0_db`,
-/// fanning frames out over all available cores. Bit-identical to
-/// [`simulate_bc_ber_serial`] at the same options.
-pub fn simulate_bc_ber(
-    code: &LdpcCode,
-    config: BpConfig,
-    ebn0_db: f64,
-    rate: f64,
-    opts: &BerSimOptions,
-) -> BerEstimate {
-    simulate_bc_ber_with_threads(code, config, ebn0_db, rate, opts, auto_threads())
+/// Outcome of a required-Eb/N0 search.
+///
+/// Replaces the former `Option<f64>` return, whose `None` conflated "the
+/// target is below the bracket" with "the target is above it" — two
+/// answers a caller plotting Fig. 10 must distinguish.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SearchOutcome {
+    /// The required Eb/N0 in dB.
+    Found(f64),
+    /// The target BER is already met at the bracket's low edge — the
+    /// required Eb/N0 is below `lo_db`.
+    BelowLo,
+    /// The target BER is still missed at the bracket's high edge — the
+    /// required Eb/N0 is above `hi_db` (or the code never reaches it).
+    AboveHi,
+    /// The search bracketed the target but could not resolve it (e.g. a
+    /// paired-grid crossing into a zero-error point, below the frame
+    /// budget's resolution); `best` is the tightest defensible upper
+    /// bound.
+    Unresolved {
+        /// Best available required-Eb/N0 estimate (an upper bound).
+        best: f64,
+    },
 }
 
-/// Serial reference path of [`simulate_bc_ber`] (single thread, no
-/// fan-out).
-pub fn simulate_bc_ber_serial(
-    code: &LdpcCode,
-    config: BpConfig,
-    ebn0_db: f64,
-    rate: f64,
-    opts: &BerSimOptions,
-) -> BerEstimate {
-    simulate_bc_ber_with_threads(code, config, ebn0_db, rate, opts, 1)
-}
+impl SearchOutcome {
+    /// The resolved required Eb/N0, if the search found one exactly.
+    pub fn found(self) -> Option<f64> {
+        match self {
+            SearchOutcome::Found(v) => Some(v),
+            _ => None,
+        }
+    }
 
-/// [`simulate_bc_ber`] with an explicit worker-thread count.
-pub fn simulate_bc_ber_with_threads(
-    code: &LdpcCode,
-    config: BpConfig,
-    ebn0_db: f64,
-    rate: f64,
-    opts: &BerSimOptions,
-    threads: usize,
-) -> BerEstimate {
-    let sigma = ebn0_db_to_sigma(ebn0_db, rate);
-    let decoder = BpDecoder::new(code, config);
-    let n = code.len();
-    run_frames(
-        opts,
-        n as u64,
-        threads,
-        || (DecoderWorkspace::new(code), vec![0.0; n]),
-        |frame, (ws, llr)| {
-            fill_frame_llrs(llr, sigma, opts.seed, frame);
-            decoder.decode_in_place(ws, llr);
-            ws.hard().iter().filter(|&&b| b).count() as u64
-        },
-    )
+    /// Best available point estimate: [`Found`](SearchOutcome::Found)'s
+    /// value or [`Unresolved`](SearchOutcome::Unresolved)'s bound;
+    /// `None` when the bracket never contained the target.
+    pub fn value(self) -> Option<f64> {
+        match self {
+            SearchOutcome::Found(v) => Some(v),
+            SearchOutcome::Unresolved { best } => Some(best),
+            _ => None,
+        }
+    }
 }
 
 /// Finds the smallest Eb/N0 (dB) at which `ber_at` falls to `target_ber`,
 /// by bisection over `[lo_db, hi_db]`.
 ///
-/// Returns `None` when the target is not bracketed (BER at `hi_db` still
-/// above target, or `lo_db` already below). BER is assumed monotone
-/// decreasing in Eb/N0 — true for these codes in the waterfall region.
+/// BER is assumed monotone decreasing in Eb/N0 — true for these codes in
+/// the waterfall region. Probe order (hi, lo, then midpoints) is the
+/// pre-redesign ladder, retained as the bit-identical oracle that
+/// [`SearchStrategy::Bisection`] dispatches to.
 pub fn required_ebn0_db<F: FnMut(f64) -> f64>(
     mut ber_at: F,
     target_ber: f64,
     lo_db: f64,
     hi_db: f64,
     tol_db: f64,
-) -> Option<f64> {
+) -> SearchOutcome {
     assert!(lo_db < hi_db, "invalid bracket");
     assert!(tol_db > 0.0, "tolerance must be positive");
-    if ber_at(hi_db) > target_ber || ber_at(lo_db) <= target_ber {
-        return None;
+    if ber_at(hi_db) > target_ber {
+        return SearchOutcome::AboveHi;
+    }
+    if ber_at(lo_db) <= target_ber {
+        return SearchOutcome::BelowLo;
     }
     let mut lo = lo_db;
     let mut hi = hi_db;
@@ -330,7 +692,549 @@ pub fn required_ebn0_db<F: FnMut(f64) -> f64>(
             lo = mid;
         }
     }
-    Some(hi)
+    SearchOutcome::Found(hi)
+}
+
+/// Required Eb/N0 to reach `target_ber`, by log-linear interpolation of a
+/// measured `(ebn0_db, ber)` curve (ascending in Eb/N0).
+///
+/// The estimator `tests/phi_table.rs` hand-rolled before this module
+/// absorbed it: find the first adjacent pair bracketing the target and
+/// interpolate linearly in `(Eb/N0, ln BER)`. Unlike bisection the
+/// answer is not quantized to a probe grid, which is why the paired
+/// strategies use it.
+pub fn log_linear_required_ebn0(curve: &[(f64, f64)], target_ber: f64) -> SearchOutcome {
+    assert!(target_ber > 0.0, "target BER must be positive");
+    match curve.first() {
+        None => SearchOutcome::AboveHi,
+        Some(&(_, b0)) if b0 < target_ber => SearchOutcome::BelowLo,
+        _ => {
+            for pair in curve.windows(2) {
+                let (e0, b0) = pair[0];
+                let (e1, b1) = pair[1];
+                if b0 >= target_ber && b1 <= target_ber {
+                    if b0 <= target_ber {
+                        // Exact hit at the left point: 0/0 in the
+                        // interpolation weight, answer is e0 itself.
+                        return SearchOutcome::Found(e0);
+                    }
+                    if b1 > 0.0 {
+                        let t = (b0.ln() - target_ber.ln()) / (b0.ln() - b1.ln());
+                        return SearchOutcome::Found(e0 + t * (e1 - e0));
+                    }
+                    // Crossed into a zero-error point: the target lies in
+                    // (e0, e1] but the frame budget cannot resolve where.
+                    return SearchOutcome::Unresolved { best: e1 };
+                }
+            }
+            SearchOutcome::AboveHi
+        }
+    }
+}
+
+/// Required-Eb/N0 search strategy (the `Ebn0Search` dimension of
+/// [`SearchConfig`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// The pre-redesign serial bisection ladder, retained as the
+    /// bit-identical oracle: full frame budget at every probe, answer
+    /// quantized to the final bisection interval.
+    #[default]
+    Bisection,
+    /// Bisection probing several interior points per round, each point
+    /// evaluated on its own thread share and pruned as soon as its
+    /// confidence interval excludes the target BER. Statistically
+    /// equivalent to [`Bisection`](SearchStrategy::Bisection) (same
+    /// bracket semantics, different frame budgets); deterministic and
+    /// thread-count invariant.
+    ConcurrentBisection,
+    /// Fixed shared Eb/N0 grid evaluated left to right with common
+    /// random numbers until the BER curve crosses the target, then
+    /// log-linear interpolation ([`log_linear_required_ebn0`]); a
+    /// crossing into a zero-error point is refined with a few midpoint
+    /// probes before reporting [`SearchOutcome::Unresolved`]. Frame `f`
+    /// of every grid point shares one noise realization, and the
+    /// interpolated answer is free of bisection's grid quantization.
+    ///
+    /// Each point still runs under the options' early-stop rules, so
+    /// two *different targets* searched this way may average different
+    /// frame *sets* per point. For comparison-grade pairing — where the
+    /// Monte-Carlo noise must cancel in the difference between two
+    /// decoders — measure full curves with [`ber_curve`] (which pins
+    /// every point to exactly `max_frames` frames), or disable the
+    /// early stops here by setting `min_frames == max_frames` and
+    /// `target_errors == u64::MAX`, as the φ-table accuracy gate in
+    /// `tests/phi_table.rs` does.
+    PairedGrid,
+}
+
+impl SearchStrategy {
+    /// Parses a CLI spelling (`bisect`, `concurrent`, `paired`; full
+    /// names accepted).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "bisect" | "bisection" => Some(SearchStrategy::Bisection),
+            "concurrent" | "concurrent-bisection" => Some(SearchStrategy::ConcurrentBisection),
+            "paired" | "paired-grid" => Some(SearchStrategy::PairedGrid),
+            _ => None,
+        }
+    }
+
+    /// Canonical CLI spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchStrategy::Bisection => "bisect",
+            SearchStrategy::ConcurrentBisection => "concurrent",
+            SearchStrategy::PairedGrid => "paired",
+        }
+    }
+}
+
+/// Configuration of a required-Eb/N0 search ([`search_required_ebn0`]).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Search strategy.
+    pub strategy: SearchStrategy,
+    /// Bracket low edge in dB.
+    pub lo_db: f64,
+    /// Bracket high edge in dB.
+    pub hi_db: f64,
+    /// Bisection resolution in dB (ignored by
+    /// [`SearchStrategy::PairedGrid`], which interpolates instead).
+    pub tol_db: f64,
+    /// Interior probes per [`SearchStrategy::ConcurrentBisection`] round
+    /// (the bracket shrinks by `probes_per_round + 1` per round).
+    pub probes_per_round: usize,
+    /// Evenly spaced grid points of [`SearchStrategy::PairedGrid`]
+    /// (including both bracket edges).
+    pub grid_points: usize,
+    /// Confidence multiplier for CI pruning: a concurrent probe stops
+    /// early once `|BER − target| > ci_z · stderr`.
+    pub ci_z: f64,
+    /// Search-level cap on frames per BER point, applied on top of
+    /// [`BerSimOptions::max_frames`] (the smaller wins); `u64::MAX`
+    /// leaves the options in charge.
+    pub max_frames: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            strategy: SearchStrategy::Bisection,
+            lo_db: 0.5,
+            hi_db: 8.0,
+            tol_db: 0.1,
+            probes_per_round: 3,
+            grid_points: 7,
+            ci_z: 2.576,
+            max_frames: u64::MAX,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// Returns a human-readable problem when the configuration is
+    /// unusable, `None` when valid. The single source of truth shared by
+    /// [`search_required_ebn0`] and system-level config validation.
+    pub fn problem(&self) -> Option<String> {
+        // `cmp` spellings chosen so NaN fails validation too.
+        if self.lo_db.partial_cmp(&self.hi_db) != Some(std::cmp::Ordering::Less) {
+            return Some(format!(
+                "search bracket [{}, {}] dB must be non-empty",
+                self.lo_db, self.hi_db
+            ));
+        }
+        if self.tol_db.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            let tol = self.tol_db;
+            return Some(format!("search tolerance {tol} dB must be positive"));
+        }
+        if self.probes_per_round == 0 {
+            return Some("concurrent search needs at least one probe per round".into());
+        }
+        if self.grid_points < 2 {
+            let points = self.grid_points;
+            return Some(format!("paired grid needs at least 2 points, got {points}"));
+        }
+        if self.ci_z.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            let z = self.ci_z;
+            return Some(format!("CI multiplier {z} must be positive"));
+        }
+        if self.max_frames == 0 {
+            return Some("search frame cap must be at least 1".into());
+        }
+        None
+    }
+
+    /// Panics unless the configuration is usable (see
+    /// [`problem`](SearchConfig::problem)).
+    pub fn validate(&self) {
+        if let Some(problem) = self.problem() {
+            panic!("{problem}");
+        }
+    }
+}
+
+/// Result of [`search_required_ebn0`]: the outcome plus the evaluated
+/// probes (in evaluation order) and the total simulation cost, so
+/// callers can report both the answer and what it took.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchReport {
+    /// The search outcome.
+    pub outcome: SearchOutcome,
+    /// BER points evaluated.
+    pub probes: u64,
+    /// Total frames simulated across all probes.
+    pub frames: u64,
+    /// Every evaluated `(ebn0_db, estimate)` probe, in evaluation order.
+    pub curve: Vec<(f64, BerEstimate)>,
+}
+
+impl SearchReport {
+    fn new() -> Self {
+        SearchReport {
+            outcome: SearchOutcome::AboveHi,
+            probes: 0,
+            frames: 0,
+            curve: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, ebn0_db: f64, est: BerEstimate) {
+        self.probes += 1;
+        self.frames += est.frames;
+        self.curve.push((ebn0_db, est));
+    }
+}
+
+/// Concurrent probes may stop on the CI rule this early; the options'
+/// own `min_frames` still applies when smaller. Below this the
+/// frame-level variance estimate is too ragged to trust a classification.
+const MIN_CI_FRAMES: u64 = 8;
+
+/// Midpoint probes a [`SearchStrategy::PairedGrid`] search may spend to
+/// pull a zero-error crossing back into interpolation range before
+/// settling for [`SearchOutcome::Unresolved`].
+const PAIRED_REFINEMENTS: u32 = 3;
+
+/// CI classification rule of [`SearchStrategy::ConcurrentBisection`]:
+/// true once the probe's confidence interval excludes `target_ber`.
+///
+/// The variance of the total error count is the *measured* frame-level
+/// variance (window decoders fail in bursts — per-bit binomial bars
+/// would prune far too eagerly) floored by the Poisson variance
+/// `target_ber · bits` expected if the true BER equalled the target:
+/// the floor is what keeps a run of zero-error frames (measured
+/// variance 0) from claiming certainty before the bit budget could
+/// possibly resolve the target.
+fn ci_classified(fold: &FrameStats, target_ber: f64, ci_z: f64) -> bool {
+    if fold.frames < 2 || fold.bits == 0 {
+        return false;
+    }
+    let est = BerEstimate::from_stats(*fold);
+    let bits = fold.bits as f64;
+    let measured = est.frame_error_variance() * fold.frames as f64;
+    let stderr = measured.max(target_ber * bits).sqrt() / bits;
+    (est.ber - target_ber).abs() > ci_z * stderr
+}
+
+/// Searches the smallest Eb/N0 at which `target` reaches `target_ber`,
+/// fanning work out over all available cores. See [`SearchConfig`] for
+/// the strategies; results are deterministic and thread-count invariant
+/// for every strategy.
+///
+/// # Panics
+///
+/// Panics if `search` is invalid (see [`SearchConfig::problem`]) or
+/// `target_ber` is not positive.
+pub fn search_required_ebn0(
+    target: &dyn BerTarget,
+    target_ber: f64,
+    opts: &BerSimOptions,
+    search: &SearchConfig,
+) -> SearchReport {
+    search_required_ebn0_with_threads(target, target_ber, opts, search, auto_threads())
+}
+
+/// [`search_required_ebn0`] with an explicit worker-thread count.
+pub fn search_required_ebn0_with_threads(
+    target: &dyn BerTarget,
+    target_ber: f64,
+    opts: &BerSimOptions,
+    search: &SearchConfig,
+    threads: usize,
+) -> SearchReport {
+    search.validate();
+    assert!(target_ber > 0.0, "target BER must be positive");
+    let mut report = SearchReport::new();
+    match search.strategy {
+        SearchStrategy::Bisection => {
+            report.outcome = required_ebn0_db(
+                |ebn0_db| {
+                    let est = run_target(
+                        target,
+                        ebn0_db,
+                        opts.seed,
+                        threads,
+                        FrameBudget::from_opts(opts, search.max_frames),
+                        &mut |_| false,
+                    );
+                    report.record(ebn0_db, est);
+                    est.ber
+                },
+                target_ber,
+                search.lo_db,
+                search.hi_db,
+                search.tol_db,
+            );
+        }
+        SearchStrategy::ConcurrentBisection => {
+            concurrent_bisection(target, target_ber, opts, search, threads, &mut report);
+        }
+        SearchStrategy::PairedGrid => {
+            let probe = |ebn0_db: f64, report: &mut SearchReport| -> f64 {
+                let est = run_target(
+                    target,
+                    ebn0_db,
+                    opts.seed,
+                    threads,
+                    FrameBudget::from_opts(opts, search.max_frames),
+                    &mut |_| false,
+                );
+                report.record(ebn0_db, est);
+                est.ber
+            };
+            let step = (search.hi_db - search.lo_db) / (search.grid_points - 1) as f64;
+            let mut curve: Vec<(f64, f64)> = Vec::with_capacity(search.grid_points);
+            report.outcome = SearchOutcome::AboveHi;
+            for i in 0..search.grid_points {
+                // Hit the high edge exactly (no accumulated rounding).
+                let ebn0_db = if i + 1 == search.grid_points {
+                    search.hi_db
+                } else {
+                    search.lo_db + step * i as f64
+                };
+                let ber = probe(ebn0_db, &mut report);
+                curve.push((ebn0_db, ber));
+                // Stop as soon as the partial curve resolves the target:
+                // the points above the crossing — the expensive low-BER
+                // ones — are never simulated.
+                match log_linear_required_ebn0(&curve, target_ber) {
+                    SearchOutcome::AboveHi => continue,
+                    resolved => {
+                        report.outcome = resolved;
+                        break;
+                    }
+                }
+            }
+            // A crossing into a zero-error point means the frame budget
+            // could not see errors at that grid spacing — refine by
+            // probing midpoints of the unresolved pair (still common
+            // random numbers) until the interpolation has a positive
+            // right endpoint or the refinement budget runs out.
+            let mut refinements = 0;
+            while let SearchOutcome::Unresolved { best } = report.outcome {
+                if refinements >= PAIRED_REFINEMENTS {
+                    break;
+                }
+                refinements += 1;
+                let i = curve
+                    .iter()
+                    .position(|&(e, _)| e == best)
+                    .expect("unresolved endpoint came from the curve");
+                assert!(i > 0, "a crossing pair has a left endpoint");
+                let mid = 0.5 * (curve[i - 1].0 + best);
+                let ber = probe(mid, &mut report);
+                curve.insert(i, (mid, ber));
+                report.outcome = log_linear_required_ebn0(&curve, target_ber);
+            }
+        }
+    }
+    report
+}
+
+/// [`SearchStrategy::ConcurrentBisection`]: bracket like bisection, but
+/// probe `probes_per_round` interior points per round — concurrently,
+/// one thread share each — and prune every probe by CI as soon as it is
+/// classified against the target.
+fn concurrent_bisection(
+    target: &dyn BerTarget,
+    target_ber: f64,
+    opts: &BerSimOptions,
+    search: &SearchConfig,
+    threads: usize,
+    report: &mut SearchReport,
+) {
+    // Probes may stop on the CI rule well before the options' min-frame
+    // budget — the CI already guards against lucky exits.
+    let min_frames = opts.min_frames.min(MIN_CI_FRAMES);
+    let classify = |ebn0_db: f64, probe_threads: usize| -> BerEstimate {
+        run_target(
+            target,
+            ebn0_db,
+            opts.seed,
+            probe_threads,
+            FrameBudget {
+                min_frames,
+                ..FrameBudget::from_opts(opts, search.max_frames)
+            },
+            &mut |fold| ci_classified(fold, target_ber, search.ci_z),
+        )
+    };
+
+    let hi_est = classify(search.hi_db, threads);
+    report.record(search.hi_db, hi_est);
+    if hi_est.ber > target_ber {
+        report.outcome = SearchOutcome::AboveHi;
+        return;
+    }
+    let lo_est = classify(search.lo_db, threads);
+    report.record(search.lo_db, lo_est);
+    if lo_est.ber <= target_ber {
+        report.outcome = SearchOutcome::BelowLo;
+        return;
+    }
+
+    let mut lo = search.lo_db;
+    let mut hi = search.hi_db;
+    while hi - lo > search.tol_db {
+        // No point probing finer than the remaining bracket needs.
+        let useful = ((hi - lo) / search.tol_db).ceil() as usize;
+        let k = search.probes_per_round.min(useful.saturating_sub(1)).max(1);
+        let mut round: Vec<(f64, Option<BerEstimate>)> = (1..=k)
+            .map(|i| (lo + (hi - lo) * i as f64 / (k + 1) as f64, None))
+            .collect();
+        let probe_threads = (threads / k).max(1);
+        std::thread::scope(|scope| {
+            for slot in round.iter_mut() {
+                let ebn0_db = slot.0;
+                let classify = &classify;
+                scope.spawn(move || {
+                    slot.1 = Some(classify(ebn0_db, probe_threads));
+                });
+            }
+        });
+        let round: Vec<(f64, BerEstimate)> = round
+            .into_iter()
+            .map(|(e, est)| (e, est.expect("probe thread completed")))
+            .collect();
+        for &(ebn0_db, est) in &round {
+            report.record(ebn0_db, est);
+        }
+        // Monotone-BER bracket update: the leftmost at-or-below-target
+        // probe becomes the new hi; its left neighbour (above target by
+        // leftmost-ness) the new lo.
+        match round.iter().position(|&(_, est)| est.ber <= target_ber) {
+            Some(i) => {
+                hi = round[i].0;
+                if i > 0 {
+                    lo = round[i - 1].0;
+                }
+            }
+            None => lo = round[k - 1].0,
+        }
+    }
+    report.outcome = SearchOutcome::Found(hi);
+}
+
+/// Simulates the window-decoded LDPC-CC over AWGN/BPSK at `ebn0_db`,
+/// fanning frames out over all available cores.
+#[deprecated(
+    since = "0.5.0",
+    note = "construct a `CoupledBerTarget` and call `simulate_ber` (bit-identical at fixed seed)"
+)]
+pub fn simulate_cc_ber(
+    code: &CoupledCode,
+    decoder: &WindowDecoder,
+    ebn0_db: f64,
+    opts: &BerSimOptions,
+) -> BerEstimate {
+    simulate_ber(&CoupledBerTarget::new(code, *decoder), ebn0_db, opts)
+}
+
+/// Serial reference path of the deprecated [`simulate_cc_ber`].
+#[deprecated(
+    since = "0.5.0",
+    note = "construct a `CoupledBerTarget` and call `simulate_ber_with_threads(…, 1)`"
+)]
+pub fn simulate_cc_ber_serial(
+    code: &CoupledCode,
+    decoder: &WindowDecoder,
+    ebn0_db: f64,
+    opts: &BerSimOptions,
+) -> BerEstimate {
+    simulate_ber_with_threads(&CoupledBerTarget::new(code, *decoder), ebn0_db, opts, 1)
+}
+
+/// Deprecated [`simulate_cc_ber`] with an explicit worker-thread count.
+#[deprecated(
+    since = "0.5.0",
+    note = "construct a `CoupledBerTarget` and call `simulate_ber_with_threads`"
+)]
+pub fn simulate_cc_ber_with_threads(
+    code: &CoupledCode,
+    decoder: &WindowDecoder,
+    ebn0_db: f64,
+    opts: &BerSimOptions,
+    threads: usize,
+) -> BerEstimate {
+    simulate_ber_with_threads(
+        &CoupledBerTarget::new(code, *decoder),
+        ebn0_db,
+        opts,
+        threads,
+    )
+}
+
+/// Simulates the BP-decoded LDPC block code over AWGN/BPSK at `ebn0_db`,
+/// fanning frames out over all available cores.
+#[deprecated(
+    since = "0.5.0",
+    note = "construct a `BlockBerTarget` and call `simulate_ber` (bit-identical at fixed seed)"
+)]
+pub fn simulate_bc_ber(
+    code: &LdpcCode,
+    config: BpConfig,
+    ebn0_db: f64,
+    rate: f64,
+    opts: &BerSimOptions,
+) -> BerEstimate {
+    simulate_ber(&BlockBerTarget::new(code, config, rate), ebn0_db, opts)
+}
+
+/// Serial reference path of the deprecated [`simulate_bc_ber`].
+#[deprecated(
+    since = "0.5.0",
+    note = "construct a `BlockBerTarget` and call `simulate_ber_with_threads(…, 1)`"
+)]
+pub fn simulate_bc_ber_serial(
+    code: &LdpcCode,
+    config: BpConfig,
+    ebn0_db: f64,
+    rate: f64,
+    opts: &BerSimOptions,
+) -> BerEstimate {
+    simulate_ber_with_threads(&BlockBerTarget::new(code, config, rate), ebn0_db, opts, 1)
+}
+
+/// Deprecated [`simulate_bc_ber`] with an explicit worker-thread count.
+#[deprecated(
+    since = "0.5.0",
+    note = "construct a `BlockBerTarget` and call `simulate_ber_with_threads`"
+)]
+pub fn simulate_bc_ber_with_threads(
+    code: &LdpcCode,
+    config: BpConfig,
+    ebn0_db: f64,
+    rate: f64,
+    opts: &BerSimOptions,
+    threads: usize,
+) -> BerEstimate {
+    simulate_ber_with_threads(
+        &BlockBerTarget::new(code, config, rate),
+        ebn0_db,
+        opts,
+        threads,
+    )
 }
 
 #[cfg(test)]
@@ -350,14 +1254,14 @@ mod tests {
     #[test]
     fn ber_decreases_with_ebn0() {
         let code = CoupledCode::paper_cc(20, 10, 1);
-        let wd = WindowDecoder::new(4, 12);
+        let target = CoupledBerTarget::new(&code, WindowDecoder::new(4, 12));
         let opts = BerSimOptions {
             max_frames: 30,
             min_frames: 30,
             ..Default::default()
         };
-        let low = simulate_cc_ber(&code, &wd, 1.0, &opts);
-        let high = simulate_cc_ber(&code, &wd, 4.0, &opts);
+        let low = simulate_ber(&target, 1.0, &opts);
+        let high = simulate_ber(&target, 4.0, &opts);
         assert!(
             high.ber < low.ber,
             "BER should drop: {} -> {}",
@@ -369,12 +1273,13 @@ mod tests {
     #[test]
     fn block_code_ber_reasonable_at_high_snr() {
         let code = LdpcCode::paper_block(50, 21);
+        let target = BlockBerTarget::new(&code, BpConfig::default(), 0.5);
         let opts = BerSimOptions {
             max_frames: 40,
             min_frames: 40,
             ..Default::default()
         };
-        let est = simulate_bc_ber(&code, BpConfig::default(), 5.0, 0.5, &opts);
+        let est = simulate_ber(&target, 5.0, &opts);
         assert!(est.ber < 1e-2, "BER {}", est.ber);
         assert_eq!(est.frames, 40);
         assert_eq!(est.bits, 40 * 100);
@@ -383,30 +1288,30 @@ mod tests {
     #[test]
     fn estimates_are_deterministic() {
         let code = CoupledCode::paper_cc(15, 8, 2);
-        let wd = WindowDecoder::new(3, 10);
+        let target = CoupledBerTarget::new(&code, WindowDecoder::new(3, 10));
         let opts = BerSimOptions {
             max_frames: 10,
             min_frames: 10,
             ..Default::default()
         };
-        let a = simulate_cc_ber(&code, &wd, 2.5, &opts);
-        let b = simulate_cc_ber(&code, &wd, 2.5, &opts);
+        let a = simulate_ber(&target, 2.5, &opts);
+        let b = simulate_ber(&target, 2.5, &opts);
         assert_eq!(a, b);
     }
 
     #[test]
     fn parallel_matches_serial_bit_for_bit() {
         let code = LdpcCode::paper_block(30, 3);
+        let target = BlockBerTarget::new(&code, BpConfig::default(), 0.5);
         let opts = BerSimOptions {
             target_errors: 40,
             max_frames: 60,
             min_frames: 4,
             seed: 0xABCD,
         };
-        let serial = simulate_bc_ber_serial(&code, BpConfig::default(), 2.0, 0.5, &opts);
+        let serial = simulate_ber_with_threads(&target, 2.0, &opts, 1);
         for threads in [2, 3, 8] {
-            let par =
-                simulate_bc_ber_with_threads(&code, BpConfig::default(), 2.0, 0.5, &opts, threads);
+            let par = simulate_ber_with_threads(&target, 2.0, &opts, threads);
             assert_eq!(serial, par, "thread count {threads} changed the result");
         }
     }
@@ -414,45 +1319,186 @@ mod tests {
     #[test]
     fn cc_parallel_matches_serial_bit_for_bit() {
         let code = CoupledCode::paper_cc(15, 8, 4);
-        let wd = WindowDecoder::new(3, 10);
+        let target = CoupledBerTarget::new(&code, WindowDecoder::new(3, 10));
         let opts = BerSimOptions {
             target_errors: 25,
             max_frames: 24,
             min_frames: 2,
             seed: 0x77,
         };
-        let serial = simulate_cc_ber_serial(&code, &wd, 2.0, &opts);
+        let serial = simulate_ber_with_threads(&target, 2.0, &opts, 1);
         for threads in [2, 5] {
-            let par = simulate_cc_ber_with_threads(&code, &wd, 2.0, &opts, threads);
+            let par = simulate_ber_with_threads(&target, 2.0, &opts, threads);
             assert_eq!(serial, par, "thread count {threads} changed the result");
         }
     }
 
     #[test]
+    fn estimate_carries_frame_level_uncertainty() {
+        let code = LdpcCode::paper_block(30, 3);
+        let target = BlockBerTarget::new(&code, BpConfig::default(), 0.5);
+        let opts = BerSimOptions {
+            target_errors: u64::MAX,
+            max_frames: 40,
+            min_frames: 40,
+            seed: 0xC1,
+        };
+        let est = simulate_ber(&target, 1.5, &opts);
+        assert!(est.bit_errors > 0, "waterfall point should have errors");
+        assert!(est.stderr() > 0.0);
+        let (lo, hi) = est.ci(1.96);
+        assert!(
+            lo >= 0.0 && lo < est.ber && est.ber < hi,
+            "{lo} {} {hi}",
+            est.ber
+        );
+        // Zero-error estimates degrade gracefully.
+        let clean = BerEstimate::from_stats(FrameStats::default());
+        assert_eq!(clean.stderr(), 0.0);
+        assert_eq!(clean.ci(2.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn ber_curve_uses_common_random_numbers() {
+        let code = LdpcCode::paper_block(25, 9);
+        let target = BlockBerTarget::new(&code, BpConfig::default(), 0.5);
+        let opts = BerSimOptions {
+            target_errors: 5, // ignored: curves always run max_frames
+            max_frames: 12,
+            min_frames: 1,
+            seed: 0xCC,
+        };
+        let curve = ber_curve(&target, &[1.0, 2.0, 3.0], &opts);
+        assert_eq!(curve.len(), 3);
+        for (_, est) in &curve {
+            assert_eq!(est.frames, 12, "early stops must be disabled");
+        }
+        // Same seed ⇒ re-measuring one point reproduces the curve's.
+        let point = ber_curve(&target, &[2.0], &opts);
+        assert_eq!(point[0], curve[1]);
+    }
+
+    #[test]
+    fn workspace_recovers_from_target_kind_change() {
+        let bc = LdpcCode::paper_block(20, 2);
+        let cc = CoupledCode::paper_cc(10, 6, 3);
+        let block = BlockBerTarget::new(&bc, BpConfig::default(), 0.5);
+        let coupled = CoupledBerTarget::new(&cc, WindowDecoder::new(3, 5));
+        let mut ws = BerWorkspace::new();
+        let a = block.eval_frames(&mut ws, 2.0, 7, 0..2);
+        let b = coupled.eval_frames(&mut ws, 2.0, 7, 0..2);
+        let a_again = block.eval_frames(&mut ws, 2.0, 7, 0..2);
+        assert_eq!(a, a_again, "state swap must not corrupt results");
+        assert_eq!(b.frames, 2);
+    }
+
+    #[test]
     fn bisection_on_analytic_curve() {
         // Mock BER curve: 10^(-x) hits 1e-3 at exactly x = 3.
-        let found = required_ebn0_db(|x| 10f64.powf(-x), 1e-3, 0.0, 6.0, 0.01).expect("bracketed");
+        let found = required_ebn0_db(|x| 10f64.powf(-x), 1e-3, 0.0, 6.0, 0.01)
+            .found()
+            .expect("bracketed");
         assert!((found - 3.0).abs() < 0.02, "{found}");
     }
 
     #[test]
-    fn bisection_rejects_unbracketed_targets() {
+    fn bisection_reports_unbracketed_sides() {
         assert_eq!(
             required_ebn0_db(|_| 1e-2, 1e-5, 0.0, 5.0, 0.1),
-            None,
+            SearchOutcome::AboveHi,
             "target below reach"
         );
         assert_eq!(
             required_ebn0_db(|_| 1e-9, 1e-5, 0.0, 5.0, 0.1),
-            None,
+            SearchOutcome::BelowLo,
             "already satisfied at lo"
         );
+        assert_eq!(SearchOutcome::AboveHi.value(), None);
+        assert_eq!(SearchOutcome::Unresolved { best: 2.0 }.value(), Some(2.0));
+        assert_eq!(SearchOutcome::Unresolved { best: 2.0 }.found(), None);
+    }
+
+    #[test]
+    fn log_linear_interpolates_and_classifies() {
+        let curve = [(1.0, 1e-1), (2.0, 1e-2), (3.0, 1e-3)];
+        // Exact grid hit.
+        match log_linear_required_ebn0(&curve, 1e-2) {
+            SearchOutcome::Found(v) => assert!((v - 2.0).abs() < 1e-12, "{v}"),
+            other => panic!("{other:?}"),
+        }
+        // Geometric midpoint of a log-linear segment is the dB midpoint.
+        match log_linear_required_ebn0(&curve, 10f64.powf(-1.5)) {
+            SearchOutcome::Found(v) => assert!((v - 1.5).abs() < 1e-12, "{v}"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            log_linear_required_ebn0(&curve, 0.5),
+            SearchOutcome::BelowLo
+        );
+        assert_eq!(
+            log_linear_required_ebn0(&curve, 1e-6),
+            SearchOutcome::AboveHi
+        );
+        assert_eq!(
+            log_linear_required_ebn0(&[(1.0, 1e-1), (2.0, 0.0)], 1e-3),
+            SearchOutcome::Unresolved { best: 2.0 }
+        );
+        assert_eq!(log_linear_required_ebn0(&[], 1e-3), SearchOutcome::AboveHi);
+    }
+
+    #[test]
+    fn search_strategy_parses_cli_spellings() {
+        assert_eq!(
+            SearchStrategy::parse("bisect"),
+            Some(SearchStrategy::Bisection)
+        );
+        assert_eq!(
+            SearchStrategy::parse("concurrent"),
+            Some(SearchStrategy::ConcurrentBisection)
+        );
+        assert_eq!(
+            SearchStrategy::parse("paired-grid"),
+            Some(SearchStrategy::PairedGrid)
+        );
+        assert_eq!(SearchStrategy::parse("nope"), None);
+        assert_eq!(SearchStrategy::PairedGrid.name(), "paired");
+    }
+
+    #[test]
+    fn search_config_validation() {
+        assert_eq!(SearchConfig::default().problem(), None);
+        let bad_bracket = SearchConfig {
+            lo_db: 3.0,
+            hi_db: 3.0,
+            ..SearchConfig::default()
+        };
+        assert!(bad_bracket.problem().unwrap().contains("bracket"));
+        let bad_grid = SearchConfig {
+            grid_points: 1,
+            ..SearchConfig::default()
+        };
+        assert!(bad_grid.problem().unwrap().contains("grid"));
+        let bad_z = SearchConfig {
+            ci_z: 0.0,
+            ..SearchConfig::default()
+        };
+        assert!(bad_z.problem().unwrap().contains("CI"));
+        let bad_probes = SearchConfig {
+            probes_per_round: 0,
+            ..SearchConfig::default()
+        };
+        assert!(bad_probes.problem().is_some());
+        let bad_cap = SearchConfig {
+            max_frames: 0,
+            ..SearchConfig::default()
+        };
+        assert!(bad_cap.problem().is_some());
     }
 
     #[test]
     fn early_exit_on_target_errors() {
         let code = CoupledCode::paper_cc(15, 8, 3);
-        let wd = WindowDecoder::new(3, 8);
+        let target = CoupledBerTarget::new(&code, WindowDecoder::new(3, 8));
         let opts = BerSimOptions {
             target_errors: 5,
             max_frames: 1000,
@@ -460,7 +1506,7 @@ mod tests {
             seed: 1,
         };
         // At very low Eb/N0 errors arrive immediately.
-        let est = simulate_cc_ber(&code, &wd, -2.0, &opts);
+        let est = simulate_ber(&target, -2.0, &opts);
         assert!(est.frames < 1000, "should stop early, ran {}", est.frames);
         assert!(est.bit_errors >= 5);
     }
@@ -469,5 +1515,25 @@ mod tests {
     #[should_panic(expected = "rate must be in (0, 1]")]
     fn bad_rate_panics() {
         ebn0_db_to_sigma(3.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in (0, 1]")]
+    fn bad_target_rate_panics() {
+        let code = LdpcCode::paper_block(10, 1);
+        BlockBerTarget::new(&code, BpConfig::default(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-empty")]
+    fn invalid_search_config_panics() {
+        let code = LdpcCode::paper_block(10, 1);
+        let target = BlockBerTarget::new(&code, BpConfig::default(), 0.5);
+        let search = SearchConfig {
+            lo_db: 5.0,
+            hi_db: 1.0,
+            ..SearchConfig::default()
+        };
+        search_required_ebn0(&target, 1e-2, &BerSimOptions::default(), &search);
     }
 }

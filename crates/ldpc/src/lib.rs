@@ -29,9 +29,14 @@
 //! * [`window`] — terminated coupled codes and the sliding-window decoder
 //!   of Fig. 9, with structural-latency accounting and its own reusable
 //!   [`window::WindowWorkspace`].
-//! * [`ber`] — AWGN/BPSK Monte-Carlo BER, fanned out over all cores with
-//!   bit-identical results at any thread count, and the required-Eb/N0
-//!   bisection used to regenerate Fig. 10.
+//! * [`ber`] — the BER evaluation and required-Eb/N0 search subsystem:
+//!   [`ber::BerTarget`] unifies block and coupled codes behind one
+//!   object-safe Monte-Carlo surface (fanned out over all cores with
+//!   bit-identical results at any thread count), [`ber::BerEstimate`]
+//!   carries frame-level variance/CI, and [`ber::SearchConfig`] selects
+//!   between the retained bisection-ladder oracle, CI-pruned concurrent
+//!   bisection and the paired-grid common-random-numbers estimator used
+//!   to regenerate Fig. 10.
 //!
 //! # Performance
 //!
@@ -91,7 +96,11 @@ pub mod kernel;
 pub mod protograph;
 pub mod window;
 
-pub use ber::{ebn0_db_to_sigma, required_ebn0_db, BerEstimate, BerSimOptions};
+pub use ber::{
+    ebn0_db_to_sigma, log_linear_required_ebn0, required_ebn0_db, search_required_ebn0,
+    simulate_ber, BerEstimate, BerSimOptions, BerTarget, BerWorkspace, BlockBerTarget,
+    CoupledBerTarget, FrameStats, SearchConfig, SearchOutcome, SearchReport, SearchStrategy,
+};
 pub use code::{Encoder, LdpcCode};
 pub use decoder::{
     awgn_llrs, BpConfig, BpDecoder, CheckRule, DecodeResult, DecodeStatus, DecoderWorkspace,

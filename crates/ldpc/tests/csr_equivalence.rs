@@ -3,10 +3,7 @@
 //! serial path — all bit for bit, not approximately.
 
 use proptest::prelude::*;
-use wi_ldpc::ber::{
-    simulate_bc_ber_serial, simulate_bc_ber_with_threads, simulate_cc_ber_serial,
-    simulate_cc_ber_with_threads, BerSimOptions,
-};
+use wi_ldpc::ber::{simulate_ber_with_threads, BerSimOptions, BlockBerTarget, CoupledBerTarget};
 use wi_ldpc::decoder::{reference, BpConfig, BpDecoder, CheckRule, DecoderWorkspace};
 use wi_ldpc::protograph::EdgeSpreading;
 use wi_ldpc::window::CoupledCode;
@@ -118,9 +115,9 @@ proptest! {
             min_frames: 3,
             seed,
         };
-        let serial = simulate_bc_ber_serial(&code, BpConfig::default(), 2.2, 0.5, &opts);
-        let par =
-            simulate_bc_ber_with_threads(&code, BpConfig::default(), 2.2, 0.5, &opts, threads);
+        let target = BlockBerTarget::new(&code, BpConfig::default(), 0.5);
+        let serial = simulate_ber_with_threads(&target, 2.2, &opts, 1);
+        let par = simulate_ber_with_threads(&target, 2.2, &opts, threads);
         prop_assert_eq!(serial, par);
     }
 
@@ -137,8 +134,9 @@ proptest! {
             min_frames: 2,
             seed,
         };
-        let serial = simulate_cc_ber_serial(&code, &decoder, 2.0, &opts);
-        let par = simulate_cc_ber_with_threads(&code, &decoder, 2.0, &opts, threads);
+        let target = CoupledBerTarget::new(&code, decoder);
+        let serial = simulate_ber_with_threads(&target, 2.0, &opts, 1);
+        let par = simulate_ber_with_threads(&target, 2.0, &opts, threads);
         prop_assert_eq!(serial, par);
     }
 }
@@ -186,17 +184,17 @@ fn min_sum_tracks_sum_product_within_fraction_of_db() {
         min_frames: 120,
         seed: 0x5EED,
     };
-    let sp = simulate_bc_ber_serial(&code, BpConfig::default(), 2.5, 0.5, &opts);
-    let ms = simulate_bc_ber_serial(
-        &code,
-        BpConfig {
-            check_rule: CheckRule::min_sum(),
-            ..BpConfig::default()
-        },
+    let sp = simulate_ber_with_threads(
+        &BlockBerTarget::new(&code, BpConfig::default(), 0.5),
         2.5,
-        0.5,
         &opts,
+        1,
     );
+    let ms_config = BpConfig {
+        check_rule: CheckRule::min_sum(),
+        ..BpConfig::default()
+    };
+    let ms = simulate_ber_with_threads(&BlockBerTarget::new(&code, ms_config, 0.5), 2.5, &opts, 1);
     assert!(sp.ber > 0.0 && ms.ber > 0.0, "both in the waterfall");
     assert!(
         ms.ber < sp.ber * 10.0,

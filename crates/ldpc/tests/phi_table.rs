@@ -13,7 +13,10 @@
 
 use proptest::prelude::*;
 use rand::Rng;
-use wi_ldpc::ber::{simulate_bc_ber, simulate_cc_ber, BerSimOptions};
+use wi_ldpc::ber::{
+    ber_curve, log_linear_required_ebn0, BerSimOptions, BlockBerTarget, CoupledBerTarget,
+    SearchOutcome,
+};
 use wi_ldpc::decoder::{BpConfig, CheckRule};
 use wi_ldpc::kernel::{
     min_sum_unrolled8, phi_exact, sum_product_exact, sum_product_table, PhiTable, PHI_X_MAX,
@@ -195,8 +198,10 @@ proptest! {
     }
 }
 
-/// Required Eb/N0 to reach `target` BER, estimated by log-linear
-/// interpolation of a measured BER curve over a fixed Eb/N0 grid.
+/// Required Eb/N0 to reach `target` BER, by the library's paired
+/// common-random-numbers machinery: [`ber_curve`] measures the rule's
+/// BER over a fixed grid with shared noise seeds, and
+/// [`log_linear_required_ebn0`] interpolates.
 ///
 /// The `required_ebn0_db` bisection quantizes its answer to the probe
 /// grid, so with Monte-Carlo BER estimates the *difference* between two
@@ -204,18 +209,24 @@ proptest! {
 /// Interpolating both rules' curves over the *same* grid with the *same*
 /// noise seeds makes the shared Monte-Carlo noise cancel in the
 /// difference, which is exactly what the 0.05 dB acceptance bound is
-/// about. (The release-mode `required_ebn0_db` bisection numbers for the
-/// full Fig. 10 grid are recorded in `docs/REPRODUCING.md`.)
-fn interpolated_required_ebn0(curve: &[(f64, f64)], target: f64) -> f64 {
-    for pair in curve.windows(2) {
-        let (e0, b0) = pair[0];
-        let (e1, b1) = pair[1];
-        if b0 >= target && target >= b1 && b1 > 0.0 {
-            let t = (b0.ln() - target.ln()) / (b0.ln() - b1.ln());
-            return e0 + t * (e1 - e0);
-        }
+/// about. (This harness predates `wi_ldpc::ber`'s `PairedGrid` search
+/// strategy, which promoted it into the library; the equivalence of the
+/// two is pinned in `tests/ber_search.rs`. The release-mode bisection
+/// numbers for the full Fig. 10 grid are in `docs/REPRODUCING.md`.)
+fn paired_required_ebn0(
+    target: &dyn wi_ldpc::BerTarget,
+    grid: &[f64],
+    opts: &BerSimOptions,
+    target_ber: f64,
+) -> f64 {
+    let curve: Vec<(f64, f64)> = ber_curve(target, grid, opts)
+        .into_iter()
+        .map(|(e, est)| (e, est.ber))
+        .collect();
+    match log_linear_required_ebn0(&curve, target_ber) {
+        SearchOutcome::Found(v) => v,
+        other => panic!("target {target_ber} not resolved by curve {curve:?}: {other:?}"),
     }
-    panic!("target {target} not bracketed by curve {curve:?}");
 }
 
 /// Required Eb/N0 of the table rule matches exact sum-product within
@@ -231,19 +242,16 @@ fn required_ebn0_matches_exact_on_paper_block_code() {
         seed: 0xACC,
     };
     let grid = [3.0f64, 3.6];
-    let curve = |rule: CheckRule| -> Vec<(f64, f64)> {
-        grid.iter()
-            .map(|&e| {
-                let config = BpConfig {
-                    max_iterations: 30,
-                    check_rule: rule,
-                };
-                (e, simulate_bc_ber(&code, config, e, 0.5, &opts).ber)
-            })
-            .collect()
+    let required = |rule: CheckRule| -> f64 {
+        let config = BpConfig {
+            max_iterations: 30,
+            check_rule: rule,
+        };
+        let target = BlockBerTarget::new(&code, config, 0.5);
+        paired_required_ebn0(&target, &grid, &opts, 1e-2)
     };
-    let exact = interpolated_required_ebn0(&curve(CheckRule::SumProduct), 1e-2);
-    let table = interpolated_required_ebn0(&curve(CheckRule::sum_product_table()), 1e-2);
+    let exact = required(CheckRule::SumProduct);
+    let table = required(CheckRule::sum_product_table());
     assert!(
         (exact - table).abs() <= 0.05,
         "block code: exact {exact} dB vs table {table} dB"
@@ -262,14 +270,13 @@ fn required_ebn0_matches_exact_on_paper_coupled_code() {
         seed: 0xCCACC,
     };
     let grid = [2.6f64, 3.6];
-    let curve = |rule: CheckRule| -> Vec<(f64, f64)> {
+    let required = |rule: CheckRule| -> f64 {
         let wd = WindowDecoder::new(4, 15).with_rule(rule);
-        grid.iter()
-            .map(|&e| (e, simulate_cc_ber(&code, &wd, e, &opts).ber))
-            .collect()
+        let target = CoupledBerTarget::new(&code, wd);
+        paired_required_ebn0(&target, &grid, &opts, 1e-2)
     };
-    let exact = interpolated_required_ebn0(&curve(CheckRule::SumProduct), 1e-2);
-    let table = interpolated_required_ebn0(&curve(CheckRule::sum_product_table()), 1e-2);
+    let exact = required(CheckRule::SumProduct);
+    let table = required(CheckRule::sum_product_table());
     assert!(
         (exact - table).abs() <= 0.05,
         "coupled code: exact {exact} dB vs table {table} dB"

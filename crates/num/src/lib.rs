@@ -27,6 +27,8 @@
 //! assert!((lin_to_db(g) - 3.0).abs() < 1e-12);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod complex;
 pub mod db;
 pub mod fft;

@@ -129,6 +129,42 @@ pub fn variance(xs: &[f64]) -> f64 {
     xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
 }
 
+/// Unbiased sample variance recovered from the raw sums `Σx` and `Σx²` of
+/// `n` observations; 0 for fewer than two observations.
+///
+/// This is the moment form of [`variance`] for accumulators that only
+/// keep running sums (e.g. Monte-Carlo error counters that must merge
+/// across threads deterministically). It is subject to cancellation when
+/// the mean dwarfs the spread — fine for bounded counts, use
+/// [`Running`] for long general-purpose streams. The result is clamped
+/// at 0 so rounding can never produce a negative variance.
+///
+/// ```
+/// use wi_num::stats::{sample_variance_from_sums, variance};
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// let sum: f64 = xs.iter().sum();
+/// let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+/// let v = sample_variance_from_sums(4, sum, sum_sq);
+/// assert!((v - variance(&xs)).abs() < 1e-12);
+/// ```
+pub fn sample_variance_from_sums(n: u64, sum: f64, sum_sq: f64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    ((sum_sq - sum * sum / nf) / (nf - 1.0)).max(0.0)
+}
+
+/// Two-sided normal (Wald) confidence interval `mean ± z·stderr`.
+///
+/// `z` is the standard-normal quantile of the desired coverage
+/// (1.96 → 95 %, 2.576 → 99 %). Callers estimating a non-negative rate
+/// should clamp the lower endpoint themselves — the interval is returned
+/// raw.
+pub fn normal_ci(mean: f64, stderr: f64, z: f64) -> (f64, f64) {
+    (mean - z * stderr, mean + z * stderr)
+}
+
 /// Root-mean-square of a slice; 0 for an empty slice.
 pub fn rms(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -229,5 +265,27 @@ mod tests {
     #[test]
     fn rms_of_constant() {
         assert!((rms(&[2.0; 8]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_from_sums_matches_batch() {
+        let xs: Vec<f64> = (0..200).map(|i| ((i * 13 % 17) as f64) * 0.5).collect();
+        let sum: f64 = xs.iter().sum();
+        let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+        let v = sample_variance_from_sums(xs.len() as u64, sum, sum_sq);
+        assert!((v - variance(&xs)).abs() < 1e-9, "{v}");
+        assert_eq!(sample_variance_from_sums(1, 3.0, 9.0), 0.0);
+        assert_eq!(sample_variance_from_sums(0, 0.0, 0.0), 0.0);
+        // Constant stream: rounding must not go negative.
+        assert_eq!(sample_variance_from_sums(3, 9.0, 27.0), 0.0);
+    }
+
+    #[test]
+    fn normal_ci_brackets_the_mean() {
+        let (lo, hi) = normal_ci(0.5, 0.1, 1.96);
+        assert!((lo - (0.5 - 0.196)).abs() < 1e-12);
+        assert!((hi - (0.5 + 0.196)).abs() < 1e-12);
+        let (l0, h0) = normal_ci(1.0, 0.0, 2.576);
+        assert_eq!((l0, h0), (1.0, 1.0));
     }
 }

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example coding_tradeoff`
 
-use wireless_interconnect::ldpc::ber::{simulate_cc_ber, BerSimOptions};
+use wireless_interconnect::ldpc::ber::{simulate_ber, BerSimOptions, CoupledBerTarget};
 use wireless_interconnect::ldpc::window::{CoupledCode, WindowDecoder};
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
     println!("window  latency/info bits  BER");
     for w in 3..=8 {
         let decoder = WindowDecoder::new(w, 50);
-        let est = simulate_cc_ber(&code, &decoder, ebn0_db, &opts);
+        let est = simulate_ber(&CoupledBerTarget::new(&code, decoder), ebn0_db, &opts);
         println!(
             "  W={w}        {:6.0}        {:.2e}  ({} frames)",
             code.window_latency_bits(w),

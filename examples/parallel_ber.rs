@@ -9,9 +9,7 @@
 //! Run with: `cargo run --release --example parallel_ber`
 
 use std::time::Instant;
-use wireless_interconnect::ldpc::ber::{
-    simulate_bc_ber_serial, simulate_bc_ber_with_threads, BerSimOptions,
-};
+use wireless_interconnect::ldpc::ber::{simulate_ber_with_threads, BerSimOptions, BlockBerTarget};
 use wireless_interconnect::ldpc::decoder::{BpConfig, CheckRule};
 use wireless_interconnect::ldpc::LdpcCode;
 
@@ -21,6 +19,7 @@ fn main() {
         check_rule: CheckRule::min_sum(),
         ..BpConfig::default()
     };
+    let target = BlockBerTarget::new(&code, config, 0.5);
     let opts = BerSimOptions {
         target_errors: 200,
         max_frames: 400,
@@ -30,7 +29,7 @@ fn main() {
     let ebn0_db = 2.5;
 
     let t0 = Instant::now();
-    let serial = simulate_bc_ber_serial(&code, config, ebn0_db, 0.5, &opts);
+    let serial = simulate_ber_with_threads(&target, ebn0_db, &opts, 1);
     let t_serial = t0.elapsed();
     println!(
         "serial      : BER {:.3e}  ({} errors / {} frames)  in {:.1} ms",
@@ -42,7 +41,7 @@ fn main() {
 
     for threads in [2usize, 4, 8] {
         let t0 = Instant::now();
-        let par = simulate_bc_ber_with_threads(&code, config, ebn0_db, 0.5, &opts, threads);
+        let par = simulate_ber_with_threads(&target, ebn0_db, &opts, threads);
         let dt = t0.elapsed();
         let same = if par == serial {
             "bit-identical"

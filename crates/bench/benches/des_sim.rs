@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use wi_noc::des::{reference as des_reference, DesConfig, Engine};
+use wi_noc::des::{reference as des_reference, DesConfig, Engine, FaultConfig};
 use wi_noc::routing::RoutingKind;
 use wi_noc::topology::Topology;
 
@@ -26,6 +26,28 @@ fn bench_des_sim(c: &mut Criterion) {
         });
         let mut engine = Engine::new(&topo);
         c.bench_function(&format!("des_sim_engine_{name}_20k"), |b| {
+            b.iter(|| engine.run(black_box(&cfg)))
+        });
+    }
+}
+
+fn bench_des_faulty(c: &mut Criterion) {
+    // The fault-injection path: per-hop corruption hashing plus ARQ
+    // retransmissions on the 8x8 mesh. The inert config (`p = 0`) prices
+    // the `faults` guard itself — it must stay indistinguishable from the
+    // fault-free engine run above; the 5% run prices the hash + retry
+    // traffic the co-sim exhibit leans on.
+    let topo = Topology::mesh2d(8, 8);
+    for (name, fault) in [
+        ("inert", FaultConfig::uniform(0.0)),
+        ("p5", FaultConfig::uniform(0.05)),
+    ] {
+        let cfg = DesConfig {
+            fault,
+            ..DesConfig::default()
+        };
+        let mut engine = Engine::new(&topo);
+        c.bench_function(&format!("des_sim_faulty_8x8_{name}_20k"), |b| {
             b.iter(|| engine.run(black_box(&cfg)))
         });
     }
@@ -63,6 +85,6 @@ fn bench_des_routing(c: &mut Criterion) {
 criterion_group! {
     name = des_sim;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_des_sim, bench_des_routing
+    targets = bench_des_sim, bench_des_faulty, bench_des_routing
 }
 criterion_main!(des_sim);

@@ -29,7 +29,7 @@
 //! results bit-identical to a serial run (see `wi_ldpc::ber`).
 
 use std::time::Instant;
-use wi_bench::{fmt, has_flag, help_flag, print_table, search_flag};
+use wi_bench::{fmt, forbid_both, has_flag, help_flag, print_table, search_flag};
 use wi_ldpc::ber::{
     search_required_ebn0, BerSimOptions, BlockBerTarget, CoupledBerTarget, SearchConfig,
     SearchOutcome,
@@ -87,12 +87,9 @@ fn outcome_cell(outcome: SearchOutcome, search: &SearchConfig) -> String {
 
 fn main() {
     help_flag(USAGE);
+    forbid_both("--full", "--quick");
     let full = has_flag("--full");
     let quick = has_flag("--quick");
-    assert!(
-        !(full && quick),
-        "--full and --quick are mutually exclusive"
-    );
     let check_rule = if has_flag("--sum-product-table") {
         CheckRule::sum_product_table()
     } else if has_flag("--minsum") {

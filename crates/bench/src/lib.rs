@@ -63,6 +63,22 @@ pub fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
+/// Reports a CLI usage error and exits with status 2 — the graceful
+/// replacement for panicking on bad arguments: no backtrace hint, just
+/// the message and a pointer to `--help`.
+pub fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run with --help for usage");
+    std::process::exit(2);
+}
+
+/// Exits via [`die`] when both mutually exclusive flags were passed.
+pub fn forbid_both(a: &str, b: &str) {
+    if has_flag(a) && has_flag(b) {
+        die(&format!("{a} and {b} are mutually exclusive"));
+    }
+}
+
 /// Prints `usage` and exits when the CLI was invoked with `--help` or
 /// `-h`. Call this before any expensive work so every bin answers
 /// `--help` instantly.
@@ -102,63 +118,56 @@ pub fn parse_routing_arg(s: &str) -> Option<RoutingArg> {
     RoutingKind::parse(s).map(RoutingArg::Policy)
 }
 
-/// The shared `--routing` flag, if present.
-///
-/// # Panics
-///
-/// Panics with usage guidance on an unknown spelling.
+/// The shared `--routing` flag, if present. Exits via [`die`] on an
+/// unknown spelling.
 pub fn routing_flag() -> Option<RoutingArg> {
     flag_value("--routing").map(|s| {
         parse_routing_arg(&s).unwrap_or_else(|| {
-            panic!("unknown routing policy {s:?} (try dor, o1turn, valiant, valiant:<k>, all)")
+            die(&format!(
+                "unknown routing policy {s:?} (try dor, o1turn, valiant, valiant:<k>, all)"
+            ))
         })
     })
 }
 
 /// The shared `--search` flag: the required-Eb/N0 search strategy
 /// ([`SearchStrategy::Bisection`] when absent — the bit-identical
-/// pre-redesign ladder).
-///
-/// # Panics
-///
-/// Panics with usage guidance on an unknown spelling.
+/// pre-redesign ladder). Exits via [`die`] on an unknown spelling.
 pub fn search_flag() -> SearchStrategy {
     match flag_value("--search") {
         Some(s) => SearchStrategy::parse(&s).unwrap_or_else(|| {
-            panic!("unknown search strategy {s:?} (try bisect, concurrent, paired)")
+            die(&format!(
+                "unknown search strategy {s:?} (try bisect, concurrent, paired)"
+            ))
         }),
         None => SearchStrategy::Bisection,
     }
 }
 
 /// The shared `--traffic` flag ([`TrafficKind::Uniform`] when absent).
-///
-/// # Panics
-///
-/// Panics with usage guidance on an unknown spelling.
+/// Exits via [`die`] on an unknown spelling.
 pub fn traffic_flag() -> TrafficKind {
     match flag_value("--traffic") {
         Some(s) => TrafficKind::parse(&s).unwrap_or_else(|| {
-            panic!(
+            die(&format!(
                 "unknown traffic pattern {s:?} (try uniform, hotspot, \
                  hotspot:<node>:<frac>, transpose, bitrev, neighbor)"
-            )
+            ))
         }),
         None => TrafficKind::Uniform,
     }
 }
 
-/// The shared `--reps` flag (replications per sweep point).
-///
-/// # Panics
-///
-/// Panics if the value is not a positive integer.
+/// The shared `--reps` flag (replications per sweep point). Exits via
+/// [`die`] unless the value is a positive integer.
 pub fn reps_flag(default: usize) -> usize {
-    let reps = flag_value("--reps")
-        .map(|s| s.parse().expect("--reps takes a positive integer"))
-        .unwrap_or(default);
-    assert!(reps > 0, "--reps takes a positive integer");
-    reps
+    match flag_value("--reps") {
+        Some(s) => match s.parse() {
+            Ok(reps) if reps > 0 => reps,
+            _ => die(&format!("--reps takes a positive integer, got {s:?}")),
+        },
+        None => default,
+    }
 }
 
 /// Parses a comma-separated list of positive injection rates.
@@ -175,16 +184,15 @@ pub fn parse_rates(s: &str) -> Option<Vec<f64>> {
 
 /// The shared `--rates` flag: a comma-separated injection-rate grid
 /// overriding a bin's default (e.g. `--rates 0.05,0.15,0.25` for the CI
-/// smoke runs).
-///
-/// # Panics
-///
-/// Panics with usage guidance if any rate fails to parse or is not
+/// smoke runs). Exits via [`die`] if any rate fails to parse or is not
 /// positive.
 pub fn rates_flag() -> Option<Vec<f64>> {
     flag_value("--rates").map(|s| {
-        parse_rates(&s)
-            .unwrap_or_else(|| panic!("--rates takes comma-separated positive rates, got {s:?}"))
+        parse_rates(&s).unwrap_or_else(|| {
+            die(&format!(
+                "--rates takes comma-separated positive rates, got {s:?}"
+            ))
+        })
     })
 }
 

@@ -14,7 +14,7 @@ use wi_ldpc::window::{CoupledCode, WindowDecoder};
 use wi_linkbudget::budget::Beamforming;
 use wi_linkbudget::datarate::Polarization;
 use wi_noc::des::traffic::TrafficKind;
-use wi_noc::des::{DesConfig, ServiceDistribution, SweepConfig};
+use wi_noc::des::{DesConfig, FaultConfig, ServiceDistribution, SweepConfig};
 use wi_noc::routing::RoutingKind;
 use wi_noc::topology::Topology;
 
@@ -163,6 +163,10 @@ pub struct NocWorkloadConfig {
     pub replications: usize,
     /// Injection rate for single-point cross-checks (packets/cycle/module).
     pub injection_rate: f64,
+    /// Per-link fault injection + ARQ recovery (inert by default; the
+    /// co-simulation layer [`crate::cosim`] derives a non-trivial model
+    /// from the link budget and a measured FER curve).
+    pub fault: FaultConfig,
 }
 
 impl NocWorkloadConfig {
@@ -175,6 +179,7 @@ impl NocWorkloadConfig {
             service: ServiceDistribution::Exponential,
             replications: 3,
             injection_rate: 0.1,
+            fault: FaultConfig::default(),
         }
     }
 
@@ -185,6 +190,7 @@ impl NocWorkloadConfig {
             traffic: self.traffic,
             routing: self.routing,
             service: self.service,
+            fault: self.fault,
             seed,
             ..DesConfig::default()
         }
@@ -380,6 +386,9 @@ impl SystemConfig {
         if let Some(problem) = self.noc.routing.problem() {
             problems.push(format!("NoC routing: {problem}"));
         }
+        if let Some(problem) = self.noc.fault.problem() {
+            problems.push(format!("NoC fault model: {problem}"));
+        }
         problems
     }
 }
@@ -545,7 +554,25 @@ mod tests {
             fraction: 0.2,
         };
         cfg.noc.routing = RoutingKind::Valiant { choices: 0 };
+        cfg.noc.fault = FaultConfig::uniform(2.0);
         let problems = cfg.validate();
-        assert_eq!(problems.len(), 4, "{problems:?}");
+        assert_eq!(problems.len(), 5, "{problems:?}");
+        assert!(
+            problems.iter().any(|p| p.contains("NoC fault model")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn workload_fault_config_reaches_the_des() {
+        let w = NocWorkloadConfig {
+            fault: FaultConfig::uniform(0.05),
+            ..NocWorkloadConfig::paper_default()
+        };
+        assert_eq!(w.des_config(1).fault, FaultConfig::uniform(0.05));
+        assert_eq!(
+            w.sweep_config(vec![0.1], 1).base.fault,
+            FaultConfig::uniform(0.05)
+        );
     }
 }

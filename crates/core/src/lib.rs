@@ -14,6 +14,9 @@
 //! * [`eval`] — the end-to-end evaluation pipeline: geometry → pathloss →
 //!   link budget → SNR → information rate → link rate, plus NoC latency and
 //!   coding structural latency, aggregated into a [`eval::SystemReport`].
+//! * [`cosim`] — the faulty-link co-simulation glue: per-link Eb/N0 from
+//!   the link budget, measured LDPC frame-error curves, and the
+//!   heterogeneous per-link error model the NoC DES injects.
 //!
 //! # Example
 //!
@@ -30,9 +33,11 @@
 //! ```
 
 pub mod config;
+pub mod cosim;
 pub mod eval;
 
 pub use config::{
     BoardConfig, CodingConfig, ReceiverModel, StackConfig, SystemConfig, WirelessLinkConfig,
 };
+pub use cosim::{ebn0_db_from_snr, link_class_ebn0, link_error_model, FerCurve, LinkClassEbn0};
 pub use eval::{evaluate, LinkReport, SystemReport};

@@ -31,8 +31,10 @@
 //!   the right statistical design for *comparing* decoders, where
 //!   bisection's grid quantization would dominate small differences).
 //!
-//! The pre-redesign free functions (`simulate_{bc,cc}_ber*`) survive as
-//! `#[deprecated]` wrappers pinned bit-identical at fixed seed.
+//! The pre-redesign free functions (`simulate_{bc,cc}_ber*`) were thin
+//! deprecated wrappers over this API for one release and have been
+//! removed; build a [`BlockBerTarget`] / [`CoupledBerTarget`] and call
+//! [`simulate_ber`] instead.
 //!
 //! # Parallelism and determinism
 //!
@@ -124,6 +126,9 @@ pub struct FrameStats {
     pub bits: u64,
     /// Bit errors observed.
     pub bit_errors: u64,
+    /// Frames with at least one bit error (drives the frame-error rate
+    /// the NoC fault layer consumes).
+    pub frame_errors: u64,
     /// Sum of squared per-frame bit-error counts (exact in `u128`).
     pub errors_sq: u128,
 }
@@ -134,6 +139,7 @@ impl FrameStats {
         self.frames += 1;
         self.bits += bits;
         self.bit_errors += bit_errors;
+        self.frame_errors += (bit_errors > 0) as u64;
         self.errors_sq += (bit_errors as u128) * (bit_errors as u128);
     }
 
@@ -142,6 +148,7 @@ impl FrameStats {
         self.frames += other.frames;
         self.bits += other.bits;
         self.bit_errors += other.bit_errors;
+        self.frame_errors += other.frame_errors;
         self.errors_sq += other.errors_sq;
     }
 }
@@ -157,6 +164,8 @@ pub struct BerEstimate {
     pub bits: u64,
     /// Simulated frames.
     pub frames: u64,
+    /// Frames with at least one bit error.
+    pub frame_errors: u64,
     /// Sum of squared per-frame bit-error counts (drives
     /// [`stderr`](BerEstimate::stderr)).
     pub errors_sq: u128,
@@ -174,7 +183,19 @@ impl BerEstimate {
             bit_errors: stats.bit_errors,
             bits: stats.bits,
             frames: stats.frames,
+            frame_errors: stats.frame_errors,
             errors_sq: stats.errors_sq,
+        }
+    }
+
+    /// Frame error rate: the fraction of simulated frames with at least
+    /// one residual bit error — the per-traversal corruption probability
+    /// the NoC fault layer (`wi_noc::des::fault`) consumes.
+    pub fn fer(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.frame_errors as f64 / self.frames as f64
         }
     }
 
@@ -1134,107 +1155,6 @@ fn concurrent_bisection(
         }
     }
     report.outcome = SearchOutcome::Found(hi);
-}
-
-/// Simulates the window-decoded LDPC-CC over AWGN/BPSK at `ebn0_db`,
-/// fanning frames out over all available cores.
-#[deprecated(
-    since = "0.5.0",
-    note = "construct a `CoupledBerTarget` and call `simulate_ber` (bit-identical at fixed seed)"
-)]
-pub fn simulate_cc_ber(
-    code: &CoupledCode,
-    decoder: &WindowDecoder,
-    ebn0_db: f64,
-    opts: &BerSimOptions,
-) -> BerEstimate {
-    simulate_ber(&CoupledBerTarget::new(code, *decoder), ebn0_db, opts)
-}
-
-/// Serial reference path of the deprecated [`simulate_cc_ber`].
-#[deprecated(
-    since = "0.5.0",
-    note = "construct a `CoupledBerTarget` and call `simulate_ber_with_threads(…, 1)`"
-)]
-pub fn simulate_cc_ber_serial(
-    code: &CoupledCode,
-    decoder: &WindowDecoder,
-    ebn0_db: f64,
-    opts: &BerSimOptions,
-) -> BerEstimate {
-    simulate_ber_with_threads(&CoupledBerTarget::new(code, *decoder), ebn0_db, opts, 1)
-}
-
-/// Deprecated [`simulate_cc_ber`] with an explicit worker-thread count.
-#[deprecated(
-    since = "0.5.0",
-    note = "construct a `CoupledBerTarget` and call `simulate_ber_with_threads`"
-)]
-pub fn simulate_cc_ber_with_threads(
-    code: &CoupledCode,
-    decoder: &WindowDecoder,
-    ebn0_db: f64,
-    opts: &BerSimOptions,
-    threads: usize,
-) -> BerEstimate {
-    simulate_ber_with_threads(
-        &CoupledBerTarget::new(code, *decoder),
-        ebn0_db,
-        opts,
-        threads,
-    )
-}
-
-/// Simulates the BP-decoded LDPC block code over AWGN/BPSK at `ebn0_db`,
-/// fanning frames out over all available cores.
-#[deprecated(
-    since = "0.5.0",
-    note = "construct a `BlockBerTarget` and call `simulate_ber` (bit-identical at fixed seed)"
-)]
-pub fn simulate_bc_ber(
-    code: &LdpcCode,
-    config: BpConfig,
-    ebn0_db: f64,
-    rate: f64,
-    opts: &BerSimOptions,
-) -> BerEstimate {
-    simulate_ber(&BlockBerTarget::new(code, config, rate), ebn0_db, opts)
-}
-
-/// Serial reference path of the deprecated [`simulate_bc_ber`].
-#[deprecated(
-    since = "0.5.0",
-    note = "construct a `BlockBerTarget` and call `simulate_ber_with_threads(…, 1)`"
-)]
-pub fn simulate_bc_ber_serial(
-    code: &LdpcCode,
-    config: BpConfig,
-    ebn0_db: f64,
-    rate: f64,
-    opts: &BerSimOptions,
-) -> BerEstimate {
-    simulate_ber_with_threads(&BlockBerTarget::new(code, config, rate), ebn0_db, opts, 1)
-}
-
-/// Deprecated [`simulate_bc_ber`] with an explicit worker-thread count.
-#[deprecated(
-    since = "0.5.0",
-    note = "construct a `BlockBerTarget` and call `simulate_ber_with_threads`"
-)]
-pub fn simulate_bc_ber_with_threads(
-    code: &LdpcCode,
-    config: BpConfig,
-    ebn0_db: f64,
-    rate: f64,
-    opts: &BerSimOptions,
-    threads: usize,
-) -> BerEstimate {
-    simulate_ber_with_threads(
-        &BlockBerTarget::new(code, config, rate),
-        ebn0_db,
-        opts,
-        threads,
-    )
 }
 
 #[cfg(test)]

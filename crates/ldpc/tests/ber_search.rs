@@ -1,6 +1,5 @@
-//! Contract tests for the `wi_ldpc::ber` v2 API: the deprecated free
-//! functions stay bit-identical to the `BerTarget` path at fixed seed,
-//! the search strategies are deterministic and thread-count invariant,
+//! Contract tests for the `wi_ldpc::ber` v2 API: the search strategies
+//! are deterministic and thread-count invariant,
 //! `Bisection` reproduces the pre-redesign ladder probe for probe, and
 //! `PairedGrid` matches the hand-rolled paired estimator that
 //! `tests/phi_table.rs` used before the library absorbed it.
@@ -58,55 +57,6 @@ impl BerTarget for MockTarget {
         }
         stats
     }
-}
-
-#[test]
-fn deprecated_block_wrappers_match_target_path_bit_for_bit() {
-    let code = LdpcCode::paper_block(30, 11);
-    let config = BpConfig::default();
-    let opts = BerSimOptions {
-        target_errors: 50,
-        max_frames: 40,
-        min_frames: 6,
-        seed: 0xF1D0,
-    };
-    let target = BlockBerTarget::new(&code, config, 0.5);
-    for threads in [1usize, 3, 8] {
-        let modern = simulate_ber_with_threads(&target, 2.2, &opts, threads);
-        #[allow(deprecated)]
-        let legacy =
-            wi_ldpc::ber::simulate_bc_ber_with_threads(&code, config, 2.2, 0.5, &opts, threads);
-        assert_eq!(legacy, modern, "threads {threads}");
-    }
-    #[allow(deprecated)]
-    let serial = wi_ldpc::ber::simulate_bc_ber_serial(&code, config, 2.2, 0.5, &opts);
-    assert_eq!(serial, simulate_ber_with_threads(&target, 2.2, &opts, 1));
-    #[allow(deprecated)]
-    let auto = wi_ldpc::ber::simulate_bc_ber(&code, config, 2.2, 0.5, &opts);
-    assert_eq!(auto, serial, "auto-parallel must stay thread-invariant");
-}
-
-#[test]
-fn deprecated_coupled_wrappers_match_target_path_bit_for_bit() {
-    let code = CoupledCode::paper_cc(12, 8, 5);
-    let decoder = WindowDecoder::new(3, 10);
-    let opts = BerSimOptions {
-        target_errors: 30,
-        max_frames: 24,
-        min_frames: 4,
-        seed: 0xCCF1,
-    };
-    let target = CoupledBerTarget::new(&code, decoder);
-    for threads in [1usize, 4] {
-        let modern = simulate_ber_with_threads(&target, 2.0, &opts, threads);
-        #[allow(deprecated)]
-        let legacy =
-            wi_ldpc::ber::simulate_cc_ber_with_threads(&code, &decoder, 2.0, &opts, threads);
-        assert_eq!(legacy, modern, "threads {threads}");
-    }
-    #[allow(deprecated)]
-    let serial = wi_ldpc::ber::simulate_cc_ber_serial(&code, &decoder, 2.0, &opts);
-    assert_eq!(serial, simulate_ber_with_threads(&target, 2.0, &opts, 1));
 }
 
 /// The `Bisection` strategy dispatches to the same ladder as the closure

@@ -1,0 +1,134 @@
+//! Property tests for the Monte-Carlo accumulator algebra: `FrameStats`
+//! merging must form a commutative monoid, and every statistic a
+//! `BerEstimate` derives from merged stats must be invariant under the
+//! merge tree. The cache-reuse path of `ber_curve` (and every parallel
+//! fold in `wi_ldpc::ber`) silently assumes this — partial stats arrive
+//! from workers in scheduling order, get folded in frame order, and the
+//! result must not depend on how the frames were grouped.
+
+use proptest::prelude::*;
+use rand::Rng;
+use wi_ldpc::ber::{BerEstimate, FrameStats};
+use wi_num::rng::seeded_rng;
+
+/// Seed-derived `(bits, bit_errors)` frame outcomes with a realistic
+/// error-free tail (about half the frames decode clean). The vendored
+/// proptest stub has no collection strategies, so lists are generated
+/// from a drawn seed instead.
+fn random_frames(seed: u64, n: usize, bits: u64) -> Vec<(u64, u64)> {
+    let mut rng = seeded_rng(seed);
+    (0..n)
+        .map(|_| {
+            let raw = rng.gen_range(0..2 * (bits + 1));
+            (bits, raw.saturating_sub(bits + 1))
+        })
+        .collect()
+}
+
+fn stats_of(frames: &[(u64, u64)]) -> FrameStats {
+    let mut s = FrameStats::default();
+    for &(bits, errors) in frames {
+        s.push_frame(bits, errors);
+    }
+    s
+}
+
+/// Splits `frames` into 1..=4 chunks at seed-derived cut points and
+/// returns the per-chunk stats.
+fn random_chunks(frames: &[(u64, u64)], seed: u64) -> Vec<FrameStats> {
+    let mut rng = seeded_rng(seed);
+    let mut cuts: Vec<usize> = (0..3).map(|_| rng.gen_range(0..frames.len() + 1)).collect();
+    cuts.push(0);
+    cuts.push(frames.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.windows(2)
+        .map(|w| stats_of(&frames[w[0]..w[1]]))
+        .collect()
+}
+
+fn merged(a: &FrameStats, b: &FrameStats) -> FrameStats {
+    let mut out = *a;
+    out.merge(b);
+    out
+}
+
+fn fold_left(chunks: &[FrameStats]) -> FrameStats {
+    chunks
+        .iter()
+        .fold(FrameStats::default(), |acc, c| merged(&acc, c))
+}
+
+fn fold_right(chunks: &[FrameStats]) -> FrameStats {
+    chunks
+        .iter()
+        .rev()
+        .fold(FrameStats::default(), |acc, c| merged(c, &acc))
+}
+
+fn fold_tree(chunks: &[FrameStats]) -> FrameStats {
+    match chunks.len() {
+        0 => FrameStats::default(),
+        1 => chunks[0],
+        n => merged(&fold_tree(&chunks[..n / 2]), &fold_tree(&chunks[n / 2..])),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        seed_a in 0u64..u64::MAX,
+        seed_b in 0u64..u64::MAX,
+        na in 1usize..40,
+        nb in 1usize..40,
+        bits in 1u64..500,
+    ) {
+        let a = stats_of(&random_frames(seed_a, na, bits));
+        let b = stats_of(&random_frames(seed_b, nb, bits));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative_with_identity(
+        seed in 0u64..u64::MAX,
+        na in 0usize..30,
+        nb in 0usize..30,
+        nc in 0usize..30,
+        bits in 1u64..500,
+    ) {
+        let a = stats_of(&random_frames(seed, na, bits));
+        let b = stats_of(&random_frames(seed ^ 0xA5A5, nb, bits));
+        let c = stats_of(&random_frames(seed ^ 0x5A5A, nc, bits));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+        // The default value is the monoid identity on both sides.
+        prop_assert_eq!(merged(&a, &FrameStats::default()), a);
+        prop_assert_eq!(merged(&FrameStats::default(), &a), a);
+    }
+
+    #[test]
+    fn estimate_is_invariant_under_arbitrary_merge_trees(
+        seed in 0u64..u64::MAX,
+        chunk_seed in 0u64..u64::MAX,
+        n in 1usize..80,
+        bits in 1u64..400,
+    ) {
+        let frames = random_frames(seed, n, bits);
+        let whole = stats_of(&frames);
+        let chunks = random_chunks(&frames, chunk_seed);
+        for folded in [fold_left(&chunks), fold_right(&chunks), fold_tree(&chunks)] {
+            prop_assert_eq!(folded, whole);
+            // Every derived statistic — including the variance-driven
+            // stderr and the FER the NoC fault layer consumes — must be
+            // bit-identical, not merely close.
+            let est = BerEstimate::from_stats(folded);
+            let want = BerEstimate::from_stats(whole);
+            prop_assert_eq!(est, want);
+            prop_assert_eq!(est.stderr().to_bits(), want.stderr().to_bits());
+            prop_assert_eq!(est.frame_error_variance().to_bits(),
+                            want.frame_error_variance().to_bits());
+            prop_assert_eq!(est.fer().to_bits(), want.fer().to_bits());
+        }
+    }
+}

@@ -24,11 +24,17 @@
 //! * [`mod@sweep`] — multi-replication latency-vs-rate sweeps fanned out over
 //!   scoped threads, bit-identical at any thread count, reporting
 //!   mean/stderr/saturation-knee per rate.
+//! * [`fault`] — per-link error injection ([`fault::LinkErrorModel`]) and
+//!   ARQ recovery ([`fault::ArqConfig`]): seed-deterministic per-hop
+//!   corruption decided by pure hashes (never the engine RNG), bounded
+//!   retries with timeout + backoff, and a drop path — inert by default,
+//!   and bit-identical to the fault-free simulation at error rate 0.
 //!
 //! [`simulate`] is the original entry point, kept as a thin wrapper over
 //! the engine.
 
 pub mod engine;
+pub mod fault;
 pub mod reference;
 pub mod sweep;
 pub mod traffic;
@@ -40,6 +46,7 @@ use serde::{Deserialize, Serialize};
 use traffic::TrafficKind;
 
 pub use engine::Engine;
+pub use fault::{ArqConfig, BurstModel, FaultConfig, LinkErrorModel};
 pub use sweep::{
     sweep, sweep_policies, sweep_serial, sweep_with_threads, RatePoint, SweepConfig, SweepResult,
 };
@@ -81,6 +88,10 @@ pub struct DesConfig {
     /// Hard event-count limit; the run reports `completed = false` when the
     /// network cannot drain the offered load within it.
     pub max_events: u64,
+    /// Per-link fault injection and ARQ recovery. The default is inert
+    /// and reproduces the fault-free simulation bit for bit (pinned by
+    /// the `zero_error_model_is_bit_identical_to_baseline` test).
+    pub fault: FaultConfig,
 }
 
 impl Default for DesConfig {
@@ -95,6 +106,7 @@ impl Default for DesConfig {
             measured_packets: 20_000,
             seed: 0xDE5,
             max_events: 50_000_000,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -109,8 +121,16 @@ pub struct DesResult {
     pub stderr: f64,
     /// Measured packets actually delivered.
     pub delivered: usize,
-    /// False when the event limit was hit before all measured packets
-    /// drained (a saturation symptom).
+    /// Measured packets dropped after exhausting their ARQ retries
+    /// (always 0 with the default inert [`FaultConfig`]).
+    pub dropped: usize,
+    /// Retransmissions scheduled over the whole run, warmup included.
+    pub retries: u64,
+    /// Retransmissions charged to the single most-retried link — the
+    /// stuck-link / burst-episode signature.
+    pub worst_link_retries: u64,
+    /// False when the event limit was hit before every measured packet
+    /// resolved (delivered or dropped) — a saturation symptom.
     pub completed: bool,
 }
 
@@ -413,6 +433,236 @@ mod tests {
             },
         );
         assert_ne!(transpose.mean_latency, uniform.mean_latency);
+    }
+
+    /// All routing kinds the fault tests cycle through.
+    const ALL_ROUTING: [RoutingKind; 4] = [
+        RoutingKind::DimensionOrder,
+        RoutingKind::O1Turn,
+        RoutingKind::Valiant { choices: 2 },
+        RoutingKind::Valiant { choices: 3 },
+    ];
+
+    /// A fault config exercising every mechanism at once: heterogeneous
+    /// link classes, stuck links, burst episodes, tight ARQ.
+    fn everything_fault() -> FaultConfig {
+        FaultConfig {
+            model: LinkErrorModel::EdgeCenter {
+                edge_p: 0.08,
+                center_p: 0.02,
+            },
+            stuck_fraction: 0.1,
+            stuck_p: 0.6,
+            burst: BurstModel::Periodic {
+                period: 500.0,
+                duration: 60.0,
+                fraction: 0.3,
+                p: 0.5,
+            },
+            arq: ArqConfig {
+                max_retries: 3,
+                timeout: 5.0,
+                backoff: 2.0,
+            },
+        }
+    }
+
+    #[test]
+    fn zero_error_model_is_bit_identical_to_baseline() {
+        // The pinned graceful-degradation contract: an *active* fault
+        // layer whose probabilities are all zero must leave the engine
+        // output byte-identical to today's fault-free `with_routing`
+        // path — 3 seeds x 2 topologies x all routing kinds.
+        let zero = FaultConfig {
+            model: LinkErrorModel::Uniform { p: 0.0 },
+            ..FaultConfig::default()
+        };
+        for topo in [Topology::mesh2d(4, 4), Topology::mesh3d(3, 3, 3)] {
+            for kind in ALL_ROUTING {
+                for seed in [1u64, 42, 0xDE5] {
+                    let base = DesConfig {
+                        routing: kind,
+                        ..quick(0.2, seed)
+                    };
+                    let with_zero = DesConfig {
+                        fault: zero,
+                        ..base
+                    };
+                    let plain = Engine::with_routing(&topo, kind).run(&base);
+                    let faulty = Engine::with_routing(&topo, kind).run(&with_zero);
+                    assert_eq!(
+                        plain,
+                        faulty,
+                        "p=0 diverged: {} seed {seed} on {:?}",
+                        kind.name(),
+                        topo.kind()
+                    );
+                    assert_eq!(plain.dropped, 0);
+                    assert_eq!(plain.retries, 0);
+                }
+            }
+        }
+        // Same for the heterogeneous model at (0, 0).
+        let zero_hetero = FaultConfig {
+            model: LinkErrorModel::EdgeCenter {
+                edge_p: 0.0,
+                center_p: 0.0,
+            },
+            ..FaultConfig::default()
+        };
+        let topo = Topology::mesh2d(4, 4);
+        let base = quick(0.2, 42);
+        assert_eq!(
+            simulate(&topo, &base),
+            simulate(
+                &topo,
+                &DesConfig {
+                    fault: zero_hetero,
+                    ..base
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn engine_matches_reference_under_faults() {
+        // The bit-identical oracle contract must survive corruption,
+        // retries and drops, for every routing policy.
+        for fault in [FaultConfig::uniform(0.05), everything_fault()] {
+            for topo in [Topology::mesh2d(4, 4), Topology::mesh3d(3, 3, 3)] {
+                for kind in ALL_ROUTING {
+                    for seed in [1u64, 42, 0xDE5] {
+                        let cfg = DesConfig {
+                            routing: kind,
+                            fault,
+                            ..quick(0.2, seed)
+                        };
+                        let old = reference::simulate(&topo, &cfg);
+                        let new = simulate(&topo, &cfg);
+                        assert_eq!(
+                            old,
+                            new,
+                            "{} model {} seed {seed} diverged on {:?}",
+                            kind.name(),
+                            fault.model.name(),
+                            topo.kind()
+                        );
+                        assert!(new.retries > 0, "faults must cause retries");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_when_faults_drop_packets() {
+        // max_retries = 0 drops on the first corruption: the drop path
+        // and the resolved-packet termination must stay pinned too.
+        let fault = FaultConfig {
+            arq: ArqConfig {
+                max_retries: 0,
+                timeout: 5.0,
+                backoff: 1.0,
+            },
+            ..FaultConfig::uniform(0.2)
+        };
+        let topo = Topology::mesh3d(3, 3, 3);
+        for seed in [7u64, 19] {
+            let cfg = DesConfig {
+                fault,
+                ..quick(0.15, seed)
+            };
+            let old = reference::simulate(&topo, &cfg);
+            let new = simulate(&topo, &cfg);
+            assert_eq!(old, new, "drop path diverged at seed {seed}");
+            assert!(new.dropped > 0, "p=0.2 with no retries must drop");
+            assert!(new.completed);
+            assert_eq!(new.delivered + new.dropped, cfg.measured_packets);
+        }
+    }
+
+    #[test]
+    fn faulty_engine_is_reusable() {
+        // Arena reuse must not leak fault state (attempt counters,
+        // per-link tables) between runs.
+        let topo = Topology::mesh2d(4, 4);
+        let faulty = DesConfig {
+            fault: everything_fault(),
+            ..quick(0.2, 3)
+        };
+        let clean = quick(0.2, 3);
+        let mut engine = Engine::new(&topo);
+        let a = engine.run(&faulty);
+        let b = engine.run(&clean);
+        let c = engine.run(&faulty);
+        assert_eq!(a, c, "fault state leaked across runs");
+        assert_eq!(b, Engine::new(&topo).run(&clean), "clean run polluted");
+    }
+
+    #[test]
+    fn faults_degrade_latency_gracefully() {
+        // Retransmissions cost cycles: mean latency must rise with the
+        // error probability, and accounting must stay consistent.
+        let topo = Topology::mesh3d(3, 3, 3);
+        let base = quick(0.1, 17);
+        let clean = simulate(&topo, &base);
+        let mild = simulate(
+            &topo,
+            &DesConfig {
+                fault: FaultConfig::uniform(0.02),
+                ..base
+            },
+        );
+        let harsh = simulate(
+            &topo,
+            &DesConfig {
+                fault: FaultConfig::uniform(0.15),
+                ..base
+            },
+        );
+        assert!(clean.mean_latency < mild.mean_latency);
+        assert!(mild.mean_latency < harsh.mean_latency);
+        assert!(mild.retries < harsh.retries);
+        assert!(harsh.worst_link_retries > 0);
+        assert!(harsh.worst_link_retries <= harsh.retries);
+    }
+
+    #[test]
+    fn stuck_links_concentrate_retries() {
+        // With a clean base model and a few stuck-bad links, the worst
+        // link must absorb a disproportionate share of retries.
+        let topo = Topology::mesh2d(4, 4);
+        let cfg = DesConfig {
+            fault: FaultConfig {
+                stuck_fraction: 0.05,
+                stuck_p: 0.5,
+                ..FaultConfig::default()
+            },
+            ..quick(0.2, 23)
+        };
+        let r = simulate(&topo, &cfg);
+        assert!(r.retries > 0, "stuck links must retry");
+        // 48 directed links at fraction 0.05 -> ~2 stuck; the worst one
+        // should carry well over the uniform share of the retries.
+        assert!(
+            r.worst_link_retries * 8 > r.retries,
+            "worst link {} of {} total",
+            r.worst_link_retries,
+            r.retries
+        );
+        assert_eq!(reference::simulate(&topo, &cfg), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault config")]
+    fn bad_fault_config_panics() {
+        simulate(
+            &Topology::mesh2d(2, 2),
+            &DesConfig {
+                fault: FaultConfig::uniform(1.5),
+                ..DesConfig::default()
+            },
+        );
     }
 
     #[test]

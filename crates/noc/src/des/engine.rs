@@ -36,6 +36,7 @@
 //! tests pin this. Non-uniform patterns from [`crate::des::traffic`]
 //! plug in through the same loop.
 
+use super::fault::corrupt_unit;
 use super::traffic::{TrafficCtx, TrafficPattern};
 use super::{DesConfig, DesResult, ServiceDistribution};
 use crate::routing::{route_choice, RouteTable, RoutingKind};
@@ -191,10 +192,19 @@ impl EventHeap {
 #[derive(Clone, Copy, Debug)]
 struct PacketSlot {
     t_inject: f64,
+    /// Injection ordinal — stable across slot recycling, so the fault
+    /// layer's per-packet corruption hash agrees with the reference
+    /// oracle (whose packet index *is* the ordinal).
+    pkt: u64,
     /// Start of the route in [`RouteTable::flat_links`].
     route_lo: u32,
     /// Hops remaining (counts down to the ejection stage).
     remaining: u32,
+    /// Total hops of the route (`hops - remaining` is the current hop
+    /// index, the fault hash's stable per-hop key).
+    hops: u32,
+    /// ARQ retransmissions already spent on the current hop.
+    attempt: u32,
     dst: u32,
     measured: bool,
 }
@@ -240,6 +250,11 @@ pub struct Engine {
     free: Vec<u32>,
     link_free: Vec<f64>,
     ej_free: Vec<f64>,
+    /// Per-link static error probability, precomputed per run from the
+    /// fault config (all zeros when faults are off).
+    link_p: Vec<f64>,
+    /// Per-link retransmission counts (drives `worst_link_retries`).
+    link_retries: Vec<u64>,
 }
 
 impl Engine {
@@ -274,6 +289,8 @@ impl Engine {
             free: Vec::new(),
             link_free: vec![0.0; topo.num_links()],
             ej_free: vec![0.0; topo.num_modules()],
+            link_p: vec![0.0; topo.num_links()],
+            link_retries: vec![0; topo.num_links()],
         }
     }
 
@@ -297,11 +314,15 @@ impl Engine {
         if let Some(problem) = config.traffic.problem(n) {
             panic!("invalid traffic pattern: {problem}");
         }
+        if let Some(problem) = config.fault.problem() {
+            panic!("invalid fault config: {problem}");
+        }
         if self.routes.kind() != config.routing {
             self.routes = Arc::new(RouteTable::with_policy(&self.topo, config.routing));
         }
 
         let Engine {
+            topo,
             routes,
             ctx,
             num_links,
@@ -310,7 +331,8 @@ impl Engine {
             free,
             link_free,
             ej_free,
-            ..
+            link_p,
+            link_retries,
         } = self;
         let routes: &RouteTable = routes;
         let route_choices = routes.num_choices();
@@ -322,6 +344,19 @@ impl Engine {
         link_free.resize(*num_links, 0.0);
         ej_free.clear();
         ej_free.resize(n, 0.0);
+        link_retries.clear();
+        link_retries.resize(*num_links, 0);
+        // Fault decisions are pure hashes — none of this touches `rng`,
+        // so an all-zero-probability config replays the fault-free RNG
+        // stream exactly.
+        let faults = config.fault.active();
+        link_p.clear();
+        link_p.resize(*num_links, 0.0);
+        if faults {
+            for (l, p) in link_p.iter_mut().enumerate() {
+                *p = config.fault.static_link_p(topo, l, config.seed);
+            }
+        }
 
         let mut rng = seeded_rng(config.seed);
         // Sequence numbers are assigned in the reference simulator's push
@@ -336,6 +371,8 @@ impl Engine {
         let mut injected = 0usize;
         let total_tracked = config.warmup_packets + config.measured_packets;
         let mut delivered_measured = 0usize;
+        let mut dropped_measured = 0usize;
+        let mut retries_total = 0u64;
         let mut stats = Running::new();
         let mut event_count = 0u64;
 
@@ -359,6 +396,9 @@ impl Engine {
                     mean_latency: stats.mean(),
                     stderr: stats.stderr(),
                     delivered: delivered_measured,
+                    dropped: dropped_measured,
+                    retries: retries_total,
+                    worst_link_retries: link_retries.iter().copied().max().unwrap_or(0),
                     completed: false,
                 };
             }
@@ -376,8 +416,11 @@ impl Engine {
                 let span = routes.span_choice(module, dst, choice);
                 let slot = PacketSlot {
                     t_inject: now,
+                    pkt: injected as u64,
                     route_lo: span.start as u32,
                     remaining: span.len() as u32,
+                    hops: span.len() as u32,
+                    attempt: 0,
                     dst: dst as u32,
                     measured,
                 };
@@ -399,8 +442,9 @@ impl Engine {
                 // Traverse the source router pipeline, then queue.
                 let ready = entry(&mut seq, now + config.params.routing_delay, READY_TAG | pid);
                 heap.replace_top(ready);
-                // Keep offering load until measurement finishes.
-                if delivered_measured < config.measured_packets {
+                // Keep offering load until measurement finishes (a
+                // measured packet resolves by delivery *or* drop).
+                if delivered_measured + dropped_measured < config.measured_packets {
                     let t_next = now + exp_sample(&mut rng, inject_mean);
                     let e = entry(&mut seq, t_next, module as u32);
                     heap.push(e);
@@ -416,20 +460,58 @@ impl Engine {
                 };
                 let p = packets[pid];
                 if p.remaining > 0 {
-                    // Inter-router link stage.
+                    // Inter-router link stage. A corrupted transmission
+                    // still occupies the link for the full service time
+                    // (the receiver only detects the bad frame on
+                    // arrival).
                     let l = routes.flat_links()[p.route_lo as usize] as usize;
                     let start = now.max(link_free[l]);
                     let finish = start + svc;
                     link_free[l] = finish;
-                    packets[pid].route_lo += 1;
-                    packets[pid].remaining -= 1;
-                    // Next router pipeline, then next queue.
-                    let ready = entry(
-                        &mut seq,
-                        finish + config.params.routing_delay,
-                        READY_TAG | pid as u32,
-                    );
-                    heap.replace_top(ready);
+                    // Pure-hash corruption decision — consumes no RNG, so
+                    // the `faults` short-circuit (and any zero-probability
+                    // config) leaves the event stream untouched.
+                    let corrupted = faults && {
+                        let p_err = config.fault.link_p_at(link_p[l], l, start, config.seed);
+                        p_err > 0.0
+                            && corrupt_unit(config.seed, p.pkt, p.hops - p.remaining, p.attempt)
+                                < p_err
+                    };
+                    if !corrupted {
+                        packets[pid].route_lo += 1;
+                        packets[pid].remaining -= 1;
+                        packets[pid].attempt = 0;
+                        // Next router pipeline, then next queue.
+                        let ready = entry(
+                            &mut seq,
+                            finish + config.params.routing_delay,
+                            READY_TAG | pid as u32,
+                        );
+                        heap.replace_top(ready);
+                    } else if p.attempt >= config.fault.arq.max_retries {
+                        // ARQ exhausted: drop the packet, recycle the slot.
+                        heap.pop_top();
+                        free.push(pid as u32);
+                        if p.measured {
+                            dropped_measured += 1;
+                            if delivered_measured + dropped_measured >= config.measured_packets {
+                                break;
+                            }
+                        }
+                    } else {
+                        // Retransmit the same hop after timeout + backoff;
+                        // the retry is a plain `Ready` event in the same
+                        // heap, the attempt counter lives in the slab.
+                        packets[pid].attempt += 1;
+                        retries_total += 1;
+                        link_retries[l] += 1;
+                        let ready = entry(
+                            &mut seq,
+                            finish + config.fault.rto(p.attempt),
+                            READY_TAG | pid as u32,
+                        );
+                        heap.replace_top(ready);
+                    }
                 } else {
                     // Ejection stage; the slot is recycled either way.
                     heap.pop_top();
@@ -441,7 +523,7 @@ impl Engine {
                     if p.measured {
                         stats.push(finish - p.t_inject);
                         delivered_measured += 1;
-                        if delivered_measured >= config.measured_packets {
+                        if delivered_measured + dropped_measured >= config.measured_packets {
                             break;
                         }
                     }
@@ -453,7 +535,10 @@ impl Engine {
             mean_latency: stats.mean(),
             stderr: stats.stderr(),
             delivered: delivered_measured,
-            completed: delivered_measured >= config.measured_packets,
+            dropped: dropped_measured,
+            retries: retries_total,
+            worst_link_retries: link_retries.iter().copied().max().unwrap_or(0),
+            completed: delivered_measured + dropped_measured >= config.measured_packets,
         }
     }
 }

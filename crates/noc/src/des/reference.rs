@@ -17,7 +17,15 @@
 //! per-packet [`route_choice`] the engine does and then re-materializes
 //! the chosen route naively with [`policy_route`], so the `des` module
 //! tests can pin the engine's policy tables bit-for-bit.
+//!
+//! The fault/ARQ path of [`crate::des::fault`] is re-materialized here
+//! in the same naive style: per-hop error probabilities are recomputed
+//! from the config on every transmission (no precomputed per-link
+//! table), retries push fresh heap events, and the corruption decision
+//! shares the engine's pure `(seed, packet, hop, attempt)` hash — so
+//! the bit-identical contract extends to faulty runs.
 
+use super::fault::corrupt_unit;
 use super::{DesConfig, DesResult, ServiceDistribution};
 use crate::routing::{policy_route, route_choice};
 use crate::topology::Topology;
@@ -59,6 +67,8 @@ struct Packet {
     links: Vec<usize>,
     dst_module: usize,
     next_stage: usize,
+    /// ARQ retransmissions already spent on the current hop.
+    attempt: u32,
     measured: bool,
 }
 
@@ -95,6 +105,9 @@ pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
     let mut injected = 0usize;
     let total_tracked = config.warmup_packets + config.measured_packets;
     let mut delivered_measured = 0usize;
+    let mut dropped_measured = 0usize;
+    let mut retries_total = 0u64;
+    let mut link_retries = vec![0u64; topo.num_links()];
     let mut stats = Running::new();
     let mut event_count = 0u64;
 
@@ -116,6 +129,9 @@ pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
                 mean_latency: stats.mean(),
                 stderr: stats.stderr(),
                 delivered: delivered_measured,
+                dropped: dropped_measured,
+                retries: retries_total,
+                worst_link_retries: link_retries.iter().copied().max().unwrap_or(0),
                 completed: false,
             };
         }
@@ -140,6 +156,7 @@ pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
                     links: path.links,
                     dst_module: dst,
                     next_stage: 0,
+                    attempt: 0,
                     measured,
                 });
                 injected += 1;
@@ -152,7 +169,7 @@ pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
                     Event::Ready { packet: pid },
                 );
                 // Keep offering load until measurement finishes.
-                if delivered_measured < config.measured_packets {
+                if delivered_measured + dropped_measured < config.measured_packets {
                     let t_next = now + exp_sample(&mut rng, 1.0 / config.injection_rate);
                     push(&mut heap, &mut events, t_next, Event::Inject { module });
                 }
@@ -166,19 +183,52 @@ pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
                 };
                 let stage = packets[packet].next_stage;
                 if stage < packets[packet].links.len() {
-                    // Inter-router link stage.
+                    // Inter-router link stage. A corrupted transmission
+                    // still occupies the link for the full service time.
                     let l = packets[packet].links[stage];
                     let start = now.max(link_free[l]);
                     let finish = start + svc;
                     link_free[l] = finish;
-                    packets[packet].next_stage += 1;
-                    // Next router pipeline, then next queue.
-                    push(
-                        &mut heap,
-                        &mut events,
-                        finish + config.params.routing_delay,
-                        Event::Ready { packet },
-                    );
+                    // Naive re-derivation of the per-hop error
+                    // probability (the engine precomputes the static
+                    // part per link); the corruption decision is the
+                    // shared pure hash, so no RNG is consumed.
+                    let static_p = config.fault.static_link_p(topo, l, config.seed);
+                    let p_err = config.fault.link_p_at(static_p, l, start, config.seed);
+                    let attempt = packets[packet].attempt;
+                    let corrupted = p_err > 0.0
+                        && corrupt_unit(config.seed, packet as u64, stage as u32, attempt) < p_err;
+                    if !corrupted {
+                        packets[packet].next_stage += 1;
+                        packets[packet].attempt = 0;
+                        // Next router pipeline, then next queue.
+                        push(
+                            &mut heap,
+                            &mut events,
+                            finish + config.params.routing_delay,
+                            Event::Ready { packet },
+                        );
+                    } else if attempt >= config.fault.arq.max_retries {
+                        // ARQ exhausted: the packet is dropped (no
+                        // further event is scheduled for it).
+                        if packets[packet].measured {
+                            dropped_measured += 1;
+                            if delivered_measured + dropped_measured >= config.measured_packets {
+                                break;
+                            }
+                        }
+                    } else {
+                        // Retransmit the same hop after timeout + backoff.
+                        packets[packet].attempt += 1;
+                        retries_total += 1;
+                        link_retries[l] += 1;
+                        push(
+                            &mut heap,
+                            &mut events,
+                            finish + config.fault.rto(attempt),
+                            Event::Ready { packet },
+                        );
+                    }
                 } else {
                     // Ejection stage.
                     let m = packets[packet].dst_module;
@@ -188,7 +238,7 @@ pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
                     if packets[packet].measured {
                         stats.push(finish - packets[packet].t_inject);
                         delivered_measured += 1;
-                        if delivered_measured >= config.measured_packets {
+                        if delivered_measured + dropped_measured >= config.measured_packets {
                             break;
                         }
                     }
@@ -201,6 +251,9 @@ pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
         mean_latency: stats.mean(),
         stderr: stats.stderr(),
         delivered: delivered_measured,
-        completed: delivered_measured >= config.measured_packets,
+        dropped: dropped_measured,
+        retries: retries_total,
+        worst_link_retries: link_retries.iter().copied().max().unwrap_or(0),
+        completed: delivered_measured + dropped_measured >= config.measured_packets,
     }
 }

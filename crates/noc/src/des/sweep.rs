@@ -8,7 +8,7 @@
 //! [`derive_seed`] (stream = flat task index), so the work can be fanned
 //! out across scoped threads in any order and at any thread count while
 //! staying **bit-identical** to the serial path — the same contract
-//! `wi_ldpc::ber::simulate_cc_ber` established for Monte-Carlo BER. The
+//! `wi_ldpc::ber::simulate_ber` keeps for Monte-Carlo BER. The
 //! fan-out uses `std::thread::scope` directly (no `rayon` in the build
 //! environment); each worker owns one reusable [`Engine`], so the only
 //! per-task cost beyond simulation is writing one [`DesResult`] slot.
@@ -72,6 +72,11 @@ pub struct RatePoint {
     pub completed: usize,
     /// Replications attempted.
     pub replications: usize,
+    /// ARQ retransmissions summed over **all** replications at this rate
+    /// (0 with the default inert fault config).
+    pub retries: u64,
+    /// Measured packets dropped, summed over all replications.
+    pub dropped: usize,
 }
 
 /// Outcome of a sweep.
@@ -192,12 +197,16 @@ pub fn sweep_with_threads(topo: &Topology, config: &SweepConfig, threads: usize)
     for (ri, &rate) in config.rates.iter().enumerate() {
         let mut acc = Running::new();
         let mut completed = 0usize;
+        let mut retries = 0u64;
+        let mut dropped = 0usize;
         for rep in 0..reps {
             let r = results[ri * reps + rep].expect("every task ran");
             if r.completed {
                 acc.push(r.mean_latency);
                 completed += 1;
             }
+            retries += r.retries;
+            dropped += r.dropped;
         }
         points.push(RatePoint {
             rate,
@@ -205,6 +214,8 @@ pub fn sweep_with_threads(topo: &Topology, config: &SweepConfig, threads: usize)
             stderr: acc.stderr(),
             completed,
             replications: reps,
+            retries,
+            dropped,
         });
     }
 
@@ -307,6 +318,40 @@ mod tests {
                     routing.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_under_faults() {
+        // Fault injection and ARQ accounting must stay thread-count
+        // invariant: retries/drops are summed in the serial fold.
+        use crate::des::fault::{ArqConfig, FaultConfig};
+        let topo = Topology::mesh2d(4, 4);
+        let cfg = SweepConfig::new(
+            vec![0.05, 0.2, 0.45],
+            3,
+            DesConfig {
+                fault: FaultConfig {
+                    stuck_fraction: 0.1,
+                    stuck_p: 0.4,
+                    arq: ArqConfig {
+                        max_retries: 2,
+                        timeout: 5.0,
+                        backoff: 2.0,
+                    },
+                    ..FaultConfig::uniform(0.05)
+                },
+                ..quick_base(0xFA17)
+            },
+        );
+        let serial = sweep_serial(&topo, &cfg);
+        assert!(
+            serial.points.iter().all(|p| p.retries > 0),
+            "faulty sweep must record retries"
+        );
+        for threads in [2, 8, 64] {
+            let par = sweep_with_threads(&topo, &cfg, threads);
+            assert_eq!(serial, par, "thread count {threads} changed faulty sweep");
         }
     }
 

@@ -13,7 +13,7 @@ use wi_ldpc::kernel::{
     min_sum_scalar, min_sum_unrolled8, sum_product_exact, sum_product_table, PhiTable,
 };
 use wi_ldpc::window::{CoupledCode, WindowDecoder, WindowWorkspace};
-use wi_ldpc::LdpcCode;
+use wi_ldpc::{BatchWorkspace, LdpcCode, WindowBatchWorkspace};
 use wi_noc::analytic::{AnalyticModel, RouterParams};
 use wi_noc::des::{simulate, DesConfig};
 use wi_noc::topology::Topology;
@@ -183,6 +183,39 @@ fn bench_ldpc(c: &mut Criterion) {
         })
     });
 
+    // Inter-frame batched BP: 4 and 8 frames decoded in lockstep through
+    // the lane-array kernels (bit-identical per frame to the scalar
+    // decoder). Divide by the lane count for the per-frame cost the BER
+    // harness actually pays.
+    let frames: Vec<Vec<f64>> = (0..8)
+        .map(|lane| {
+            let mut rng = seeded_rng(100 + lane);
+            let mut gauss = Gaussian::new();
+            let rx: Vec<f64> = (0..code.len())
+                .map(|_| 1.0 + gauss.sample_with(&mut rng, 0.0, sigma))
+                .collect();
+            awgn_llrs(&rx, sigma)
+        })
+        .collect();
+    c.bench_function("bp_decode_minsum_8frames_n200", |b| {
+        b.iter(|| {
+            for llr in &frames {
+                minsum.decode_in_place(&mut ws, black_box(llr));
+            }
+        })
+    });
+    for lanes in [4usize, 8] {
+        let mut bws = BatchWorkspace::new(&code, lanes);
+        c.bench_function(&format!("bp_decode_batch{lanes}_n200"), |b| {
+            b.iter(|| {
+                for (lane, llr) in frames[..lanes].iter().enumerate() {
+                    bws.set_lane_llr(lane, black_box(llr));
+                }
+                minsum.decode_batch(&mut bws);
+            })
+        });
+    }
+
     let cc = CoupledCode::paper_cc(25, 10, 2);
     let rx_cc: Vec<f64> = (0..cc.code().len())
         .map(|_| 1.0 + gauss.sample_with(&mut rng, 0.0, sigma))
@@ -195,6 +228,33 @@ fn bench_ldpc(c: &mut Criterion) {
     let mut wws = WindowWorkspace::new(cc.code());
     c.bench_function("window_decode_workspace_n25_l10", |b| {
         b.iter(|| wd.decode_in_place(&mut wws, black_box(&cc), black_box(&llr_cc)))
+    });
+    // Batched window decoding: 8 frames slide the window in lockstep
+    // (fixed iteration schedule — no masking needed; divide by 8 for the
+    // per-frame cost). Min-sum is the rule the batch path exists to
+    // accelerate, so the scalar/batched pair is measured on it.
+    let wd_ms = WindowDecoder::new(4, 20).with_rule(CheckRule::min_sum());
+    c.bench_function("window_decode_minsum_n25_l10", |b| {
+        b.iter(|| wd_ms.decode_in_place(&mut wws, black_box(&cc), black_box(&llr_cc)))
+    });
+    let cc_frames: Vec<Vec<f64>> = (0..8)
+        .map(|lane| {
+            let mut rng = seeded_rng(200 + lane);
+            let mut gauss = Gaussian::new();
+            let rx: Vec<f64> = (0..cc.code().len())
+                .map(|_| 1.0 + gauss.sample_with(&mut rng, 0.0, sigma))
+                .collect();
+            awgn_llrs(&rx, sigma)
+        })
+        .collect();
+    let mut wbws = WindowBatchWorkspace::new(cc.code(), 8);
+    c.bench_function("window_decode_batch8_n25_l10", |b| {
+        b.iter(|| {
+            for (lane, llr) in cc_frames.iter().enumerate() {
+                wbws.set_lane_llr(lane, black_box(llr));
+            }
+            wd_ms.decode_batch(&mut wbws, &cc);
+        })
     });
 }
 
@@ -215,6 +275,23 @@ fn bench_ber(c: &mut Criterion) {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     c.bench_function("ber_bc_n100_24f_parallel", |b| {
         b.iter(|| simulate_ber_with_threads(&target, 2.5, black_box(&opts), threads))
+    });
+
+    // The whole-probe payoff of inter-frame batching: one fixed-budget
+    // BER evaluation with the scalar (batch-1) target vs the full-width
+    // batched default, min-sum (the rule the batch path accelerates).
+    // Results are bit-identical; the ratio is the BER-harness speedup.
+    let minsum_config = BpConfig {
+        check_rule: CheckRule::min_sum(),
+        ..BpConfig::default()
+    };
+    let scalar_target = BlockBerTarget::new(&code, minsum_config, 0.5).with_batch(1);
+    c.bench_function("ber_eval_scalar_n100_24f", |b| {
+        b.iter(|| simulate_ber_with_threads(&scalar_target, 2.5, black_box(&opts), 1))
+    });
+    let batched_target = BlockBerTarget::new(&code, minsum_config, 0.5).with_batch(8);
+    c.bench_function("ber_eval_batch_vs_scalar", |b| {
+        b.iter(|| simulate_ber_with_threads(&batched_target, 2.5, black_box(&opts), 1))
     });
 }
 

@@ -23,7 +23,7 @@
 //! complete — it exits nonzero otherwise.
 
 use std::time::Instant;
-use wi_bench::{die, fmt, has_flag, help_flag, print_table, rates_flag, reps_flag};
+use wi_bench::{batch_flag, die, fmt, has_flag, help_flag, print_table, rates_flag, reps_flag};
 use wi_ldpc::ber::{BerSimOptions, CoupledBerTarget};
 use wi_ldpc::window::{CoupledCode, WindowDecoder};
 use wi_noc::des::{
@@ -49,6 +49,11 @@ FLAGS:
     --rates <csv>  override the injection-rate grid,
                    e.g. 0.05,0.15,0.25
     --reps <k>     DES replications per rate (default 3)
+    --batch <w>    inter-frame decode batch width for the FER-curve
+                   Monte-Carlo (1, 2, 4 or 8; default 8) -- bit-identical
+                   per frame at every width, a pure throughput knob; only
+                   the full run measures a FER curve, so --quick and
+                   --error ignore it
     --help, -h     print this help
 
 The default run measures one LDPC-CC frame-error curve (~1 min), then
@@ -199,8 +204,9 @@ fn main() {
     // ---- Layer 1: measure the LDPC-CC frame-error curve once. ----
     // The Fig. 10 code family at a moderate Monte-Carlo preset; the curve
     // is the reusable cache every tx-power point interpolates.
+    let batch = batch_flag();
     let code = CoupledCode::paper_cc(25, 20, 0xCC19);
-    let target = CoupledBerTarget::new(&code, WindowDecoder::new(6, 30));
+    let target = CoupledBerTarget::new(&code, WindowDecoder::new(6, 30)).with_batch(batch);
     let opts = BerSimOptions {
         target_errors: u64::MAX, // FER wants fixed frame counts, not a bit-error stop
         max_frames: 120,
@@ -209,7 +215,7 @@ fn main() {
     };
     let grid: Vec<f64> = (0..=6).map(|k| k as f64).collect();
     println!(
-        "measuring LDPC-CC FER curve (N=25, W=6, {} frames/point)…",
+        "measuring LDPC-CC FER curve (N=25, W=6, {} frames/point, batch width {batch})…",
         opts.max_frames
     );
     let curve = FerCurve::measure(&target, &grid, &opts);

@@ -170,6 +170,23 @@ pub fn reps_flag(default: usize) -> usize {
     }
 }
 
+/// The shared `--batch` flag: the inter-frame decode batch width the BER
+/// targets decode in lockstep ([`wi_ldpc::batch::DEFAULT_LANES`] when
+/// absent). Any width produces bit-identical per-frame results. Exits via
+/// [`die`] unless the value parses to one of 1, 2, 4, 8.
+pub fn batch_flag() -> usize {
+    match flag_value("--batch") {
+        Some(s) => match s.parse::<usize>() {
+            Ok(batch) => match wi_ldpc::batch::lanes_problem(batch) {
+                None => batch,
+                Some(problem) => die(&format!("--batch: {problem}")),
+            },
+            Err(_) => die(&format!("--batch takes an integer (1, 2, 4, 8), got {s:?}")),
+        },
+        None => wi_ldpc::batch::DEFAULT_LANES,
+    }
+}
+
 /// Parses a comma-separated list of positive injection rates.
 pub fn parse_rates(s: &str) -> Option<Vec<f64>> {
     let rates: Vec<f64> = s
@@ -262,5 +279,6 @@ mod tests {
         assert_eq!(routing_flag(), None);
         assert_eq!(rates_flag(), None);
         assert_eq!(search_flag(), SearchStrategy::Bisection);
+        assert_eq!(batch_flag(), wi_ldpc::batch::DEFAULT_LANES);
     }
 }

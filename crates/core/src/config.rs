@@ -220,6 +220,10 @@ pub struct CodingConfig {
     /// (bisection ladder, CI-pruned concurrent bisection, or paired
     /// grid), bracket/grid, CI multiplier and frame cap.
     pub search: SearchConfig,
+    /// Inter-frame decode batch width (1, 2, 4 or 8): how many Monte-Carlo
+    /// frames the BER evaluation decodes in lockstep. Bit-identical per
+    /// frame at every width — a pure throughput knob.
+    pub batch: usize,
 }
 
 impl CodingConfig {
@@ -233,6 +237,7 @@ impl CodingConfig {
             iterations: 50,
             check_rule: CheckRule::SumProduct,
             search: SearchConfig::default(),
+            batch: wi_ldpc::batch::DEFAULT_LANES,
         }
     }
 
@@ -296,7 +301,7 @@ impl CodingConfig {
     /// Panics if the check rule or search configuration is invalid.
     pub fn required_ebn0(&self, target_ber: f64, opts: &BerSimOptions) -> SearchReport {
         let code = self.coupled_code();
-        let target = CoupledBerTarget::new(&code, self.window_decoder());
+        let target = CoupledBerTarget::new(&code, self.window_decoder()).with_batch(self.batch);
         search_required_ebn0(&target, target_ber, opts, &self.search)
     }
 }
@@ -373,6 +378,9 @@ impl SystemConfig {
         }
         if let Some(problem) = self.coding.search.problem() {
             problems.push(format!("Eb/N0 search: {problem}"));
+        }
+        if let Some(problem) = wi_ldpc::batch::lanes_problem(self.coding.batch) {
+            problems.push(format!("decode batch: {problem}"));
         }
         if self.noc.replications == 0 {
             problems.push("NoC workload needs at least one replication".into());
@@ -485,6 +493,7 @@ mod tests {
                 tol_db: 1.0,
                 ..SearchConfig::default()
             },
+            batch: 8,
         };
         assert_eq!(coding.coupled_code().lifting(), 10);
         let opts = BerSimOptions {

@@ -246,6 +246,36 @@ mod tests {
     }
 
     #[test]
+    fn fer_curve_is_invariant_under_batch_width() {
+        // The purity contract ("frame f is a function of (seed, f)") made
+        // the FER cache reusable; inter-frame batching must not bend it.
+        // The batch-1 target is the pre-batching scalar path, so equality
+        // here is the byte-identical pre/post-batching regression pin.
+        let code = CoupledCode::paper_cc(10, 8, 0xC051);
+        let decoder = wi_ldpc::window::WindowDecoder::new(3, 8);
+        let opts = BerSimOptions {
+            target_errors: u64::MAX,
+            max_frames: 30,
+            min_frames: 30,
+            seed: 0xC051,
+        };
+        let grid = [0.0, 3.0, 6.0];
+        let scalar = FerCurve::measure(
+            &CoupledBerTarget::new(&code, decoder).with_batch(1),
+            &grid,
+            &opts,
+        );
+        for batch in [2usize, 4, 8] {
+            let batched = FerCurve::measure(
+                &CoupledBerTarget::new(&code, decoder).with_batch(batch),
+                &grid,
+                &opts,
+            );
+            assert_eq!(scalar, batched, "batch width {batch} changed the curve");
+        }
+    }
+
+    #[test]
     fn edge_class_sees_the_weaker_channel() {
         let q = link_class_ebn0(&SystemConfig::paper_default());
         assert!(

@@ -1,0 +1,602 @@
+//! Inter-frame batched decoding: several frames in SIMD lockstep.
+//!
+//! Every Monte-Carlo BER probe decodes thousands of *independent* frames
+//! through the same code, rule and iteration budget. This module decodes
+//! `lanes` of them at once with all message state in structure-of-arrays
+//! layout — `[edge][lane]`, lane = frame — so the lane-array kernels in
+//! [`crate::kernel`] (`min_sum_batch`, `sum_product_table_batch`,
+//! `sum_product_exact_batch`) present LLVM with uniform, branch-free
+//! inner loops over `[f64; L]` that auto-vectorize on stable rust.
+//!
+//! # The bit-identity contract
+//!
+//! Each lane of a batched decode is **bit-identical** to a scalar decode
+//! of that frame ([`BpDecoder::decode_in_place`] /
+//! [`WindowDecoder::decode_in_place`]), under all four `CheckRule`
+//! configurations, pinned by `tests/batch_equivalence.rs`. Two rules make
+//! this hold:
+//!
+//! * **Lane masking** ([`BpDecoder::decode_batch`]): the scalar decoder
+//!   stops at convergence, so lanes stop at different iterations. In the
+//!   flooding schedule everything *after* the check update is a pure
+//!   function of `(channel, c2v)`; a converged lane therefore only needs
+//!   its posterior/hard **writes** masked (a conditional select of the
+//!   old value — never an arithmetic blend, which would rewrite `-0.0`
+//!   to `+0.0`). The check kernels themselves run unmasked: a frozen
+//!   lane's messages keep updating but are never observed again.
+//! * **No masking needed** ([`WindowDecoder::decode_batch`]): the window
+//!   decoder runs a *fixed* iteration count with a lane-independent
+//!   schedule (activation, window sweep, decide-and-pin are structurally
+//!   identical across lanes), so a straight lane-wise transcription of
+//!   the scalar operation sequence is already bit-identical.
+//!
+//! The BER layer ([`crate::ber`]) drives these decoders through
+//! `BerTarget::eval_frames_each` in chunks of the target's batch width
+//! with a scalar ragged tail, so search strategies, thread fan-out and
+//! the co-sim FER cache inherit the speedup with unchanged results.
+
+use crate::code::LdpcCode;
+use crate::decoder::{
+    update_checks_batch, BpDecoder, CheckRule, DecodeStatus, DecoderWorkspace, LLR_CLAMP,
+};
+use crate::kernel::{
+    clamp_batch, gather_clamp_batch, hard_decisions_batch, masked_commit_batch, scatter_add_batch,
+    v2c_update_batch, PhiTable,
+};
+use crate::window::{CoupledCode, WindowDecoder};
+
+/// Largest supported lane count (frames per batch). Lane masks are `u8`
+/// bitmaps, and wider batches would only add register pressure beyond
+/// the widest f64 vector unit in sight.
+pub const MAX_LANES: usize = 8;
+
+/// Default lane count of the batched BER targets: full width — the
+/// bit-identity contract makes the batched path safe to prefer.
+pub const DEFAULT_LANES: usize = 8;
+
+/// Validates a lane count, [`None`] when usable. The batched decoders
+/// are compiled for lane counts 1, 2, 4 and 8 (monomorphized so the
+/// lane loops unroll); anything else is a configuration error.
+pub fn lanes_problem(lanes: usize) -> Option<String> {
+    if matches!(lanes, 1 | 2 | 4 | 8) {
+        None
+    } else {
+        Some(format!("batch width {lanes} is not one of 1, 2, 4, 8"))
+    }
+}
+
+/// Dispatches a runtime lane count to the monomorphized `<const L>`
+/// implementation.
+macro_rules! dispatch_lanes {
+    ($lanes:expr, $func:ident($($args:expr),* $(,)?)) => {
+        match $lanes {
+            1 => $func::<1>($($args),*),
+            2 => $func::<2>($($args),*),
+            4 => $func::<4>($($args),*),
+            8 => $func::<8>($($args),*),
+            other => panic!(
+                "{}",
+                lanes_problem(other).unwrap_or_else(|| "unreachable".into())
+            ),
+        }
+    };
+}
+
+/// Views a flat structure-of-arrays buffer (`len·L` scalars) as
+/// lane-array chunks.
+#[inline]
+fn chunks<const L: usize>(flat: &[f64]) -> &[[f64; L]] {
+    let (c, rest) = flat.as_chunks::<L>();
+    debug_assert!(rest.is_empty(), "SoA buffer not a multiple of the lanes");
+    c
+}
+
+/// Mutable counterpart of [`chunks`].
+#[inline]
+fn chunks_mut<const L: usize>(flat: &mut [f64]) -> &mut [[f64; L]] {
+    let (c, rest) = flat.as_chunks_mut::<L>();
+    debug_assert!(rest.is_empty(), "SoA buffer not a multiple of the lanes");
+    c
+}
+
+/// Reusable structure-of-arrays state for [`BpDecoder::decode_batch`]:
+/// `lanes` frames of LLR/message/posterior state interleaved lane-minor
+/// (`buffer[i·lanes + lane]`), plus per-lane iteration/convergence
+/// results. Construct once and reuse across batches — decoding then
+/// performs no heap allocation.
+#[derive(Clone, Debug, Default)]
+pub struct BatchWorkspace {
+    lanes: usize,
+    n: usize,
+    /// Channel LLRs, `[variable][lane]`.
+    llr: Vec<f64>,
+    /// Variable-to-check messages, `[edge][lane]`.
+    v2c: Vec<f64>,
+    /// Check-to-variable messages, `[edge][lane]`.
+    c2v: Vec<f64>,
+    /// Committed posteriors, `[variable][lane]` — frozen lanes keep the
+    /// value from their convergence iteration.
+    posterior: Vec<f64>,
+    /// Freshly accumulated posteriors before the masked commit (the
+    /// in-place accumulation would otherwise destroy frozen lanes).
+    post_new: Vec<f64>,
+    /// Hard decisions as per-variable lane bitmasks (bit `l` = lane `l`).
+    hard: Vec<u8>,
+    /// Check-kernel scratch, `[degree][lane]`.
+    scratch: Vec<f64>,
+    /// Sum-product forward partial products, `[degree + 1][lane]`.
+    fwd: Vec<f64>,
+    /// φ lookup table (built lazily, only for the table rule).
+    phi: PhiTable,
+    /// Scalar decoder workspace for the straggler bail-out.
+    scalar: DecoderWorkspace,
+    /// One lane's channel LLRs, staged for a scalar straggler decode.
+    lane_llr: Vec<f64>,
+    /// Iterations each lane ran (the scalar decoder's count).
+    iterations: [usize; MAX_LANES],
+    /// Lanes whose final syndrome was zero, as a bitmask.
+    converged: u8,
+}
+
+impl BatchWorkspace {
+    /// Allocates buffers for `lanes` frames of `code`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is unsupported (see [`lanes_problem`]).
+    pub fn new(code: &LdpcCode, lanes: usize) -> Self {
+        let mut ws = BatchWorkspace::default();
+        ws.ensure(code, lanes);
+        ws
+    }
+
+    /// Resizes the buffers for `code` and `lanes` (no-op when already
+    /// sized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is unsupported (see [`lanes_problem`]).
+    pub fn ensure(&mut self, code: &LdpcCode, lanes: usize) {
+        if let Some(problem) = lanes_problem(lanes) {
+            panic!("{problem}");
+        }
+        let e = code.num_edges();
+        let n = code.len();
+        let d = code.max_check_degree();
+        self.lanes = lanes;
+        self.n = n;
+        self.llr.resize(n * lanes, 0.0);
+        self.v2c.resize(e * lanes, 0.0);
+        self.c2v.resize(e * lanes, 0.0);
+        self.posterior.resize(n * lanes, 0.0);
+        self.post_new.resize(n * lanes, 0.0);
+        self.hard.resize(n, 0);
+        self.scratch.resize(d * lanes, 0.0);
+        self.fwd.resize((d + 1) * lanes, 1.0);
+        self.scalar.ensure(code);
+        self.lane_llr.resize(n, 0.0);
+    }
+
+    /// The lane count the workspace is sized for.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Loads one frame's channel LLRs into `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or `llr` does not match the code
+    /// length the workspace was sized for.
+    pub fn set_lane_llr(&mut self, lane: usize, llr: &[f64]) {
+        assert!(lane < self.lanes, "lane {lane} of {}", self.lanes);
+        assert_eq!(llr.len(), self.n, "LLR length mismatch");
+        for (i, &l) in llr.iter().enumerate() {
+            self.llr[i * self.lanes + lane] = l;
+        }
+    }
+
+    /// Hard decision for variable `v` on `lane` (true = bit 1).
+    pub fn hard_bit(&self, v: usize, lane: usize) -> bool {
+        assert!(lane < self.lanes, "lane {lane} of {}", self.lanes);
+        (self.hard[v] >> lane) & 1 == 1
+    }
+
+    /// Number of one-bits in `lane`'s hard decisions — the frame's bit
+    /// errors under the all-zero-codeword convention of [`crate::ber`].
+    pub fn lane_error_count(&self, lane: usize) -> u64 {
+        assert!(lane < self.lanes, "lane {lane} of {}", self.lanes);
+        self.hard
+            .iter()
+            .map(|&bits| u64::from((bits >> lane) & 1))
+            .sum()
+    }
+
+    /// Posterior LLR for variable `v` on `lane`.
+    pub fn posterior_at(&self, v: usize, lane: usize) -> f64 {
+        assert!(lane < self.lanes, "lane {lane} of {}", self.lanes);
+        self.posterior[v * self.lanes + lane]
+    }
+
+    /// Iteration count and convergence flag of `lane`'s decode — exactly
+    /// what the scalar decoder would have returned for that frame.
+    pub fn status(&self, lane: usize) -> DecodeStatus {
+        assert!(lane < self.lanes, "lane {lane} of {}", self.lanes);
+        DecodeStatus {
+            iterations: self.iterations[lane],
+            converged: (self.converged >> lane) & 1 == 1,
+        }
+    }
+}
+
+impl BpDecoder<'_> {
+    /// Decodes the `ws.lanes()` frames previously loaded with
+    /// [`BatchWorkspace::set_lane_llr`] in SIMD lockstep — zero heap
+    /// allocation once the workspace is sized. Each lane's
+    /// posterior/hard/status is bit-identical to
+    /// [`decode_in_place`](BpDecoder::decode_in_place) on that lane's
+    /// LLRs: converged lanes freeze at exactly the iteration the scalar
+    /// decoder would stop (see the module docs for the masking rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace was sized for a different code length.
+    pub fn decode_batch(&self, ws: &mut BatchWorkspace) {
+        let code = self.code();
+        assert_eq!(ws.n, code.len(), "workspace sized for a different code");
+        let lanes = ws.lanes;
+        ws.ensure(code, lanes);
+        if let CheckRule::SumProductTable { bits } = self.config().check_rule {
+            ws.phi.ensure(bits);
+        }
+        dispatch_lanes!(lanes, bp_decode_batch_impl(self, ws));
+    }
+}
+
+/// Per-lane unsatisfied-check bitmask of the current hard decisions: an
+/// integer-only pass over the checks (byte XOR fold of the per-variable
+/// lane bitmasks).
+fn syndrome_batch(offsets: &[u32], edge_var: &[u32], n_checks: usize, hard: &[u8]) -> u8 {
+    let mut unsat = 0u8;
+    for c in 0..n_checks {
+        let lo = offsets[c] as usize;
+        let hi = offsets[c + 1] as usize;
+        let mut parity = 0u8;
+        for &v in &edge_var[lo..hi] {
+            parity ^= hard[v as usize];
+        }
+        unsat |= parity;
+    }
+    unsat
+}
+
+/// Monomorphized batched BP decode: the scalar
+/// [`BpDecoder::decode_in_place`] operation sequence per lane, with
+/// per-lane convergence masking on the posterior/hard commits.
+fn bp_decode_batch_impl<const L: usize>(decoder: &BpDecoder<'_>, ws: &mut BatchWorkspace) {
+    let code = decoder.code();
+    let config = decoder.config();
+    let n_checks = code.num_checks();
+    let offsets = code.check_edge_offsets();
+    let edge_var = code.edge_vars();
+
+    let llr = chunks::<L>(&ws.llr);
+    let v2c = chunks_mut::<L>(&mut ws.v2c);
+    let c2v = chunks_mut::<L>(&mut ws.c2v);
+    let posterior = chunks_mut::<L>(&mut ws.posterior);
+    let post_new = chunks_mut::<L>(&mut ws.post_new);
+    let hard = &mut ws.hard[..];
+    let scratch = chunks_mut::<L>(&mut ws.scratch);
+    let fwd = chunks_mut::<L>(&mut ws.fwd);
+
+    // v2c from the clamped channel; posterior/hard from the raw channel —
+    // the scalar decoder's exact initialization.
+    gather_clamp_batch(edge_var, llr, v2c);
+    posterior.copy_from_slice(llr);
+    hard_decisions_batch(posterior, hard);
+
+    let lane_mask: u8 = if L == 8 { 0xFF } else { (1u8 << L) - 1 };
+    // Per-lane unsatisfied-check mask of the *current* hard decisions;
+    // a lane leaves `active` the moment its syndrome clears and its
+    // posterior/hard never move again — exactly where the scalar decoder
+    // stops that frame.
+    let mut unsat = syndrome_batch(offsets, edge_var, n_checks, hard) & lane_mask;
+    let mut active = unsat;
+    ws.iterations = [0; MAX_LANES];
+
+    // Straggler bail-out: once fewer than a third of the lanes are still
+    // active, every full-width iteration wastes most of the vector work
+    // (the batch otherwise runs to the max-over-lanes iteration count).
+    // Those lanes finish with a from-scratch scalar decode below, which
+    // *is* the bit-identity reference by definition. The one-third cut
+    // was tuned on the BER-eval benchmark at a straggler-heavy operating
+    // point; bailing at half keeps too many near-converged lanes scalar.
+    let mut bailed = 0u8;
+    let mut it = 0;
+    while it < config.max_iterations && active != 0 {
+        if L > 1 && (active.count_ones() as usize) * 3 < L {
+            bailed = active;
+            break;
+        }
+        it += 1;
+        for (lane, count) in ws.iterations.iter_mut().enumerate().take(L) {
+            if (active >> lane) & 1 == 1 {
+                *count = it;
+            }
+        }
+
+        // Check update runs unmasked: frozen lanes' messages drift but
+        // are never observed (posterior/hard below select the old value).
+        update_checks_batch::<L>(
+            offsets,
+            0,
+            n_checks,
+            config.check_rule,
+            &ws.phi,
+            v2c,
+            c2v,
+            scratch,
+            fwd,
+        );
+
+        // Posterior accumulation into the scratch buffer (the in-place
+        // variant would destroy frozen lanes before the masked commit),
+        // then the masked commit and the variable-to-check update. The
+        // scalar decoder fuses the v2c update with the syndrome fold;
+        // here the syndrome is a separate integer-only pass — same
+        // values, and the split loops vectorize. Frozen lanes write
+        // drifted v2c (never observed) but contribute their *frozen*
+        // parity, so a converged lane stays converged.
+        clamp_batch(llr, post_new);
+        scatter_add_batch(edge_var, c2v, post_new);
+        masked_commit_batch(active, post_new, posterior, hard);
+        v2c_update_batch(edge_var, posterior, c2v, v2c);
+        unsat = syndrome_batch(offsets, edge_var, n_checks, hard) & lane_mask;
+        active &= unsat;
+    }
+    ws.converged = lane_mask & !unsat;
+
+    for lane in 0..L {
+        if (bailed >> lane) & 1 == 0 {
+            continue;
+        }
+        for (i, ch) in llr.iter().enumerate() {
+            ws.lane_llr[i] = ch[lane];
+        }
+        ws.scalar.ensure_rule(config.check_rule);
+        let status = decoder.decode_in_place(&mut ws.scalar, &ws.lane_llr);
+        for ((p, h), (&sp, &sh)) in posterior
+            .iter_mut()
+            .zip(hard.iter_mut())
+            .zip(ws.scalar.posterior().iter().zip(ws.scalar.hard()))
+        {
+            p[lane] = sp;
+            *h = (*h & !(1 << lane)) | (u8::from(sh) << lane);
+        }
+        ws.iterations[lane] = status.iterations;
+        ws.converged = (ws.converged & !(1 << lane)) | (u8::from(status.converged) << lane);
+    }
+}
+
+/// Reusable structure-of-arrays state for
+/// [`WindowDecoder::decode_batch`]: the lane-batched counterpart of
+/// [`crate::window::WindowWorkspace`]. The per-check activation flags
+/// are shared across lanes — the window schedule is lane-independent.
+#[derive(Clone, Debug, Default)]
+pub struct WindowBatchWorkspace {
+    lanes: usize,
+    n: usize,
+    /// Working LLRs (`[variable][lane]`): channel values loaded via
+    /// [`set_lane_llr`](Self::set_lane_llr), with decided blocks
+    /// overwritten by saturated pins during the decode.
+    llr: Vec<f64>,
+    /// Variable-to-check messages, `[edge][lane]`.
+    v2c: Vec<f64>,
+    /// Check-to-variable messages, `[edge][lane]`.
+    c2v: Vec<f64>,
+    /// Whether each check holds valid persisted messages (lane-shared).
+    active: Vec<bool>,
+    /// Posterior per variable, `[variable][lane]`.
+    posterior: Vec<f64>,
+    /// Hard decisions as per-variable lane bitmasks.
+    hard: Vec<u8>,
+    /// Check-kernel scratch, `[degree][lane]`.
+    scratch: Vec<f64>,
+    /// Sum-product forward partial products, `[degree + 1][lane]`.
+    fwd: Vec<f64>,
+    /// φ lookup table (built lazily, only for the table rule).
+    phi: PhiTable,
+}
+
+impl WindowBatchWorkspace {
+    /// Allocates buffers for `lanes` frames of `code`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is unsupported (see [`lanes_problem`]).
+    pub fn new(code: &LdpcCode, lanes: usize) -> Self {
+        let mut ws = WindowBatchWorkspace::default();
+        ws.ensure(code, lanes);
+        ws
+    }
+
+    /// Resizes the buffers for `code` and `lanes` (no-op when already
+    /// sized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is unsupported (see [`lanes_problem`]).
+    pub fn ensure(&mut self, code: &LdpcCode, lanes: usize) {
+        if let Some(problem) = lanes_problem(lanes) {
+            panic!("{problem}");
+        }
+        let e = code.num_edges();
+        let n = code.len();
+        let d = code.max_check_degree();
+        self.lanes = lanes;
+        self.n = n;
+        self.llr.resize(n * lanes, 0.0);
+        self.v2c.resize(e * lanes, 0.0);
+        self.c2v.resize(e * lanes, 0.0);
+        self.active.resize(code.num_checks(), false);
+        self.posterior.resize(n * lanes, 0.0);
+        self.hard.resize(n, 0);
+        self.scratch.resize(d * lanes, 0.0);
+        self.fwd.resize((d + 1) * lanes, 1.0);
+    }
+
+    /// The lane count the workspace is sized for.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Loads one frame's channel LLRs into `lane`. Reload every lane
+    /// before each decode — the decode pins decided blocks in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or `llr` does not match the code
+    /// length the workspace was sized for.
+    pub fn set_lane_llr(&mut self, lane: usize, llr: &[f64]) {
+        assert!(lane < self.lanes, "lane {lane} of {}", self.lanes);
+        assert_eq!(llr.len(), self.n, "LLR length mismatch");
+        for (i, &l) in llr.iter().enumerate() {
+            self.llr[i * self.lanes + lane] = l;
+        }
+    }
+
+    /// Hard decision for variable `v` on `lane` (true = bit 1).
+    pub fn hard_bit(&self, v: usize, lane: usize) -> bool {
+        assert!(lane < self.lanes, "lane {lane} of {}", self.lanes);
+        (self.hard[v] >> lane) & 1 == 1
+    }
+
+    /// Number of one-bits in `lane`'s hard decisions — the frame's bit
+    /// errors under the all-zero-codeword convention of [`crate::ber`].
+    pub fn lane_error_count(&self, lane: usize) -> u64 {
+        assert!(lane < self.lanes, "lane {lane} of {}", self.lanes);
+        self.hard
+            .iter()
+            .map(|&bits| u64::from((bits >> lane) & 1))
+            .sum()
+    }
+}
+
+impl WindowDecoder {
+    /// Window-decodes the `ws.lanes()` frames previously loaded with
+    /// [`WindowBatchWorkspace::set_lane_llr`] in SIMD lockstep. The
+    /// window decoder's fixed iteration count and lane-independent
+    /// schedule need no convergence masking: each lane's decisions are
+    /// bit-identical to
+    /// [`decode_in_place`](WindowDecoder::decode_in_place) on that
+    /// lane's LLRs.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`decode`](WindowDecoder::decode) does, and if the
+    /// workspace was sized for a different code length.
+    pub fn decode_batch(&self, ws: &mut WindowBatchWorkspace, code: &CoupledCode) {
+        let n = code.code().len();
+        assert_eq!(ws.n, n, "workspace sized for a different code");
+        self.check_rule.validate();
+        let mcc = code.memory();
+        assert!(
+            self.window > mcc,
+            "window {} must exceed the coupling memory {mcc}",
+            self.window
+        );
+        let lanes = ws.lanes;
+        ws.ensure(code.code(), lanes);
+        if let CheckRule::SumProductTable { bits } = self.check_rule {
+            ws.phi.ensure(bits);
+        }
+        dispatch_lanes!(lanes, window_decode_batch_impl(self, code, ws));
+    }
+}
+
+/// Monomorphized batched window decode: the scalar
+/// [`WindowDecoder::decode_in_place`] operation sequence per lane.
+fn window_decode_batch_impl<const L: usize>(
+    decoder: &WindowDecoder,
+    code: &CoupledCode,
+    ws: &mut WindowBatchWorkspace,
+) {
+    let mcc = code.memory();
+    let l = code.num_blocks();
+    let block_checks = code.block_checks();
+    let offsets = code.code().check_edge_offsets();
+    let edge_var = code.code().edge_vars();
+
+    let llr = chunks_mut::<L>(&mut ws.llr);
+    let v2c = chunks_mut::<L>(&mut ws.v2c);
+    let c2v = chunks_mut::<L>(&mut ws.c2v);
+    let posterior = chunks_mut::<L>(&mut ws.posterior);
+    let active = &mut ws.active[..];
+    let hard = &mut ws.hard[..];
+    let scratch = chunks_mut::<L>(&mut ws.scratch);
+    let fwd = chunks_mut::<L>(&mut ws.fwd);
+
+    hard.fill(0);
+    active.fill(false);
+
+    for t in 0..l {
+        let check_lo = t * block_checks;
+        let check_hi = ((t + decoder.window).min(l + mcc)) * block_checks;
+        if !decoder.reuse_messages {
+            active[check_lo..check_hi].fill(false);
+        }
+
+        // Activate newly entered checks: v2c from the current working
+        // LLRs, c2v cleared.
+        for c in check_lo..check_hi {
+            if !active[c] {
+                active[c] = true;
+                let lo = offsets[c] as usize;
+                let hi = offsets[c + 1] as usize;
+                gather_clamp_batch(&edge_var[lo..hi], llr, &mut v2c[lo..hi]);
+                c2v[lo..hi].fill([0.0; L]);
+            }
+        }
+        let edge_lo = offsets[check_lo] as usize;
+        let edge_hi = offsets[check_hi] as usize;
+
+        posterior.copy_from_slice(llr);
+        for _ in 0..decoder.iterations {
+            update_checks_batch::<L>(
+                offsets,
+                check_lo,
+                check_hi,
+                decoder.check_rule,
+                &ws.phi,
+                v2c,
+                c2v,
+                scratch,
+                fwd,
+            );
+            posterior.copy_from_slice(llr);
+            scatter_add_batch(
+                &edge_var[edge_lo..edge_hi],
+                &c2v[edge_lo..edge_hi],
+                posterior,
+            );
+            v2c_update_batch(
+                &edge_var[edge_lo..edge_hi],
+                posterior,
+                &c2v[edge_lo..edge_hi],
+                &mut v2c[edge_lo..edge_hi],
+            );
+        }
+
+        // Decide and pin the target block only.
+        for v in code.block_range(t) {
+            let p = &posterior[v];
+            let mut bits = 0u8;
+            for lane in 0..L {
+                let b = p[lane] < 0.0;
+                bits |= u8::from(b) << lane;
+                llr[v][lane] = if b { -LLR_CLAMP } else { LLR_CLAMP };
+            }
+            hard[v] = bits;
+        }
+    }
+}

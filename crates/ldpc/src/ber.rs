@@ -65,6 +65,7 @@
 //! deterministic and thread-count invariant, but not bit-comparable to
 //! the ladder. `docs/ARCHITECTURE.md` tabulates the contract per path.
 
+use crate::batch::{lanes_problem, BatchWorkspace, WindowBatchWorkspace, DEFAULT_LANES, MAX_LANES};
 use crate::code::LdpcCode;
 use crate::decoder::{BpConfig, BpDecoder, DecoderWorkspace};
 use crate::window::{CoupledCode, WindowDecoder, WindowWorkspace};
@@ -291,6 +292,66 @@ pub trait BerTarget: Sync {
         seed: u64,
         frames: Range<u64>,
     ) -> FrameStats;
+
+    /// Widest frame batch [`eval_frames_each`](BerTarget::eval_frames_each)
+    /// decodes in lockstep (1 = scalar only).
+    ///
+    /// The Monte-Carlo driver sizes its per-worker chunks by this so
+    /// batched targets see full-width batches; the value is advisory —
+    /// `eval_frames_each` must accept any slice length.
+    fn batch_width(&self) -> usize {
+        1
+    }
+
+    /// Simulates `out.len()` consecutive frames starting at `first`,
+    /// writing frame `first + i`'s counts into `out[i]`.
+    ///
+    /// This is the per-frame-resolution twin of
+    /// [`eval_frames`](BerTarget::eval_frames): the driver needs each
+    /// frame's stats in its own slot so the serial in-order stop fold
+    /// stays exact, while batched targets need to see many frames at once
+    /// to fill their lanes. Each frame must still be the pure function of
+    /// `(seed, frame)` the trait contract demands, regardless of how the
+    /// driver groups frames into calls.
+    fn eval_frames_each(
+        &self,
+        ws: &mut BerWorkspace,
+        ebn0_db: f64,
+        seed: u64,
+        first: u64,
+        out: &mut [FrameStats],
+    ) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let frame = first + i as u64;
+            *slot = self.eval_frames(ws, ebn0_db, seed, frame..frame + 1);
+        }
+    }
+}
+
+/// Folds [`BerTarget::eval_frames_each`] over `frames` in batch-width
+/// chunks without heap allocation — the shared `eval_frames`
+/// implementation of the batched targets.
+fn fold_frames_each<T: BerTarget + ?Sized>(
+    target: &T,
+    ws: &mut BerWorkspace,
+    ebn0_db: f64,
+    seed: u64,
+    frames: Range<u64>,
+) -> FrameStats {
+    let width = target.batch_width().clamp(1, MAX_LANES);
+    let mut slots = [FrameStats::default(); MAX_LANES];
+    let mut stats = FrameStats::default();
+    let mut first = frames.start;
+    while first < frames.end {
+        let len = ((frames.end - first) as usize).min(width);
+        let out = &mut slots[..len];
+        target.eval_frames_each(ws, ebn0_db, seed, first, out);
+        for s in out.iter() {
+            stats.merge(s);
+        }
+        first += len as u64;
+    }
+    stats
 }
 
 /// [`BerTarget`] for a BP-decoded LDPC block code over AWGN/BPSK.
@@ -299,10 +360,15 @@ pub struct BlockBerTarget<'a> {
     code: &'a LdpcCode,
     config: BpConfig,
     rate: f64,
+    batch: usize,
 }
 
 impl<'a> BlockBerTarget<'a> {
     /// Creates a block-code target decoding with `config` at code `rate`.
+    ///
+    /// Full-width batches of [`batch::DEFAULT_LANES`](crate::batch)
+    /// frames are decoded in lockstep by default — bit-identical per
+    /// frame to the scalar decoder; see [`with_batch`](Self::with_batch).
     ///
     /// # Panics
     ///
@@ -310,13 +376,36 @@ impl<'a> BlockBerTarget<'a> {
     pub fn new(code: &'a LdpcCode, config: BpConfig, rate: f64) -> Self {
         assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
         config.check_rule.validate();
-        BlockBerTarget { code, config, rate }
+        BlockBerTarget {
+            code,
+            config,
+            rate,
+            batch: DEFAULT_LANES,
+        }
+    }
+
+    /// Sets the inter-frame batch width (1 = scalar decoding only).
+    ///
+    /// Any width produces bit-identical per-frame results; the knob only
+    /// trades vector-lane utilization against per-frame latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is not one of 1, 2, 4, 8.
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        if let Some(problem) = lanes_problem(batch) {
+            panic!("{problem}");
+        }
+        self.batch = batch;
+        self
     }
 }
 
 /// Concrete scratch a [`BlockBerTarget`] keeps inside a [`BerWorkspace`].
 struct BlockState {
     ws: DecoderWorkspace,
+    batch: BatchWorkspace,
     llr: Vec<f64>,
 }
 
@@ -336,23 +425,60 @@ impl BerTarget for BlockBerTarget<'_> {
         seed: u64,
         frames: Range<u64>,
     ) -> FrameStats {
+        fold_frames_each(self, ws, ebn0_db, seed, frames)
+    }
+
+    fn batch_width(&self) -> usize {
+        self.batch
+    }
+
+    fn eval_frames_each(
+        &self,
+        ws: &mut BerWorkspace,
+        ebn0_db: f64,
+        seed: u64,
+        first: u64,
+        out: &mut [FrameStats],
+    ) {
         let sigma = ebn0_db_to_sigma(ebn0_db, self.rate);
         let n = self.code.len();
+        let lanes = self.batch;
         let decoder = BpDecoder::new(self.code, self.config);
         let state = ws.state(|| BlockState {
             ws: DecoderWorkspace::new(self.code),
+            batch: BatchWorkspace::new(self.code, lanes),
             llr: vec![0.0; n],
         });
         state.ws.ensure(self.code);
         state.llr.resize(n, 0.0);
-        let mut stats = FrameStats::default();
-        for frame in frames {
-            fill_frame_llrs(&mut state.llr, sigma, seed, frame);
+        // Full-width batches decode in lockstep; the ragged tail (and the
+        // whole slice when `batch` is 1) takes the scalar decoder. Both
+        // paths are bit-identical per frame, so the split is invisible.
+        let mut i = 0;
+        if lanes > 1 && out.len() >= lanes {
+            state.batch.ensure(self.code, lanes);
+            while out.len() - i >= lanes {
+                for lane in 0..lanes {
+                    fill_frame_llrs(&mut state.llr, sigma, seed, first + (i + lane) as u64);
+                    state.batch.set_lane_llr(lane, &state.llr);
+                }
+                decoder.decode_batch(&mut state.batch);
+                for lane in 0..lanes {
+                    let mut stats = FrameStats::default();
+                    stats.push_frame(n as u64, state.batch.lane_error_count(lane));
+                    out[i + lane] = stats;
+                }
+                i += lanes;
+            }
+        }
+        for (j, slot) in out.iter_mut().enumerate().skip(i) {
+            fill_frame_llrs(&mut state.llr, sigma, seed, first + j as u64);
             decoder.decode_in_place(&mut state.ws, &state.llr);
             let errors = state.ws.hard().iter().filter(|&&b| b).count() as u64;
+            let mut stats = FrameStats::default();
             stats.push_frame(n as u64, errors);
+            *slot = stats;
         }
-        stats
     }
 }
 
@@ -365,17 +491,44 @@ impl BerTarget for BlockBerTarget<'_> {
 pub struct CoupledBerTarget<'a> {
     code: &'a CoupledCode,
     decoder: WindowDecoder,
+    batch: usize,
 }
 
 impl<'a> CoupledBerTarget<'a> {
     /// Creates a coupled-code target window-decoded by `decoder`.
+    ///
+    /// Full-width batches of [`batch::DEFAULT_LANES`](crate::batch)
+    /// frames are window-decoded in lockstep by default — bit-identical
+    /// per frame to the scalar window decoder; see
+    /// [`with_batch`](Self::with_batch).
     ///
     /// # Panics
     ///
     /// Panics if the decoder's check rule is invalid.
     pub fn new(code: &'a CoupledCode, decoder: WindowDecoder) -> Self {
         decoder.check_rule.validate();
-        CoupledBerTarget { code, decoder }
+        CoupledBerTarget {
+            code,
+            decoder,
+            batch: DEFAULT_LANES,
+        }
+    }
+
+    /// Sets the inter-frame batch width (1 = scalar decoding only).
+    ///
+    /// Any width produces bit-identical per-frame results; the knob only
+    /// trades vector-lane utilization against per-frame latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is not one of 1, 2, 4, 8.
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        if let Some(problem) = lanes_problem(batch) {
+            panic!("{problem}");
+        }
+        self.batch = batch;
+        self
     }
 }
 
@@ -383,6 +536,7 @@ impl<'a> CoupledBerTarget<'a> {
 /// [`BerWorkspace`].
 struct CoupledState {
     ws: WindowWorkspace,
+    batch: WindowBatchWorkspace,
     llr: Vec<f64>,
 }
 
@@ -402,23 +556,61 @@ impl BerTarget for CoupledBerTarget<'_> {
         seed: u64,
         frames: Range<u64>,
     ) -> FrameStats {
+        fold_frames_each(self, ws, ebn0_db, seed, frames)
+    }
+
+    fn batch_width(&self) -> usize {
+        self.batch
+    }
+
+    fn eval_frames_each(
+        &self,
+        ws: &mut BerWorkspace,
+        ebn0_db: f64,
+        seed: u64,
+        first: u64,
+        out: &mut [FrameStats],
+    ) {
         let sigma = ebn0_db_to_sigma(ebn0_db, self.code.design_rate());
         let n = self.code.code().len();
+        let lanes = self.batch;
         let state = ws.state(|| CoupledState {
             ws: WindowWorkspace::new(self.code.code()),
+            batch: WindowBatchWorkspace::new(self.code.code(), lanes),
             llr: vec![0.0; n],
         });
         state.ws.ensure(self.code.code());
         state.llr.resize(n, 0.0);
-        let mut stats = FrameStats::default();
-        for frame in frames {
-            fill_frame_llrs(&mut state.llr, sigma, seed, frame);
+        // Full-width batches slide the window over all lanes in lockstep
+        // (the decode pins target blocks in the workspace's LLRs, so every
+        // lane is reloaded before each batch); the ragged tail takes the
+        // scalar window decoder. Both paths are bit-identical per frame.
+        let mut i = 0;
+        if lanes > 1 && out.len() >= lanes {
+            state.batch.ensure(self.code.code(), lanes);
+            while out.len() - i >= lanes {
+                for lane in 0..lanes {
+                    fill_frame_llrs(&mut state.llr, sigma, seed, first + (i + lane) as u64);
+                    state.batch.set_lane_llr(lane, &state.llr);
+                }
+                self.decoder.decode_batch(&mut state.batch, self.code);
+                for lane in 0..lanes {
+                    let mut stats = FrameStats::default();
+                    stats.push_frame(n as u64, state.batch.lane_error_count(lane));
+                    out[i + lane] = stats;
+                }
+                i += lanes;
+            }
+        }
+        for (j, slot) in out.iter_mut().enumerate().skip(i) {
+            fill_frame_llrs(&mut state.llr, sigma, seed, first + j as u64);
             self.decoder
                 .decode_in_place(&mut state.ws, self.code, &state.llr);
             let errors = state.ws.hard().iter().filter(|&&b| b).count() as u64;
+            let mut stats = FrameStats::default();
             stats.push_frame(n as u64, errors);
+            *slot = stats;
         }
-        stats
     }
 }
 
@@ -500,16 +692,31 @@ fn run_target(
 ) -> BerEstimate {
     let mut fold = FrameStats::default();
     let max_frames = budget.max_frames;
+    let width = target.batch_width().clamp(1, MAX_LANES);
 
     // More workers than the simulation can ever have frames is pure
     // workspace-allocation waste.
     let threads = threads.min(max_frames.max(1).try_into().unwrap_or(usize::MAX));
 
     if threads <= 1 {
+        // One batch of frames per round, folded in frame order with the
+        // stop rules checked after every frame — frames speculatively
+        // decoded past the stopping point are discarded uncounted,
+        // exactly like the parallel path below, so batching cannot move
+        // any stopping decision.
         let mut ws = BerWorkspace::new();
-        while keep_going(&fold, &budget, extra_stop) {
-            let frame = fold.frames;
-            fold.merge(&target.eval_frames(&mut ws, ebn0_db, seed, frame..frame + 1));
+        let mut slots = [FrameStats::default(); MAX_LANES];
+        'serial: while keep_going(&fold, &budget, extra_stop) {
+            let first = fold.frames;
+            let len = (max_frames - first).min(width as u64) as usize;
+            let out = &mut slots[..len];
+            target.eval_frames_each(&mut ws, ebn0_db, seed, first, out);
+            for frame_stats in out.iter() {
+                fold.merge(frame_stats);
+                if !keep_going(&fold, &budget, extra_stop) {
+                    break 'serial;
+                }
+            }
         }
         return BerEstimate::from_stats(fold);
     }
@@ -534,9 +741,20 @@ fn run_target(
             {
                 let first = base + (w * per_worker) as u64;
                 scope.spawn(move || {
-                    for (i, slot) in slice.iter_mut().enumerate() {
-                        let frame = first + i as u64;
-                        *slot = target.eval_frames(ws, ebn0_db, seed, frame..frame + 1);
+                    // Each worker walks its slice in batch-width chunks;
+                    // per-frame purity makes the grouping invisible in
+                    // the results.
+                    let mut i = 0;
+                    while i < slice.len() {
+                        let len = (slice.len() - i).min(width);
+                        target.eval_frames_each(
+                            ws,
+                            ebn0_db,
+                            seed,
+                            first + i as u64,
+                            &mut slice[i..i + len],
+                        );
+                        i += len;
                     }
                 });
             }

@@ -245,6 +245,35 @@ pub(crate) fn update_checks(
     }
 }
 
+/// Lane-array counterpart of [`update_checks`] for the inter-frame
+/// batched decoders (`crate::batch`): same per-rule dispatch, with
+/// messages in `[edge][lane]` structure-of-arrays layout. Each lane is
+/// bit-identical to [`update_checks`] on that lane's messages.
+#[allow(clippy::too_many_arguments)] // flat kernel: every slice is a distinct buffer
+pub(crate) fn update_checks_batch<const L: usize>(
+    offsets: &[u32],
+    check_lo: usize,
+    check_hi: usize,
+    rule: CheckRule,
+    phi: &PhiTable,
+    v2c: &[[f64; L]],
+    c2v: &mut [[f64; L]],
+    scratch: &mut [[f64; L]],
+    fwd: &mut [[f64; L]],
+) {
+    match rule {
+        CheckRule::SumProduct => {
+            kernel::sum_product_exact_batch(offsets, check_lo, check_hi, v2c, c2v, scratch, fwd);
+        }
+        CheckRule::SumProductTable { .. } => {
+            kernel::sum_product_table_batch(offsets, check_lo, check_hi, phi, v2c, c2v, scratch);
+        }
+        CheckRule::MinSum { alpha } => {
+            kernel::min_sum_batch(offsets, check_lo, check_hi, alpha, v2c, c2v);
+        }
+    }
+}
+
 /// A belief-propagation decoder bound to a code.
 #[derive(Clone, Debug)]
 pub struct BpDecoder<'a> {
@@ -267,6 +296,11 @@ impl<'a> BpDecoder<'a> {
     /// The configuration in use.
     pub fn config(&self) -> BpConfig {
         self.config
+    }
+
+    /// The code the decoder is bound to.
+    pub fn code(&self) -> &'a LdpcCode {
+        self.code
     }
 
     /// Decodes channel LLRs (positive favours bit 0), allocating a fresh

@@ -558,6 +558,307 @@ fn min_sum_check8_slices(alpha: f64, m: &[f64], out: &mut [f64]) {
     min_sum_check8(alpha, m, out);
 }
 
+// ---------------------------------------------------------------------
+// Inter-frame batched (lane-array) kernels.
+//
+// Each kernel below is the lane-wise generalization of its scalar
+// counterpart: messages live in structure-of-arrays layout `[edge][lane]`
+// (lane = frame), and every lane executes exactly the scalar kernel's
+// operation sequence, so each lane's output is bit-identical to a scalar
+// decode of that frame. The inner `for lane in 0..L` loops are written
+// branch-free (conditional *selects*, never arithmetic blends — a blend
+// like `m·new + (1−m)·old` would turn `-0.0` into `+0.0` and break
+// bit-identity) so stable-rust LLVM auto-vectorizes them over `[f64; L]`.
+
+/// Lane-array normalized min-sum over checks `check_lo..check_hi`:
+/// the batched counterpart of [`min_sum`], with `v2c`/`c2v` in
+/// `[edge][lane]` structure-of-arrays layout. Degree-8 checks take a
+/// fixed-trip-count fast path (the lane generalization of
+/// [`min_sum_unrolled8`]); every lane is bit-identical to
+/// [`min_sum_scalar`] on that lane's messages.
+pub fn min_sum_batch<const L: usize>(
+    offsets: &[u32],
+    check_lo: usize,
+    check_hi: usize,
+    alpha: f64,
+    v2c: &[[f64; L]],
+    c2v: &mut [[f64; L]],
+) {
+    for c in check_lo..check_hi {
+        let lo = offsets[c] as usize;
+        let hi = offsets[c + 1] as usize;
+        if hi - lo == 8 {
+            let m: &[[f64; L]; 8] = v2c[lo..hi].try_into().expect("degree-8 check");
+            let out: &mut [[f64; L]; 8] = (&mut c2v[lo..hi]).try_into().expect("degree-8 check");
+            min_sum_check_lanes(alpha, m, out);
+        } else {
+            min_sum_check_lanes(alpha, &v2c[lo..hi], &mut c2v[lo..hi]);
+        }
+    }
+}
+
+/// One lane-array min-sum check: a branch-free two-min tracker per lane.
+/// `min1_at` is carried as an exact small-integer f64 so the scatter
+/// pass's "am I the minimum position" test is a lane-wise compare; the
+/// select-based updates reproduce the scalar tracker's
+/// first-strict-improvement tie semantics exactly.
+///
+/// `#[inline(never)]` is load-bearing: under the workspace's thin-LTO
+/// release profile the pre-link pipeline skips loop/SLP vectorization,
+/// and the post-link vectorizer only recovers these lane loops when the
+/// kernel is a small standalone function — inlined into the decode loop
+/// it compiles to scalar `minsd` chains (measured: the outlined form is
+/// packed `minpd`/`cmpltpd` end to end).
+#[inline(never)]
+fn min_sum_check_lanes<const L: usize>(alpha: f64, m: &[[f64; L]], out: &mut [[f64; L]]) {
+    let mut min1 = [f64::INFINITY; L];
+    let mut min2 = [f64::INFINITY; L];
+    let mut min1_at = [0.0f64; L];
+    let mut sign_prod = [1.0f64; L];
+    for (j, mj) in m.iter().enumerate() {
+        let jf = j as f64;
+        for lane in 0..L {
+            let v = mj[lane];
+            let mag = v.abs();
+            let lt = mag < min1[lane];
+            min2[lane] = if lt { min1[lane] } else { min2[lane].min(mag) };
+            min1[lane] = if lt { mag } else { min1[lane] };
+            min1_at[lane] = if lt { jf } else { min1_at[lane] };
+            sign_prod[lane] = if v < 0.0 {
+                -sign_prod[lane]
+            } else {
+                sign_prod[lane]
+            };
+        }
+    }
+    for (j, (mj, oj)) in m.iter().zip(out.iter_mut()).enumerate() {
+        let jf = j as f64;
+        for lane in 0..L {
+            let mag = if min1_at[lane] == jf {
+                min2[lane]
+            } else {
+                min1[lane]
+            };
+            let sign = if mj[lane] < 0.0 {
+                -sign_prod[lane]
+            } else {
+                sign_prod[lane]
+            };
+            oj[lane] = (alpha * sign * mag).clamp(-LLR_CLAMP, LLR_CLAMP);
+        }
+    }
+}
+
+/// Lane-array exact sum-product over checks `check_lo..check_hi`: the
+/// batched counterpart of [`sum_product_exact`], with forward/backward
+/// `tanh` partial products per lane. The per-lane `tanh`/`atanh` calls
+/// keep this kernel transcendental-bound (it does not vectorize), but
+/// every lane remains bit-identical to the scalar kernel — the batched
+/// path's contract under `CheckRule::SumProduct`. `tanhs`/`fwd` are
+/// scratch of `max_check_degree` (+1 for `fwd`) lane-array entries.
+pub fn sum_product_exact_batch<const L: usize>(
+    offsets: &[u32],
+    check_lo: usize,
+    check_hi: usize,
+    v2c: &[[f64; L]],
+    c2v: &mut [[f64; L]],
+    tanhs: &mut [[f64; L]],
+    fwd: &mut [[f64; L]],
+) {
+    for c in check_lo..check_hi {
+        let lo = offsets[c] as usize;
+        let hi = offsets[c + 1] as usize;
+        let deg = hi - lo;
+        for (t, mj) in tanhs[..deg].iter_mut().zip(&v2c[lo..hi]) {
+            for lane in 0..L {
+                let m = mj[lane];
+                t[lane] = if m >= TANH_SAT {
+                    TANH_CLAMP
+                } else if m <= -TANH_SAT {
+                    -TANH_CLAMP
+                } else {
+                    (m / 2.0).tanh().clamp(-TANH_CLAMP, TANH_CLAMP)
+                };
+            }
+        }
+        fwd[0] = [1.0; L];
+        for j in 0..deg {
+            let prev = fwd[j];
+            for lane in 0..L {
+                fwd[j + 1][lane] = prev[lane] * tanhs[j][lane];
+            }
+        }
+        let mut bwd = [1.0f64; L];
+        for j in (0..deg).rev() {
+            for lane in 0..L {
+                c2v[lo + j][lane] =
+                    (2.0 * (fwd[j][lane] * bwd[lane]).atanh()).clamp(-LLR_CLAMP, LLR_CLAMP);
+                bwd[lane] *= tanhs[j][lane];
+            }
+        }
+    }
+}
+
+/// Lane-array table-driven sum-product over checks `check_lo..check_hi`:
+/// the batched counterpart of [`sum_product_table`]. The φ-table gather
+/// is a per-lane scalar lookup (no hardware gather on stable rust), but
+/// the accumulate/scatter arithmetic around it is lane-parallel; each
+/// lane performs exactly the scalar kernel's evaluation order, so lanes
+/// are bit-identical to [`sum_product_table`]. `phis` is scratch of
+/// `max_check_degree` lane-array entries.
+pub fn sum_product_table_batch<const L: usize>(
+    offsets: &[u32],
+    check_lo: usize,
+    check_hi: usize,
+    phi: &PhiTable,
+    v2c: &[[f64; L]],
+    c2v: &mut [[f64; L]],
+    phis: &mut [[f64; L]],
+) {
+    let floor = phi_gather_floor();
+    for c in check_lo..check_hi {
+        let lo = offsets[c] as usize;
+        let hi = offsets[c + 1] as usize;
+        let deg = hi - lo;
+        let mut total = [0.0f64; L];
+        let mut sign_prod = [1.0f64; L];
+        for (p, mj) in phis[..deg].iter_mut().zip(&v2c[lo..hi]) {
+            for lane in 0..L {
+                let m = mj[lane];
+                let a = phi.eval(m.abs()).max(floor);
+                p[lane] = a;
+                total[lane] += a;
+                sign_prod[lane] = if m < 0.0 {
+                    -sign_prod[lane]
+                } else {
+                    sign_prod[lane]
+                };
+            }
+        }
+        for (j, mj) in (0..deg).zip(&v2c[lo..hi]) {
+            let oj = &mut c2v[lo + j];
+            for lane in 0..L {
+                let m = mj[lane];
+                // Same domain clamp as the scalar kernel: cancellation
+                // can push the extrinsic φ-sum a hair below zero.
+                let mag = phi.eval((total[lane] - phis[j][lane]).max(0.0));
+                let sign = if m < 0.0 {
+                    -sign_prod[lane]
+                } else {
+                    sign_prod[lane]
+                };
+                oj[lane] = (sign * mag).clamp(-LLR_CLAMP, LLR_CLAMP);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lane-array edge/variable kernels: the per-iteration decoder loops that
+// surround the check update (initialization, posterior accumulation,
+// variable-to-check update, hard decisions). Each is `#[inline(never)]`
+// for the same reason as `min_sum_check_lanes`: the thin-LTO post-link
+// vectorizer packs these lane loops only when they compile as small
+// standalone functions — inlined into the decode loop they stay scalar.
+
+/// Batched v2c (re)initialization: `out[e] = clamp(llr[edge_var[e]])`
+/// for every edge in `edge_var`, the lane-wise channel clamp of the
+/// scalar decoders' message initialization.
+#[inline(never)]
+pub fn gather_clamp_batch<const L: usize>(
+    edge_var: &[u32],
+    llr: &[[f64; L]],
+    out: &mut [[f64; L]],
+) {
+    for (m, &v) in out.iter_mut().zip(edge_var) {
+        let ch = &llr[v as usize];
+        for lane in 0..L {
+            m[lane] = ch[lane].clamp(-LLR_CLAMP, LLR_CLAMP);
+        }
+    }
+}
+
+/// Elementwise lane clamp: `out[i] = clamp(llr[i])` — the channel term
+/// of the posterior accumulation.
+#[inline(never)]
+pub fn clamp_batch<const L: usize>(llr: &[[f64; L]], out: &mut [[f64; L]]) {
+    for (o, ch) in out.iter_mut().zip(llr) {
+        for lane in 0..L {
+            o[lane] = ch[lane].clamp(-LLR_CLAMP, LLR_CLAMP);
+        }
+    }
+}
+
+/// Posterior accumulation over edges: `post[edge_var[e]] += m[e]`.
+#[inline(never)]
+pub fn scatter_add_batch<const L: usize>(
+    edge_var: &[u32],
+    messages: &[[f64; L]],
+    post: &mut [[f64; L]],
+) {
+    for (&v, m) in edge_var.iter().zip(messages) {
+        let p = &mut post[v as usize];
+        for lane in 0..L {
+            p[lane] += m[lane];
+        }
+    }
+}
+
+/// Variable-to-check update over edges:
+/// `v2c[e] = clamp(posterior[edge_var[e]] - c2v[e])`.
+#[inline(never)]
+pub fn v2c_update_batch<const L: usize>(
+    edge_var: &[u32],
+    posterior: &[[f64; L]],
+    c2v: &[[f64; L]],
+    v2c: &mut [[f64; L]],
+) {
+    for ((o, me), &v) in v2c.iter_mut().zip(c2v).zip(edge_var) {
+        let pv = &posterior[v as usize];
+        for lane in 0..L {
+            o[lane] = (pv[lane] - me[lane]).clamp(-LLR_CLAMP, LLR_CLAMP);
+        }
+    }
+}
+
+/// Hard decisions from committed posteriors: `hard[i]` bit `l` set when
+/// `posterior[i][l] < 0.0`.
+#[inline(never)]
+pub fn hard_decisions_batch<const L: usize>(posterior: &[[f64; L]], hard: &mut [u8]) {
+    for (h, p) in hard.iter_mut().zip(posterior) {
+        let mut bits = 0u8;
+        for (lane, pv) in p.iter().enumerate() {
+            bits |= u8::from(*pv < 0.0) << lane;
+        }
+        *h = bits;
+    }
+}
+
+/// Masked posterior/hard commit of the batched BP decoder: on lanes set
+/// in `active` the freshly accumulated `post_new` is committed, frozen
+/// lanes keep their old `posterior` (a conditional *select* — an
+/// arithmetic blend would rewrite `-0.0` to `+0.0` and break
+/// bit-identity). Hard decisions recompute from the committed posterior,
+/// so frozen lanes reproduce their frozen bits.
+#[inline(never)]
+pub fn masked_commit_batch<const L: usize>(
+    active: u8,
+    post_new: &[[f64; L]],
+    posterior: &mut [[f64; L]],
+    hard: &mut [u8],
+) {
+    let act: [bool; L] = core::array::from_fn(|lane| (active >> lane) & 1 == 1);
+    for ((p, pn), h) in posterior.iter_mut().zip(post_new).zip(hard.iter_mut()) {
+        let mut bits = 0u8;
+        for lane in 0..L {
+            let val = if act[lane] { pn[lane] } else { p[lane] };
+            p[lane] = val;
+            bits |= u8::from(val < 0.0) << lane;
+        }
+        *h = bits;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,6 +29,11 @@
 //! * [`window`] — terminated coupled codes and the sliding-window decoder
 //!   of Fig. 9, with structural-latency accounting and its own reusable
 //!   [`window::WindowWorkspace`].
+//! * [`batch`] — inter-frame batched decoding: [`batch::BatchWorkspace`]
+//!   and [`batch::WindowBatchWorkspace`] hold up to 8 frames of message
+//!   state in structure-of-arrays layout so the lane-array kernels
+//!   auto-vectorize the whole decode loop, with per-lane convergence
+//!   masking keeping every lane bit-identical to the scalar decoders.
 //! * [`ber`] — the BER evaluation and required-Eb/N0 search subsystem:
 //!   [`ber::BerTarget`] unifies block and coupled codes behind one
 //!   object-safe Monte-Carlo surface (fanned out over all cores with
@@ -88,6 +93,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod ber;
 pub mod code;
 pub mod decoder;
@@ -96,6 +102,7 @@ pub mod kernel;
 pub mod protograph;
 pub mod window;
 
+pub use batch::{BatchWorkspace, WindowBatchWorkspace};
 pub use ber::{
     ebn0_db_to_sigma, log_linear_required_ebn0, required_ebn0_db, search_required_ebn0,
     simulate_ber, BerEstimate, BerSimOptions, BerTarget, BerWorkspace, BlockBerTarget,

@@ -98,6 +98,70 @@ fn bisection_strategy_reproduces_the_closure_ladder() {
     assert_eq!(report_probes, ladder_probes, "probe order must match");
 }
 
+/// A fig10 `--quick`-style search (same seed, frame budget, tolerance
+/// and grid as the CI smoke preset, on miniature codes) must report
+/// byte-identically at every batch width: the batch-1 target is the
+/// pre-batching scalar path, so this is the regression pin that
+/// inter-frame batching left every probe, frame count and estimate of
+/// the search untouched.
+#[test]
+fn search_report_is_invariant_under_batch_width() {
+    let opts = BerSimOptions {
+        target_errors: 120,
+        max_frames: 60,
+        min_frames: 20,
+        seed: 0xF10,
+    };
+    let search = SearchConfig {
+        strategy: SearchStrategy::Bisection,
+        lo_db: 0.5,
+        hi_db: 8.0,
+        tol_db: 0.25,
+        grid_points: 7,
+        ..SearchConfig::default()
+    };
+
+    let cc = CoupledCode::paper_cc(12, 8, 0xCC0C);
+    let wd = WindowDecoder::new(3, 10).with_rule(wi_ldpc::decoder::CheckRule::min_sum());
+    let cc_scalar = search_required_ebn0_with_threads(
+        &CoupledBerTarget::new(&cc, wd).with_batch(1),
+        1e-2,
+        &opts,
+        &search,
+        1,
+    );
+    let bc = LdpcCode::paper_block(25, 0xBC19);
+    let config = BpConfig {
+        check_rule: wi_ldpc::decoder::CheckRule::min_sum(),
+        ..BpConfig::default()
+    };
+    let bc_scalar = search_required_ebn0_with_threads(
+        &BlockBerTarget::new(&bc, config, 0.5).with_batch(1),
+        1e-2,
+        &opts,
+        &search,
+        1,
+    );
+    for batch in [2usize, 4, 8] {
+        let cc_batched = search_required_ebn0_with_threads(
+            &CoupledBerTarget::new(&cc, wd).with_batch(batch),
+            1e-2,
+            &opts,
+            &search,
+            1,
+        );
+        assert_eq!(cc_scalar, cc_batched, "batch {batch} changed the CC search");
+        let bc_batched = search_required_ebn0_with_threads(
+            &BlockBerTarget::new(&bc, config, 0.5).with_batch(batch),
+            1e-2,
+            &opts,
+            &search,
+            1,
+        );
+        assert_eq!(bc_scalar, bc_batched, "batch {batch} changed the BC search");
+    }
+}
+
 #[test]
 fn concurrent_bisection_is_thread_count_invariant() {
     let code = LdpcCode::paper_block(25, 9);

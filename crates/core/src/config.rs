@@ -15,6 +15,7 @@ use wi_linkbudget::budget::Beamforming;
 use wi_linkbudget::datarate::Polarization;
 use wi_noc::des::traffic::TrafficKind;
 use wi_noc::des::{DesConfig, FaultConfig, ServiceDistribution, SweepConfig};
+use wi_noc::icdb::{ExpandedGrid, HybridBoards};
 use wi_noc::routing::RoutingKind;
 use wi_noc::topology::Topology;
 
@@ -71,6 +72,27 @@ impl StackConfig {
             Topology::ciliated_mesh3d(self.cores_x, self.cores_y, self.layers, self.concentration)
         } else {
             Topology::mesh3d(self.cores_x, self.cores_y, self.layers)
+        }
+    }
+
+    /// The intra-stack NoC as a database-expanded grid — the scalable
+    /// counterpart of [`StackConfig::topology`] (same family, same
+    /// dimensions, O(1) memory). `grid().to_topology()` reproduces
+    /// [`StackConfig::topology`] bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn grid(&self) -> ExpandedGrid {
+        if self.concentration > 1 {
+            ExpandedGrid::ciliated_mesh3d(
+                self.cores_x,
+                self.cores_y,
+                self.layers,
+                self.concentration,
+            )
+        } else {
+            ExpandedGrid::mesh3d(self.cores_x, self.cores_y, self.layers)
         }
     }
 }
@@ -345,6 +367,26 @@ impl SystemConfig {
         self.boards * self.board.stacks() * self.stack.cores()
     }
 
+    /// The box as a hybrid wired+wireless interconnect: each board is
+    /// one wired mesh tiling its stack grid router-for-router
+    /// (`stacks_x·cores_x × stacks_y·cores_y × layers`), and boards are
+    /// chained along x by wireless express links with one radio site per
+    /// stack row ([`HybridBoards::with_radio_count`]). The result's
+    /// [`HybridBoards::route_table`] drives the unchanged DES/analytic
+    /// stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any board or stack dimension is zero.
+    pub fn hybrid_boards(&self) -> HybridBoards {
+        let dims = [
+            self.board.stacks_x * self.stack.cores_x,
+            self.board.stacks_y * self.stack.cores_y,
+            self.stack.layers,
+        ];
+        HybridBoards::with_radio_count(self.boards, dims, self.board.stacks_y)
+    }
+
     /// Validates the configuration, returning a list of human-readable
     /// problems (empty when valid).
     pub fn validate(&self) -> Vec<String> {
@@ -423,6 +465,37 @@ mod tests {
         assert_eq!(cil.cores(), 128);
         assert_eq!(cil.topology().num_modules(), 128);
         assert_eq!(cil.topology().num_routers(), 64);
+    }
+
+    #[test]
+    fn stack_grid_matches_topology() {
+        for stack in [
+            StackConfig::paper_64(),
+            StackConfig {
+                concentration: 2,
+                ..StackConfig::paper_64()
+            },
+        ] {
+            let grid = stack.grid();
+            assert_eq!(grid.num_modules(), stack.cores());
+            let got = grid.to_topology();
+            let want = stack.topology();
+            assert_eq!(got.kind(), want.kind());
+            assert_eq!(got.links(), want.links());
+        }
+    }
+
+    #[test]
+    fn system_hybrid_boards_tile_the_stack_grid() {
+        let cfg = SystemConfig::paper_default();
+        let hybrid = cfg.hybrid_boards();
+        assert_eq!(hybrid.boards(), 4);
+        assert_eq!(hybrid.board_dims(), [12, 12, 4]);
+        // One wired router per core in the box.
+        assert_eq!(hybrid.topology().num_modules(), cfg.total_cores());
+        // One radio site per stack row, chained across the 3 board gaps.
+        assert_eq!(hybrid.radios().len(), 3);
+        assert_eq!(hybrid.num_radio_links(), 2 * 3 * 3);
     }
 
     #[test]

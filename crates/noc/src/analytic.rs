@@ -73,9 +73,29 @@ impl<'a> AnalyticModel<'a> {
     ///
     /// Panics if the topology has fewer than two modules.
     pub fn new(topo: &'a Topology, params: RouterParams) -> Self {
+        Self::with_table(topo, params, RouteTable::new(topo))
+    }
+
+    /// Builds the model around a prebuilt route table — the entry point
+    /// for topologies whose routes the dimension-order walker cannot
+    /// derive (pillar meshes and hybrid wired+wireless boards from
+    /// [`crate::icdb`], whose tables come from
+    /// [`RouteTable::from_routes`]). The per-link flow accumulation uses
+    /// each pair's **first** route choice, so multi-choice tables are
+    /// modelled by their choice-0 routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has fewer than two modules or the table
+    /// was built for a different module count.
+    pub fn with_table(topo: &'a Topology, params: RouterParams, routes: RouteTable) -> Self {
         let n = topo.num_modules();
         assert!(n >= 2, "need at least two modules");
-        let routes = RouteTable::new(topo);
+        assert_eq!(
+            routes.num_modules(),
+            n,
+            "route table module count does not match the topology"
+        );
         let mut pair_count = vec![0u64; topo.num_links()];
         let mut total_hops = 0u64;
         for s in 0..n {
@@ -349,6 +369,24 @@ mod tests {
         );
         // Returns diminish once the ejection port becomes the bottleneck.
         assert!(quad.saturation_rate() <= 4.0 * base.saturation_rate() + 1e-9);
+    }
+
+    #[test]
+    fn with_table_matches_new() {
+        let topo = Topology::mesh3d(3, 3, 3);
+        let a = AnalyticModel::new(&topo, RouterParams::default());
+        let b = AnalyticModel::with_table(&topo, RouterParams::default(), RouteTable::new(&topo));
+        assert_eq!(a.zero_load_latency(), b.zero_load_latency());
+        assert_eq!(a.saturation_rate(), b.saturation_rate());
+        assert_eq!(a.link_flows(0.1), b.link_flows(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "module count")]
+    fn with_table_rejects_mismatched_table() {
+        let topo = Topology::mesh2d(3, 3);
+        let other = Topology::mesh2d(4, 4);
+        AnalyticModel::with_table(&topo, RouterParams::default(), RouteTable::new(&other));
     }
 
     #[test]

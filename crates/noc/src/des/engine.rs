@@ -294,6 +294,48 @@ impl Engine {
         }
     }
 
+    /// Builds an engine around a prebuilt route table — the entry point
+    /// for database-expanded grids ([`crate::icdb`]) and irregular
+    /// topologies whose tables come from
+    /// [`RouteTable::from_routes`] rather than the mesh policy walker.
+    ///
+    /// [`Engine::run`] keeps the given table as long as
+    /// `config.routing == table.kind()`; a config asking for a different
+    /// policy falls back to rebuilding via the mesh walker, which panics
+    /// on topologies (pillar meshes, hybrid boards) the walker cannot
+    /// route — so pass configs whose routing matches the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has fewer than two modules or the table
+    /// was built for a different module count.
+    pub fn with_table(topo: &Topology, routes: Arc<RouteTable>) -> Self {
+        assert!(topo.num_modules() >= 2, "need at least two modules");
+        assert_eq!(
+            routes.num_modules(),
+            topo.num_modules(),
+            "route table module count does not match the topology"
+        );
+        Engine {
+            topo: topo.clone(),
+            routes,
+            ctx: TrafficCtx::new(topo),
+            num_links: topo.num_links(),
+            heap: EventHeap::default(),
+            packets: Vec::new(),
+            free: Vec::new(),
+            link_free: vec![0.0; topo.num_links()],
+            ej_free: vec![0.0; topo.num_modules()],
+            link_p: vec![0.0; topo.num_links()],
+            link_retries: vec![0; topo.num_links()],
+        }
+    }
+
+    /// Routing policy of the engine's current route table.
+    pub fn routing(&self) -> RoutingKind {
+        self.routes.kind()
+    }
+
     /// Runs one simulation, reusing the engine's arenas.
     ///
     /// Changing `config.routing` between runs rebuilds the route table
@@ -629,6 +671,30 @@ mod tests {
                 routing.name()
             );
         }
+    }
+
+    #[test]
+    fn with_table_matches_with_routing_bit_for_bit() {
+        let topo = Topology::mesh3d(3, 3, 3);
+        let cfg = DesConfig {
+            routing: RoutingKind::O1Turn,
+            warmup_packets: 200,
+            measured_packets: 2_000,
+            ..DesConfig::default()
+        };
+        let table = Arc::new(RouteTable::with_policy(&topo, RoutingKind::O1Turn));
+        assert_eq!(
+            Engine::with_table(&topo, table).run(&cfg),
+            Engine::with_routing(&topo, RoutingKind::O1Turn).run(&cfg)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "module count")]
+    fn with_table_rejects_mismatched_table() {
+        let topo = Topology::mesh2d(3, 3);
+        let other = Topology::mesh2d(4, 4);
+        Engine::with_table(&topo, Arc::new(RouteTable::new(&other)));
     }
 
     #[test]

@@ -141,6 +141,41 @@ pub fn sweep_serial(topo: &Topology, config: &SweepConfig) -> SweepResult {
 /// Panics if `rates` is empty, `replications` is zero, or any rate is
 /// not positive.
 pub fn sweep_with_threads(topo: &Topology, config: &SweepConfig, threads: usize) -> SweepResult {
+    // Route the topology once under the sweep's policy; workers clone the
+    // prototype (sharing its route table through an `Arc`) instead of
+    // re-walking all router pairs per replication.
+    let proto = Engine::with_routing(topo, config.base.routing);
+    sweep_engine_with_threads(&proto, config, threads)
+}
+
+/// Runs the sweep on clones of a caller-built prototype engine, fanning
+/// replications out over all available cores — the entry point for
+/// engines around custom route tables ([`Engine::with_table`]): pillar
+/// meshes and hybrid wired+wireless boards from [`crate::icdb`], whose
+/// tables [`sweep`] could not rebuild from a policy alone.
+///
+/// # Panics
+///
+/// See [`sweep_engine_with_threads`].
+pub fn sweep_engine(proto: &Engine, config: &SweepConfig) -> SweepResult {
+    sweep_engine_with_threads(proto, config, auto_threads())
+}
+
+/// [`sweep_engine`] with an explicit worker-thread count. Bit-identical
+/// at any thread count, like [`sweep_with_threads`].
+///
+/// # Panics
+///
+/// Panics if `rates` is empty, `replications` is zero, any rate is not
+/// positive, or `config.base.routing` differs from the prototype's
+/// routing policy (a mismatch would silently rebuild the table per
+/// worker — or panic outright on topologies the mesh walker cannot
+/// route).
+pub fn sweep_engine_with_threads(
+    proto: &Engine,
+    config: &SweepConfig,
+    threads: usize,
+) -> SweepResult {
     assert!(!config.rates.is_empty(), "sweep needs at least one rate");
     assert!(
         config.replications > 0,
@@ -149,6 +184,11 @@ pub fn sweep_with_threads(topo: &Topology, config: &SweepConfig, threads: usize)
     assert!(
         config.rates.iter().all(|&r| r > 0.0),
         "injection rates must be positive"
+    );
+    assert_eq!(
+        proto.routing(),
+        config.base.routing,
+        "sweep routing policy does not match the prototype engine's table"
     );
 
     let reps = config.replications;
@@ -167,17 +207,13 @@ pub fn sweep_with_threads(topo: &Topology, config: &SweepConfig, threads: usize)
 
     let mut results: Vec<Option<DesResult>> = vec![None; tasks.len()];
     let threads = threads.clamp(1, tasks.len());
-    // Route the topology once under the sweep's policy; workers clone the
-    // prototype (sharing its route table through an `Arc`) instead of
-    // re-walking all router pairs per replication.
-    let mut proto = Engine::with_routing(topo, config.base.routing);
     if threads <= 1 {
+        let mut engine = proto.clone();
         for (slot, cfg) in results.iter_mut().zip(&tasks) {
-            *slot = Some(proto.run(cfg));
+            *slot = Some(engine.run(cfg));
         }
     } else {
         let per_worker = tasks.len().div_ceil(threads);
-        let proto = &proto;
         std::thread::scope(|scope| {
             for (slots, cfgs) in results.chunks_mut(per_worker).zip(tasks.chunks(per_worker)) {
                 scope.spawn(move || {
@@ -353,6 +389,39 @@ mod tests {
             let par = sweep_with_threads(&topo, &cfg, threads);
             assert_eq!(serial, par, "thread count {threads} changed faulty sweep");
         }
+    }
+
+    #[test]
+    fn sweep_engine_matches_sweep_bit_for_bit() {
+        // The prototype-engine entry point is the same sweep, so a
+        // prototype built from the topology must reproduce `sweep`
+        // exactly — including around a prebuilt table (the icdb /
+        // hybrid-board path).
+        use crate::routing::RouteTable;
+        use std::sync::Arc;
+        let topo = Topology::mesh3d(3, 3, 2);
+        let cfg = SweepConfig::new(
+            vec![0.05, 0.3],
+            3,
+            DesConfig {
+                routing: RoutingKind::O1Turn,
+                ..quick_base(0x1CDB)
+            },
+        );
+        let want = sweep(&topo, &cfg);
+        let proto = Engine::with_routing(&topo, RoutingKind::O1Turn);
+        assert_eq!(sweep_engine(&proto, &cfg), want);
+        let table = Arc::new(RouteTable::with_policy(&topo, RoutingKind::O1Turn));
+        let tabled = Engine::with_table(&topo, table);
+        assert_eq!(sweep_engine_with_threads(&tabled, &cfg, 4), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the prototype")]
+    fn sweep_engine_rejects_policy_mismatch() {
+        let topo = Topology::mesh2d(3, 3);
+        let proto = Engine::with_routing(&topo, RoutingKind::O1Turn);
+        sweep_engine(&proto, &SweepConfig::new(vec![0.1], 1, quick_base(1)));
     }
 
     #[test]

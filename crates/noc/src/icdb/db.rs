@@ -1,0 +1,338 @@
+//! The interconnect database: deduplicated tile and link classes.
+//!
+//! A database describes a *family* of grids, not one grid: it holds the
+//! closed set of tile classes (router kinds distinguished by their port
+//! lists) and link classes (wire kinds distinguished by axis, span,
+//! medium and placement) that any grid of the family can instantiate.
+//! Its size therefore depends only on the family — never on grid
+//! dimensions — which is what lets an [`crate::icdb::ExpandedGrid`]
+//! describe a million-router system in a few hundred bytes. The model
+//! and its prjcombine heritage are specified in `docs/TOPOLOGY.md`.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Identifier of a [`TileClass`] within its [`InterconnectDb`].
+pub type TileClassId = usize;
+
+/// Identifier of a [`LinkClass`] within its [`InterconnectDb`].
+pub type LinkClassId = usize;
+
+/// Presence of neighbor ports along one grid axis of a tile class.
+///
+/// On an axis of extent `n`, a router at coordinate `0` has only the
+/// positive port, one at `n - 1` only the negative port, interior
+/// routers both, and every router of a flat (`n == 1`) axis neither —
+/// the four states that generate the mesh family's closed tile-class
+/// set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AxisPorts {
+    /// Flat axis: no neighbor in either direction.
+    None,
+    /// Low edge: only the positive-direction neighbor exists.
+    PosOnly,
+    /// High edge: only the negative-direction neighbor exists.
+    NegOnly,
+    /// Interior: neighbors in both directions.
+    Both,
+}
+
+impl AxisPorts {
+    /// Whether the port in the given direction is present.
+    pub fn has(self, positive: bool) -> bool {
+        matches!(
+            (self, positive),
+            (AxisPorts::Both, _) | (AxisPorts::PosOnly, true) | (AxisPorts::NegOnly, false)
+        )
+    }
+
+    /// Compact class-name letter: `f`lat, `l`ow edge, `h`igh edge,
+    /// `i`nterior.
+    fn letter(self) -> char {
+        match self {
+            AxisPorts::None => 'f',
+            AxisPorts::PosOnly => 'l',
+            AxisPorts::NegOnly => 'h',
+            AxisPorts::Both => 'i',
+        }
+    }
+
+    fn encode(self) -> usize {
+        match self {
+            AxisPorts::None => 0,
+            AxisPorts::PosOnly => 1,
+            AxisPorts::NegOnly => 2,
+            AxisPorts::Both => 3,
+        }
+    }
+
+    fn decode(v: usize) -> Self {
+        match v {
+            0 => AxisPorts::None,
+            1 => AxisPorts::PosOnly,
+            2 => AxisPorts::NegOnly,
+            _ => AxisPorts::Both,
+        }
+    }
+}
+
+/// A deduplicated router class: which directional ports the router has
+/// and how many modules concentrate on it. Every router of a grid is an
+/// *instance* of exactly one tile class; the class carries everything
+/// position-independent about it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileClass {
+    /// Systematic name, e.g. `T_iif` for an interior router of a 2D
+    /// mesh (`x` interior, `y` interior, `z` flat).
+    pub name: String,
+    /// Port presence per axis (x, y, z).
+    pub ports: [AxisPorts; 3],
+    /// Modules attached to each instance of this class.
+    pub concentration: usize,
+}
+
+impl TileClass {
+    /// Number of directed outgoing inter-router ports.
+    pub fn degree(&self) -> usize {
+        self.ports
+            .iter()
+            .map(|p| p.has(true) as usize + p.has(false) as usize)
+            .sum()
+    }
+
+    /// Link-slot index of the positive-direction link *pair* along
+    /// `axis` within the tile's slot block, or `None` when the port is
+    /// absent. Slots count the positive pairs of lower axes that are
+    /// present — this per-class table is what turns a coordinate walk
+    /// into a closed-form link id (see `docs/TOPOLOGY.md`).
+    pub fn pos_pair_slot(&self, axis: usize) -> Option<usize> {
+        if !self.ports[axis].has(true) {
+            return None;
+        }
+        Some(self.ports[..axis].iter().filter(|p| p.has(true)).count())
+    }
+}
+
+/// Physical medium of a link class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Medium {
+    /// An on-chip / on-interposer wire between grid neighbors.
+    Wired,
+    /// A wireless "long wire": a radio hop spanning several grid pitches
+    /// (the paper's board-to-board express links).
+    Wireless,
+}
+
+/// Placement class of a link — the "edge antenna vs center antenna"
+/// distinction the fault/co-simulation layer keys per-link error rates
+/// on ([`crate::des::fault::LinkErrorModel::EdgeCenter`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// At least one endpoint router sits on the grid boundary.
+    Edge,
+    /// Both endpoint routers are interior.
+    Center,
+}
+
+/// A deduplicated link class: everything position-independent about a
+/// wire kind. Concrete links are instances placed by the expanded grid.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkClass {
+    /// Systematic name, e.g. `WIRE_X_EDGE` or `RADIO_X_SPAN4`.
+    pub name: String,
+    /// Grid axis the link runs along (0 = x, 1 = y, 2 = z).
+    pub axis: usize,
+    /// Coordinate span in router pitches: `1` for neighbor wires, the
+    /// board pitch for wireless express links (prjcombine's const-span
+    /// LONG-wire taxonomy).
+    pub span: usize,
+    /// Physical medium.
+    pub medium: Medium,
+    /// Edge-vs-center placement class.
+    pub placement: Placement,
+}
+
+/// The deduplicated database of tile and link classes for one grid
+/// family. Shared behind an [`Arc`] by every grid that instantiates it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterconnectDb {
+    tile_classes: Vec<TileClass>,
+    link_classes: Vec<LinkClass>,
+}
+
+/// Number of tile classes in the mesh family: four per-axis port states
+/// over three axes.
+const MESH_TILE_CLASSES: usize = 4 * 4 * 4;
+
+impl InterconnectDb {
+    /// The mesh-family database: all 64 tile classes an axis-aligned
+    /// mesh can instantiate (4 per-axis port states³) and the six wired
+    /// neighbor link classes (3 axes × edge/center placement). The same
+    /// database serves a 2×2 mesh and a 100×100×100 mesh — its size is a
+    /// property of the family, not of any grid.
+    pub fn mesh_family(concentration: usize) -> Arc<Self> {
+        assert!(concentration > 0, "concentration must be positive");
+        let tile_classes = (0..MESH_TILE_CLASSES)
+            .map(|code| {
+                let ports = [
+                    AxisPorts::decode(code % 4),
+                    AxisPorts::decode((code / 4) % 4),
+                    AxisPorts::decode(code / 16),
+                ];
+                TileClass {
+                    name: format!(
+                        "T_{}{}{}",
+                        ports[0].letter(),
+                        ports[1].letter(),
+                        ports[2].letter()
+                    ),
+                    ports,
+                    concentration,
+                }
+            })
+            .collect();
+        let link_classes = (0..3)
+            .flat_map(|axis| {
+                [Placement::Edge, Placement::Center]
+                    .into_iter()
+                    .map(move |placement| LinkClass {
+                        name: format!(
+                            "WIRE_{}_{}",
+                            AXIS_NAMES[axis],
+                            match placement {
+                                Placement::Edge => "EDGE",
+                                Placement::Center => "CENTER",
+                            }
+                        ),
+                        axis,
+                        span: 1,
+                        medium: Medium::Wired,
+                        placement,
+                    })
+            })
+            .collect();
+        Arc::new(InterconnectDb {
+            tile_classes,
+            link_classes,
+        })
+    }
+
+    /// The tile classes.
+    pub fn tile_classes(&self) -> &[TileClass] {
+        &self.tile_classes
+    }
+
+    /// The link classes.
+    pub fn link_classes(&self) -> &[LinkClass] {
+        &self.link_classes
+    }
+
+    /// Id of the tile class with the given per-axis port states (pure
+    /// encoding — no lookup).
+    pub fn tile_class_id(ports: [AxisPorts; 3]) -> TileClassId {
+        ports[0].encode() + 4 * ports[1].encode() + 16 * ports[2].encode()
+    }
+
+    /// Id of the wired neighbor link class along `axis` with the given
+    /// placement (pure encoding, mirroring [`InterconnectDb::mesh_family`]
+    /// construction order).
+    pub fn wired_link_class(axis: usize, placement: Placement) -> LinkClassId {
+        assert!(axis < 3, "axis {axis} out of range");
+        2 * axis
+            + match placement {
+                Placement::Edge => 0,
+                Placement::Center => 1,
+            }
+    }
+
+    /// Appends a link class (used by hybrid builders to register
+    /// wireless express classes) and returns its id.
+    pub fn push_link_class(&mut self, class: LinkClass) -> LinkClassId {
+        self.link_classes.push(class);
+        self.link_classes.len() - 1
+    }
+
+    /// Heap + inline bytes of the database — the quantity the memory
+    /// model pins as independent of grid dimensions.
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .tile_classes
+                .iter()
+                .map(|t| std::mem::size_of::<TileClass>() + t.name.len())
+                .sum::<usize>()
+            + self
+                .link_classes
+                .iter()
+                .map(|l| std::mem::size_of::<LinkClass>() + l.name.len())
+                .sum::<usize>()
+    }
+}
+
+/// Axis display names.
+pub(crate) const AXIS_NAMES: [&str; 3] = ["X", "Y", "Z"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_family_is_closed_and_deduplicated() {
+        let db = InterconnectDb::mesh_family(1);
+        assert_eq!(db.tile_classes().len(), 64);
+        assert_eq!(db.link_classes().len(), 6);
+        // Names are unique — classes are genuinely deduplicated.
+        let names: std::collections::HashSet<&str> =
+            db.tile_classes().iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names.len(), 64);
+    }
+
+    #[test]
+    fn tile_class_ids_round_trip() {
+        let db = InterconnectDb::mesh_family(2);
+        for (id, t) in db.tile_classes().iter().enumerate() {
+            assert_eq!(InterconnectDb::tile_class_id(t.ports), id, "{}", t.name);
+            assert_eq!(t.concentration, 2);
+        }
+    }
+
+    #[test]
+    fn wired_link_class_ids_match_construction_order() {
+        let db = InterconnectDb::mesh_family(1);
+        for axis in 0..3 {
+            for placement in [Placement::Edge, Placement::Center] {
+                let id = InterconnectDb::wired_link_class(axis, placement);
+                let c = &db.link_classes()[id];
+                assert_eq!((c.axis, c.placement, c.span), (axis, placement, 1));
+                assert_eq!(c.medium, Medium::Wired);
+            }
+        }
+    }
+
+    #[test]
+    fn pos_pair_slots_count_present_lower_axes() {
+        let db = InterconnectDb::mesh_family(1);
+        let interior = &db.tile_classes()[InterconnectDb::tile_class_id([AxisPorts::Both; 3])];
+        assert_eq!(interior.degree(), 6);
+        assert_eq!(interior.pos_pair_slot(0), Some(0));
+        assert_eq!(interior.pos_pair_slot(1), Some(1));
+        assert_eq!(interior.pos_pair_slot(2), Some(2));
+        // A high-edge x axis removes the +x pair and shifts y/z down.
+        let edge = &db.tile_classes()
+            [InterconnectDb::tile_class_id([AxisPorts::NegOnly, AxisPorts::Both, AxisPorts::Both])];
+        assert_eq!(edge.pos_pair_slot(0), None);
+        assert_eq!(edge.pos_pair_slot(1), Some(0));
+        assert_eq!(edge.pos_pair_slot(2), Some(1));
+    }
+
+    #[test]
+    fn database_size_is_independent_of_any_grid() {
+        // The database is a family property: there is nothing
+        // grid-specific to vary. Its footprint is a few KiB, constant.
+        let a = InterconnectDb::mesh_family(1);
+        let b = InterconnectDb::mesh_family(1);
+        assert_eq!(a, b);
+        assert_eq!(a.mem_bytes(), b.mem_bytes());
+        assert!(a.mem_bytes() < 16 * 1024, "{} bytes", a.mem_bytes());
+    }
+}

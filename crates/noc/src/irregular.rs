@@ -1,4 +1,5 @@
-//! Partial-TSV ("pillar") 3D meshes — the paper's future-work ablation.
+//! Partial-TSV ("pillar") 3D meshes — the paper's future-work ablation,
+//! built on the interconnect database.
 //!
 //! §IV closes: "the large area of TSVs will probably not allow to equip
 //! every router with a vertical link. Furthermore, the vertical inter-chip
@@ -11,16 +12,40 @@
 //! ride it vertically, then finish X/Y on the destination layer. The
 //! analytic latency evaluation mirrors [`crate::analytic`] but over these
 //! detoured routes, so the TSV-count/latency trade-off can be quantified.
+//!
+//! Since the icdb rework this module is a client of
+//! [`crate::icdb::ExpandedGrid`]: the grid supplies coordinates, tile
+//! classes and closed-form pillar arithmetic, and the pillar mesh
+//! materializes a *sparse* [`Topology`] — planar links everywhere,
+//! vertical links only where the column is a pillar — instead of
+//! carrying a full 3D mesh and pretending some links don't exist. The
+//! materialized [`PillarMesh3d::topology`] plus
+//! [`PillarMesh3d::route_table`] plug straight into the unchanged DES
+//! stack through [`crate::des::Engine::with_table`].
+//!
+//! ```
+//! use wi_noc::irregular::PillarMesh3d;
+//! use wi_noc::topology::Topology;
+//!
+//! let pillar = PillarMesh3d::new(4, 4, 2, 2);
+//! // Only 4 of the 16 columns carry TSVs, so the materialized topology
+//! // really is sparse: 2·4 of the full mesh's 2·16 vertical links.
+//! assert_eq!(pillar.pillar_count(), 4);
+//! let full = Topology::mesh3d(4, 4, 2);
+//! assert_eq!(pillar.topology().num_links(), full.num_links() - 2 * 12);
+//! ```
 
 use crate::analytic::RouterParams;
-use crate::routing::Path;
-use crate::topology::Topology;
+use crate::icdb::ExpandedGrid;
+use crate::routing::{Path, RouteTable, RoutingKind};
+use crate::topology::{Link, Topology};
 use serde::{Deserialize, Serialize};
 
 /// A 3D mesh whose vertical links exist only at pillar columns.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PillarMesh3d {
-    base: Topology,
+    grid: ExpandedGrid,
+    topo: Topology,
     pitch: usize,
 }
 
@@ -34,13 +59,45 @@ impl PillarMesh3d {
     /// Panics if `pitch == 0` or any dimension is zero.
     pub fn new(x: usize, y: usize, z: usize, pitch: usize) -> Self {
         assert!(pitch > 0, "pillar pitch must be positive");
-        let base = Topology::mesh3d(x, y, z);
-        PillarMesh3d { base, pitch }
+        let grid = ExpandedGrid::mesh3d(x, y, z);
+        // Materialize the sparse link list in the legacy builder's
+        // (z, y, x)-raster order so planar link ids coincide with the
+        // full mesh's wherever both exist.
+        let mut links = Vec::new();
+        for cz in 0..z {
+            for cy in 0..y {
+                for cx in 0..x {
+                    let src = grid.router_at([cx, cy, cz]);
+                    let mut neighbor = |coord: [usize; 3]| {
+                        let dst = grid.router_at(coord);
+                        links.push(Link { src, dst });
+                        links.push(Link { src: dst, dst: src });
+                    };
+                    if cx + 1 < x {
+                        neighbor([cx + 1, cy, cz]);
+                    }
+                    if cy + 1 < y {
+                        neighbor([cx, cy + 1, cz]);
+                    }
+                    if cz + 1 < z && is_pillar_column(cx, cy, pitch) {
+                        neighbor([cx, cy, cz + 1]);
+                    }
+                }
+            }
+        }
+        let topo = Topology::from_links(grid.kind(), grid.dims(), grid.concentration(), links);
+        PillarMesh3d { grid, topo, pitch }
     }
 
-    /// The underlying full 3D mesh (used for coordinates and planar links).
-    pub fn base(&self) -> &Topology {
-        &self.base
+    /// The expanded grid supplying coordinates and tile classes.
+    pub fn grid(&self) -> &ExpandedGrid {
+        &self.grid
+    }
+
+    /// The materialized sparse topology: planar links everywhere,
+    /// vertical links only at pillar columns.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
     }
 
     /// Pillar pitch.
@@ -50,44 +107,33 @@ impl PillarMesh3d {
 
     /// Whether the column at `(x, y)` carries TSVs.
     pub fn is_pillar(&self, x: usize, y: usize) -> bool {
-        x.is_multiple_of(self.pitch) && y.is_multiple_of(self.pitch)
+        is_pillar_column(x, y, self.pitch)
     }
 
-    /// Number of TSV pillars (columns with vertical links).
+    /// Number of TSV pillars (columns with vertical links), in closed
+    /// form: multiples of the pitch inside each planar extent.
     pub fn pillar_count(&self) -> usize {
-        let [nx, ny, _] = self.base.dims();
-        (0..nx)
-            .flat_map(|x| (0..ny).map(move |y| (x, y)))
-            .filter(|&(x, y)| self.is_pillar(x, y))
-            .count()
+        let [nx, ny, _] = self.grid.dims();
+        ((nx - 1) / self.pitch + 1) * ((ny - 1) / self.pitch + 1)
     }
 
-    /// Nearest pillar column to `(x, y)` in Manhattan distance.
+    /// Nearest pillar column to `(x, y)` in Manhattan distance, in
+    /// closed form per axis (ties resolve to the lower coordinate).
     pub fn nearest_pillar(&self, x: usize, y: usize) -> (usize, usize) {
-        let [nx, ny, _] = self.base.dims();
-        let mut best = (0, 0);
-        let mut best_d = usize::MAX;
-        for px in (0..nx).filter(|&px| px % self.pitch == 0) {
-            for py in (0..ny).filter(|&py| py % self.pitch == 0) {
-                let d = px.abs_diff(x) + py.abs_diff(y);
-                if d < best_d {
-                    best_d = d;
-                    best = (px, py);
-                }
-            }
-        }
-        best
+        let [nx, ny, _] = self.grid.dims();
+        (
+            nearest_on_axis(x, self.pitch, nx),
+            nearest_on_axis(y, self.pitch, ny),
+        )
     }
 
-    /// Route between two modules: X/Y to the pillar nearest the source,
+    /// Route between two routers: X/Y to the pillar nearest the source,
     /// vertical, then X/Y to the destination. Same-layer traffic routes
-    /// purely in-plane.
-    pub fn route(&self, src_module: usize, dst_module: usize) -> Path {
-        let topo = &self.base;
-        let src = topo.router_of(src_module);
-        let dst = topo.router_of(dst_module);
+    /// purely in-plane. All link ids refer to [`PillarMesh3d::topology`].
+    pub fn route_routers(&self, src: usize, dst: usize) -> Path {
+        let topo = &self.topo;
         let [sx, sy, sz] = topo.coord(src);
-        let [dx, dy, dz] = topo.coord(dst);
+        let [_, _, dz] = topo.coord(dst);
         if sz == dz {
             return crate::routing::route_routers(topo, src, dst);
         }
@@ -96,7 +142,7 @@ impl PillarMesh3d {
         let pillar_dst = topo.router_at([px, py, dz]);
         let mut p = crate::routing::route_routers(topo, src, pillar_src);
         let vertical = crate::routing::route_routers(topo, pillar_src, pillar_dst);
-        let tail = crate::routing::route_routers(topo, pillar_dst, topo.router_at([dx, dy, dz]));
+        let tail = crate::routing::route_routers(topo, pillar_dst, dst);
         p.links.extend(vertical.links);
         p.routers.extend(vertical.routers.into_iter().skip(1));
         p.links.extend(tail.links);
@@ -104,10 +150,29 @@ impl PillarMesh3d {
         p
     }
 
+    /// Route between two modules (see [`PillarMesh3d::route_routers`]).
+    pub fn route(&self, src_module: usize, dst_module: usize) -> Path {
+        self.route_routers(
+            self.topo.router_of(src_module),
+            self.topo.router_of(dst_module),
+        )
+    }
+
+    /// Materializes the all-pairs pillar routes as a [`RouteTable`]
+    /// (reported as dimension-order: the routing is deterministic, one
+    /// choice per pair), ready for
+    /// [`Engine::with_table`](crate::des::Engine::with_table).
+    pub fn route_table(&self) -> RouteTable {
+        RouteTable::from_routes(&self.topo, RoutingKind::DimensionOrder, |a, b, _c, out| {
+            let p = self.route_routers(a, b);
+            out.extend(p.links.iter().map(|&l| l as u32));
+        })
+    }
+
     /// Mean zero-load latency under the pillar routing, using the same
     /// timing parameters as the regular analytic model.
     pub fn zero_load_latency(&self, params: RouterParams) -> f64 {
-        let n = self.base.num_modules();
+        let n = self.topo.num_modules();
         let mut total = 0.0;
         let mut pairs = 0u64;
         for s in 0..n {
@@ -125,14 +190,36 @@ impl PillarMesh3d {
     }
 }
 
+/// Whether the column at `(x, y)` is a TSV pillar under `pitch`.
+fn is_pillar_column(x: usize, y: usize, pitch: usize) -> bool {
+    x.is_multiple_of(pitch) && y.is_multiple_of(pitch)
+}
+
+/// Nearest multiple of `pitch` to `c` within `0..n`, preferring the
+/// lower candidate on ties (matching the old first-wins scan order).
+fn nearest_on_axis(c: usize, pitch: usize, n: usize) -> usize {
+    let lo = (c / pitch) * pitch;
+    let hi = lo + pitch;
+    if hi < n && hi - c < c - lo {
+        hi
+    } else {
+        lo
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::des::{DesConfig, Engine};
+    use std::sync::Arc;
 
     #[test]
     fn pitch_one_matches_full_mesh_routing() {
         let pillar = PillarMesh3d::new(4, 4, 4, 1);
         let full = Topology::mesh3d(4, 4, 4);
+        // Pitch 1 keeps every vertical link, so the sparse materialization
+        // IS the full mesh — link list and all.
+        assert_eq!(pillar.topology().links(), full.links());
         for (s, d) in [(0usize, 63usize), (10, 50), (33, 4)] {
             let a = pillar.route(s, d).hops();
             let b = crate::routing::route(&full, s, d).hops();
@@ -148,12 +235,28 @@ mod tests {
         assert_eq!(PillarMesh3d::new(4, 4, 4, 1).pillar_count(), 16);
         assert_eq!(PillarMesh3d::new(4, 4, 4, 2).pillar_count(), 4);
         assert_eq!(PillarMesh3d::new(4, 4, 4, 4).pillar_count(), 1);
+        // Non-divisible extents round up: pillars at 0, 2, 4 in a line of 5.
+        assert_eq!(PillarMesh3d::new(5, 5, 2, 2).pillar_count(), 9);
+    }
+
+    #[test]
+    fn materialized_topology_is_sparse() {
+        let pillar = PillarMesh3d::new(4, 4, 3, 2);
+        let full = Topology::mesh3d(4, 4, 3);
+        // 4 pillars of the 16 columns keep their 2 vertical pairs each.
+        let kept = 2 * 2 * pillar.pillar_count();
+        let dropped = 2 * 2 * (16 - pillar.pillar_count());
+        assert_eq!(pillar.topology().num_links(), full.num_links() - dropped);
+        assert_eq!(
+            pillar.topology().num_links(),
+            full.num_links() - (2 * 2 * 16 - kept)
+        );
     }
 
     #[test]
     fn routes_are_valid_chains() {
         let pillar = PillarMesh3d::new(4, 4, 3, 2);
-        let topo = pillar.base();
+        let topo = pillar.topology();
         for (s, d) in [(0usize, 47usize), (5, 42), (20, 1)] {
             let p = pillar.route(s, d);
             assert_eq!(p.routers.len(), p.links.len() + 1);
@@ -170,13 +273,36 @@ mod tests {
     #[test]
     fn vertical_route_uses_pillar_column() {
         let pillar = PillarMesh3d::new(4, 4, 2, 4); // single pillar at (0,0)
-        let topo = pillar.base();
+        let topo = pillar.topology();
         let s = topo.router_at([3, 3, 0]);
         let d = topo.router_at([3, 3, 1]);
         let p = pillar.route(s, d);
         // Must detour via (0,0): 6 hops in, 1 up, 6 back.
         assert_eq!(p.hops(), 13);
         assert!(p.routers.contains(&topo.router_at([0, 0, 0])));
+    }
+
+    #[test]
+    fn nearest_pillar_closed_form_matches_scan() {
+        let pillar = PillarMesh3d::new(5, 7, 2, 3);
+        let [nx, ny, _] = pillar.grid().dims();
+        for x in 0..nx {
+            for y in 0..ny {
+                // Reference: the old first-wins double scan.
+                let mut best = (0, 0);
+                let mut best_d = usize::MAX;
+                for px in (0..nx).filter(|&px| px % 3 == 0) {
+                    for py in (0..ny).filter(|&py| py % 3 == 0) {
+                        let d = px.abs_diff(x) + py.abs_diff(y);
+                        if d < best_d {
+                            best_d = d;
+                            best = (px, py);
+                        }
+                    }
+                }
+                assert_eq!(pillar.nearest_pillar(x, y), best, "({x},{y})");
+            }
+        }
     }
 
     #[test]
@@ -195,6 +321,23 @@ mod tests {
         let s = 0usize; // (0,0,0)
         let d = 3usize; // (3,0,0)
         assert_eq!(sparse.route(s, d).hops(), 3);
+    }
+
+    #[test]
+    fn des_runs_on_the_pillar_route_table() {
+        let pillar = PillarMesh3d::new(4, 4, 2, 2);
+        let table = Arc::new(pillar.route_table());
+        let cfg = DesConfig {
+            injection_rate: 0.1,
+            seed: 7,
+            warmup_packets: 100,
+            measured_packets: 500,
+            ..DesConfig::default()
+        };
+        let a = Engine::with_table(pillar.topology(), Arc::clone(&table)).run(&cfg);
+        let b = Engine::with_table(pillar.topology(), table).run(&cfg);
+        assert_eq!(a, b, "pillar-table DES must be deterministic");
+        assert!(a.delivered > 0);
     }
 
     #[test]

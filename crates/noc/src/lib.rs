@@ -22,12 +22,20 @@
 //!   nearest-neighbour) and parallel multi-replication [`mod@des::sweep`]s
 //!   with per-rate error bars and saturation-knee detection.
 //! * [`metrics`] — structural topology metrics (the quantitative Fig. 7).
+//! * [`icdb`] — the interconnect database: deduplicated tile/link
+//!   classes plus expanded grids instantiated by coordinate (the
+//!   prjcombine model), scaling topology description and route-class
+//!   programs to 10⁴–10⁶ routers in O(1) memory, with a bit-identical
+//!   compatibility bridge to [`topology`]/[`routing`] and hybrid
+//!   wired+wireless board layouts ([`icdb::HybridBoards`]).
 //! * [`irregular`] — partial-TSV (pillar) 3D meshes for the paper's
-//!   future-work ablation: vertical links only on some routers.
+//!   future-work ablation, built on the database: vertical links only on
+//!   pillar routers.
 //!
 //! A workspace-wide tour of where this crate sits (and which engines are
 //! pinned to which oracles) is in `docs/ARCHITECTURE.md` at the
-//! repository root.
+//! repository root; the interconnect-database topology model itself is
+//! specified in `docs/TOPOLOGY.md`.
 //!
 //! # Example
 //!
@@ -45,6 +53,7 @@
 
 pub mod analytic;
 pub mod des;
+pub mod icdb;
 pub mod irregular;
 pub mod metrics;
 pub mod routing;
@@ -56,6 +65,7 @@ pub use des::{
     simulate, sweep, DesConfig, DesResult, Engine, RatePoint, ServiceDistribution, SweepConfig,
     SweepResult,
 };
+pub use icdb::{ClassRouter, ExpandedGrid, HybridBoards, InterconnectDb};
 pub use metrics::{topology_metrics, TopologyMetrics};
 pub use routing::{route, Path, RouteTable};
 pub use topology::{Topology, TopologyKind};

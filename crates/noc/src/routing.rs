@@ -337,7 +337,7 @@ pub fn policy_route(
 /// [`RoutingKind::DimensionOrder`] (the [`RouteTable::new`] default,
 /// choice count 1) identical to the one [`route`] returns, so consumers
 /// switching to the table see bit-identical behaviour.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RouteTable {
     kind: RoutingKind,
     num_routers: usize,
@@ -380,6 +380,38 @@ impl RouteTable {
     /// Panics if the policy is invalid ([`RoutingKind::problem`]) or the
     /// topology lacks a link some route needs.
     pub fn with_policy(topo: &Topology, kind: RoutingKind) -> Self {
+        let mut scratch = Path {
+            routers: Vec::new(),
+            links: Vec::new(),
+        };
+        Self::from_routes(topo, kind, |a, b, c, out| {
+            policy_route_into(topo, kind, a, b, c, &mut scratch);
+            out.extend(scratch.links.iter().map(|&l| l as u32));
+        })
+    }
+
+    /// Builds a table by materializing every (router pair, choice) route
+    /// through a caller-supplied route program instead of the mesh policy
+    /// walker — the entry point for database-expanded grids
+    /// ([`crate::icdb`]) and irregular topologies (pillar meshes, hybrid
+    /// wired+wireless boards) whose routes no [`RoutingKind`] policy can
+    /// derive from coordinates alone.
+    ///
+    /// `route_fn(src, dst, choice, out)` must **append** the link ids of
+    /// that route to `out` (left untouched for zero-hop pairs). The
+    /// resulting table reports `kind` and `kind.choices()` routes per
+    /// pair, so the per-packet [`route_choice`] selection works
+    /// unchanged; when `route_fn` replays the policy walker the table is
+    /// bit-identical to [`RouteTable::with_policy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid ([`RoutingKind::problem`]) or the
+    /// table exceeds the `u32` link capacity.
+    pub fn from_routes<F>(topo: &Topology, kind: RoutingKind, mut route_fn: F) -> Self
+    where
+        F: FnMut(usize, usize, usize, &mut Vec<u32>),
+    {
         if let Some(problem) = kind.problem() {
             panic!("invalid routing policy: {problem}");
         }
@@ -388,15 +420,10 @@ impl RouteTable {
         let mut offsets = Vec::with_capacity(r * r * choices + 1);
         offsets.push(0u32);
         let mut links: Vec<u32> = Vec::new();
-        let mut scratch = Path {
-            routers: Vec::new(),
-            links: Vec::new(),
-        };
         for a in 0..r {
             for b in 0..r {
                 for c in 0..choices {
-                    policy_route_into(topo, kind, a, b, c, &mut scratch);
-                    links.extend(scratch.links.iter().map(|&l| l as u32));
+                    route_fn(a, b, c, &mut links);
                     let end: u32 = links
                         .len()
                         .try_into()

@@ -174,6 +174,63 @@ impl Topology {
         }
     }
 
+    /// Builds a topology over the standard raster of routers (`dims`,
+    /// z-major like [`Topology::mesh3d`]) from an explicit directed link
+    /// list — the materialization entry point for database-expanded
+    /// grids ([`crate::icdb`]) whose link sets the four regular builders
+    /// cannot express: pillar meshes with sparse vertical links and
+    /// hybrid wired+wireless board grids with express radio links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension or the concentration is zero, or if a link
+    /// endpoint is outside the router raster.
+    pub(crate) fn from_links(
+        kind: TopologyKind,
+        dims: [usize; 3],
+        concentration: usize,
+        links: Vec<Link>,
+    ) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "all dimensions must be positive, got {dims:?}"
+        );
+        assert!(concentration > 0, "concentration must be positive");
+        let [nx, ny, nz] = dims;
+        let n_routers = nx * ny * nz;
+        let mut routers = Vec::with_capacity(n_routers);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    routers.push(Router { coord: [x, y, z] });
+                }
+            }
+        }
+        for l in &links {
+            assert!(
+                l.src < n_routers && l.dst < n_routers,
+                "link {l:?} outside the {n_routers}-router raster"
+            );
+        }
+        let module_router: Vec<usize> = (0..n_routers)
+            .flat_map(|r| std::iter::repeat_n(r, concentration))
+            .collect();
+        let link_index = links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| ((l.src, l.dst), i))
+            .collect();
+        Topology {
+            kind,
+            dims,
+            concentration,
+            routers,
+            module_router,
+            links,
+            link_index,
+        }
+    }
+
     /// Topology family.
     pub fn kind(&self) -> TopologyKind {
         self.kind

@@ -8,6 +8,7 @@ use wireless_interconnect::channel::pathloss::{fit_pathloss_exponent, PathlossMo
 use wireless_interconnect::ldpc::code::{Encoder, LdpcCode};
 use wireless_interconnect::linkbudget::budget::LinkBudget;
 use wireless_interconnect::noc::analytic::{AnalyticModel, RouterParams};
+use wireless_interconnect::noc::icdb::{ClassRouter, ExpandedGrid};
 use wireless_interconnect::noc::routing::{
     all_pairs_routable_with, route, valiant_intermediate, RouteTable, RoutingKind,
 };
@@ -148,6 +149,44 @@ proptest! {
                         c,
                         links.len(),
                         want
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn icdb_route_programs_match_legacy_tables(
+        nx in 2usize..5,
+        ny in 2usize..5,
+        nz in 1usize..4,
+        policy_idx in 0usize..4,
+    ) {
+        // The database-expanded grid's per-tile-class route programs must
+        // agree link for link with the legacy CSR table on every random
+        // mesh, for every routing kind — the icdb compatibility contract.
+        let kind = match policy_idx {
+            0 => RoutingKind::DimensionOrder,
+            1 => RoutingKind::O1Turn,
+            2 => RoutingKind::valiant(),
+            _ => RoutingKind::Valiant { choices: 3 },
+        };
+        let topo = Topology::mesh3d(nx, ny, nz);
+        let legacy = RouteTable::with_policy(&topo, kind);
+        let router = ClassRouter::new(ExpandedGrid::mesh3d(nx, ny, nz), kind);
+        // The materialized table is bit-identical to the legacy builder's.
+        prop_assert_eq!(&router.to_route_table(), &legacy);
+        // And the closed-form programs agree without building any table.
+        let mut out = Vec::new();
+        for a in 0..topo.num_routers() {
+            for b in 0..topo.num_routers() {
+                for c in 0..legacy.num_choices() {
+                    out.clear();
+                    router.route_routers_into(a, b, c, &mut out);
+                    prop_assert!(
+                        out[..] == *legacy.links_choice(a, b, c),
+                        "{} ({},{}) choice {} on {}x{}x{}",
+                        kind.name(), a, b, c, nx, ny, nz
                     );
                 }
             }

@@ -1,6 +1,7 @@
 //! Criterion benches for the discrete-event NoC simulator: the retained
-//! per-event-allocating reference vs the arena engine, and the arena
-//! engine across the oblivious routing policies.
+//! per-event-allocating reference vs the arena engine, the arena engine
+//! across the routing policies (oblivious and adaptive), and the
+//! virtual-channel pricing of the adaptive path.
 //!
 //! Split out of `kernels.rs` so the CI `bench-quick` job (and a human
 //! chasing a DES regression) can run the simulator suite by itself:
@@ -58,12 +59,16 @@ fn bench_des_routing(c: &mut Criterion) {
     // The arena engine under each routing policy on the paper's winning
     // 4x4x4 3D mesh — the multi-route tables must not slow the hot loop
     // (selection is one hash; routes stay flat-CSR), though Valiant's
-    // longer detour paths do honest extra hops.
+    // longer detour paths do honest extra hops. Adaptive is the one
+    // policy with per-hop work (a ≤3-candidate queue-state scan instead
+    // of a CSR lookup) — its gap to dor prices that scan.
     let topo = Topology::mesh3d(4, 4, 4);
     for routing in [
         RoutingKind::DimensionOrder,
         RoutingKind::O1Turn,
         RoutingKind::valiant(),
+        RoutingKind::rlb(),
+        RoutingKind::Adaptive,
     ] {
         let cfg = DesConfig {
             routing,
@@ -88,6 +93,33 @@ fn bench_des_routing(c: &mut Criterion) {
         b.iter(|| {
             ClassRouter::new(ExpandedGrid::mesh3d(4, 4, 4), RoutingKind::valiant()).to_route_table()
         })
+    });
+}
+
+fn bench_des_vcs(c: &mut Criterion) {
+    // Virtual-channel pricing on the 8x8 2D mesh. `adaptive` is the
+    // headline congestion-aware run (auto VCs = its 4 virtual networks);
+    // `dor_vc8` pins the inert-VC guarantee — explicit VCs on an
+    // oblivious policy must cost nothing, because the engine never
+    // allocates or touches `vc_free` off the adaptive path (the run is
+    // bit-identical to `des_sim_engine_8x8_20k` above, and this bench
+    // keeps it wall-clock-identical too).
+    let topo = Topology::mesh2d(8, 8);
+    let adaptive = DesConfig {
+        routing: RoutingKind::Adaptive,
+        ..DesConfig::default()
+    };
+    let mut engine = Engine::with_routing(&topo, RoutingKind::Adaptive);
+    c.bench_function("des_sim_adaptive_8x8_20k", |b| {
+        b.iter(|| engine.run(black_box(&adaptive)))
+    });
+    let dor_vc8 = DesConfig {
+        vcs: 8,
+        ..DesConfig::default()
+    };
+    let mut engine = Engine::new(&topo);
+    c.bench_function("des_sim_engine_8x8_dor_vc8_20k", |b| {
+        b.iter(|| engine.run(black_box(&dor_vc8)))
     });
 }
 
@@ -127,6 +159,6 @@ fn bench_icdb(c: &mut Criterion) {
 criterion_group! {
     name = des_sim;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_des_sim, bench_des_faulty, bench_des_routing, bench_icdb
+    targets = bench_des_sim, bench_des_faulty, bench_des_routing, bench_des_vcs, bench_icdb
 }
 criterion_main!(des_sim);

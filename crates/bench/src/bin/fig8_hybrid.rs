@@ -19,11 +19,17 @@
 //! radio, one radio hop per gap, wired to the destination), so far
 //! pairs get *shorter* than Manhattan while straddling neighbors pay a
 //! detour — the trade the table quantifies.
+//!
+//! `--routing <dor|o1turn|valiant[:k]|rlb[:k]|adaptive>` re-routes the
+//! monolithic strawman only (implies `--des`): the hybrids' tables are
+//! structural, and the adaptive candidate scan cannot cross a board gap
+//! (radio links are not unit-distance mesh steps), so the flag answers
+//! "does a smarter wired mesh close the gap to the hybrids?".
 
 use std::sync::Arc;
 use wi_bench::{
     die, flag_value, fmt, fmt_opt, has_flag, help_flag, print_table, rates_flag, reps_flag,
-    traffic_flag,
+    routing_flag, traffic_flag, RoutingArg,
 };
 use wi_noc::analytic::{AnalyticModel, RouterParams};
 use wi_noc::des::traffic::TrafficPattern;
@@ -49,13 +55,18 @@ FLAGS:
                          saturation knee)
     --traffic <kind>     DES traffic pattern: uniform (default),
                          hotspot[:node:frac], transpose, bitrev, neighbor
+    --routing <policy>   routing of the *monolithic* column only (implies
+                         --des): dor, o1turn, valiant[:k], rlb[:k],
+                         adaptive
     --reps <k>           DES replications per rate (default 3)
     --rates <csv>        override the injection-rate grid, e.g.
                          0.05,0.15,0.25 (the CI smoke grid)
     --help, -h           print this help
 
-Routing is fixed: dimension-order inside boards, nearest-radio express
-chains across them. Exact recipes: docs/REPRODUCING.md.";
+Hybrid routing is fixed: dimension-order inside boards, nearest-radio
+express chains across them (the adaptive scan cannot cross a board gap,
+so --routing re-routes the wired strawman only — the comparison the flag
+exists for). Exact recipes: docs/REPRODUCING.md.";
 
 /// `--dims x,y,z` (default `[4, 4, 4]`).
 fn dims_flag() -> [usize; 3] {
@@ -97,11 +108,20 @@ fn main() {
     }
     let traffic = traffic_flag();
     let reps = reps_flag(3);
-    let des = has_flag("--des");
+    let mono_policy = match routing_flag() {
+        Some(RoutingArg::Policy(k)) => Some(k),
+        Some(RoutingArg::All) => die("--routing all is a fig8a/fig8b mode; here pass one policy \
+             (it re-routes the monolithic column)"),
+        None => None,
+    };
+    let des = has_flag("--des") || mono_policy.is_some();
 
-    // The three interconnects, all with boards·nx·ny·nz modules.
+    // The three interconnects, all with boards·nx·ny·nz modules. Only the
+    // monolithic mesh honours --routing; the hybrids' board-of-boards
+    // tables are structural.
+    let mono_policy = mono_policy.unwrap_or(RoutingKind::DimensionOrder);
     let monolithic = Topology::mesh3d(boards * nx, ny, nz);
-    let mono_table = RouteTable::with_policy(&monolithic, RoutingKind::DimensionOrder);
+    let mono_table = RouteTable::with_policy(&monolithic, mono_policy);
     let hybrid1 = HybridBoards::with_radio_count(boards, dims, 1);
     let hybridk = HybridBoards::with_radio_count(boards, dims, radios);
     let names = [
@@ -134,13 +154,21 @@ fn main() {
     let sweeps: Option<Vec<SweepResult>> = des.then(|| {
         cases
             .iter()
-            .map(|(_, topo, table)| {
+            .enumerate()
+            .map(|(mi, (_, topo, table))| {
                 let proto = Engine::with_table(topo, Arc::new(table.clone()));
                 let cfg = SweepConfig::new(
                     rates.clone(),
                     reps,
                     DesConfig {
                         traffic,
+                        // Case 0 is the monolithic mesh; the hybrids keep
+                        // their structural dimension-order tables.
+                        routing: if mi == 0 {
+                            mono_policy
+                        } else {
+                            RoutingKind::DimensionOrder
+                        },
                         warmup_packets: 1_000,
                         measured_packets: 10_000,
                         max_events: 5_000_000,

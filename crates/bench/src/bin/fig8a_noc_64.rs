@@ -10,20 +10,20 @@
 //! assumption carries), `--reps <k>` the replications per rate (default
 //! 3) and `--rates <csv>` overrides the rate grid.
 //!
-//! `--routing <dor|o1turn|valiant[:k]>` selects the oblivious routing
-//! policy of the DES sweeps (implies `--des`; the analytic columns stay
-//! dimension-order). `--routing all` instead prints the policy × traffic
-//! saturation-knee matrix on the 4×4×4 3D mesh — the headline table of
-//! the randomized-routing study. Measured knees (3 reps, default grid,
-//! flits/cycle/module):
+//! `--routing <dor|o1turn|valiant[:k]|rlb[:k]|adaptive>` selects the
+//! routing policy of the DES sweeps (implies `--des`; the analytic
+//! columns stay dimension-order). `--routing all` instead prints the
+//! policy × traffic saturation-knee matrix on the 4×4×4 3D mesh — the
+//! headline table of the randomized-routing study. Measured knees
+//! (3 reps, default grid, flits/cycle/module):
 //!
-//! | traffic   |   dor | o1turn | valiant |
-//! |-----------|-------|--------|---------|
-//! | uniform   | >0.80 |  >0.80 |    0.45 |
-//! | hotspot   |  0.19 |   0.19 |    0.23 |
-//! | transpose |  0.35 |   0.55 |    0.40 |
-//! | bitrev    |  0.23 |   0.50 |    0.40 |
-//! | neighbor  | >0.80 |  >0.80 |    0.45 |
+//! | traffic   |   dor | o1turn | valiant |   rlb | adaptive |
+//! |-----------|-------|--------|---------|-------|----------|
+//! | uniform   | >0.80 |  >0.80 |    0.45 | >0.80 |    >0.80 |
+//! | hotspot   |  0.19 |   0.19 |    0.23 |  0.19 |     0.19 |
+//! | transpose |  0.35 |   0.55 |    0.40 |  0.50 |     0.70 |
+//! | bitrev    |  0.23 |   0.50 |    0.40 |  0.45 |     0.75 |
+//! | neighbor  | >0.80 |  >0.80 |    0.45 | >0.80 |    >0.80 |
 //!
 //! Dimension-order's adversarial collapses (transpose 0.35, bitrev 0.23
 //! vs uniform's >0.80) recover under O1TURN (0.55 / 0.50), which spreads
@@ -32,8 +32,16 @@
 //! 0.40–0.45 — raising the worst cases (bitrev 0.23 → 0.40, hotspot
 //! 0.19 → 0.23; the hotspot knee is ejection-port-bound, which no route
 //! diversification can widen) while its two-leg detours halve the
-//! benign-pattern capacity: the classic oblivious worst-case/average
-//! trade-off.
+//! benign-pattern capacity. RLB keeps Valiant's randomization but stays
+//! inside the minimal quadrant (transpose 0.50, bitrev 0.45), so it
+//! recovers most of the adversarial collapse without the uniform-
+//! capacity tax. Adaptive routing beats every oblivious policy on the
+//! adversarial patterns (transpose 0.70, bitrev 0.75) at full uniform
+//! capacity — congestion-aware steering reacts to the actual queue
+//! state instead of spreading load blind — and only falls to Valiant on
+//! hotspot (0.19 vs 0.23), where minimality itself is the constraint:
+//! every minimal path funnels into the same ejection port, and only
+//! Valiant's non-minimal detours sidestep the funnel's feeders.
 
 use wi_bench::{
     fmt, fmt_opt, has_flag, help_flag, print_table, rates_flag, reps_flag, routing_flag,
@@ -45,11 +53,13 @@ use wi_noc::des::{sweep, sweep_policies, DesConfig, SweepConfig, SweepResult};
 use wi_noc::routing::RoutingKind;
 use wi_noc::topology::Topology;
 
-/// The three policies of the `--routing all` matrix.
-const MATRIX_POLICIES: [RoutingKind; 3] = [
+/// The five policies of the `--routing all` matrix.
+const MATRIX_POLICIES: [RoutingKind; 5] = [
     RoutingKind::DimensionOrder,
     RoutingKind::O1Turn,
     RoutingKind::Valiant { choices: 8 },
+    RoutingKind::RlbValiant { choices: 8 },
+    RoutingKind::Adaptive,
 ];
 
 const USAGE: &str = "\
@@ -65,10 +75,11 @@ FLAGS:
                          knee; ~1-2 min)
     --traffic <kind>     DES traffic pattern: uniform (default),
                          hotspot[:node:frac], transpose, bitrev, neighbor
-    --routing <policy>   oblivious routing policy of the DES sweeps
-                         (implies --des): dor, o1turn, valiant[:k];
-                         `all` prints the policy x traffic saturation-knee
-                         matrix on the 4x4x4 3D mesh (~10-20 min)
+    --routing <policy>   routing policy of the DES sweeps (implies
+                         --des): dor, o1turn, valiant[:k], rlb[:k],
+                         adaptive; `all` prints the policy x traffic
+                         saturation-knee matrix on the 4x4x4 3D mesh
+                         (~10-20 min)
     --reps <k>           DES replications per rate (default 3)
     --rates <csv>        override the injection-rate grid, e.g.
                          0.05,0.15,0.25 (the CI smoke grid)

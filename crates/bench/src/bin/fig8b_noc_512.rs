@@ -5,7 +5,7 @@
 //! multi-replication sweep (the paper has no simulation at this scale —
 //! this is the independent check of the analytic claim). `--traffic`,
 //! `--reps` and `--rates` work as in `fig8a_noc_64`, as does
-//! `--routing <dor|o1turn|valiant[:k]>` (implies `--des`; the analytic
+//! `--routing <dor|o1turn|valiant[:k]|rlb[:k]|adaptive>` (implies `--des`; the analytic
 //! columns stay dimension-order). `--routing all` prints the
 //! policy-per-topology saturation-knee summary instead of the latency
 //! table — at 512 modules the per-policy route tables are large (the
@@ -37,8 +37,9 @@ FLAGS:
                          column per topology; minutes at 512 modules)
     --traffic <kind>     DES traffic pattern: uniform (default),
                          hotspot[:node:frac], transpose, bitrev, neighbor
-    --routing <policy>   oblivious routing policy of the DES sweeps
-                         (implies --des): dor, o1turn, valiant[:k];
+    --routing <policy>   routing policy of the DES sweeps (implies
+                         --des): dor, o1turn, valiant[:k], rlb[:k],
+                         adaptive;
                          `all` prints the policy-per-topology knee
                          summary instead of the latency table (minutes:
                          the 512-module Valiant table is large)
@@ -95,6 +96,8 @@ fn main() {
             RoutingKind::DimensionOrder,
             RoutingKind::O1Turn,
             RoutingKind::Valiant { choices: 8 },
+            RoutingKind::RlbValiant { choices: 8 },
+            RoutingKind::Adaptive,
         ];
         let headers: Vec<&str> = std::iter::once("topology")
             .chain(policies.iter().map(|p| p.name()))

@@ -124,7 +124,8 @@ pub fn routing_flag() -> Option<RoutingArg> {
     flag_value("--routing").map(|s| {
         parse_routing_arg(&s).unwrap_or_else(|| {
             die(&format!(
-                "unknown routing policy {s:?} (try dor, o1turn, valiant, valiant:<k>, all)"
+                "unknown routing policy {s:?} (try dor, o1turn, valiant[:k], rlb[:k], \
+                 adaptive, all)"
             ))
         })
     })
@@ -257,6 +258,14 @@ mod tests {
         assert_eq!(
             parse_routing_arg("valiant:4"),
             Some(RoutingArg::Policy(RoutingKind::Valiant { choices: 4 }))
+        );
+        assert_eq!(
+            parse_routing_arg("rlb:4"),
+            Some(RoutingArg::Policy(RoutingKind::RlbValiant { choices: 4 }))
+        );
+        assert_eq!(
+            parse_routing_arg("adaptive"),
+            Some(RoutingArg::Policy(RoutingKind::Adaptive))
         );
         assert_eq!(parse_routing_arg("all"), Some(RoutingArg::All));
         assert_eq!(parse_routing_arg("nope"), None);

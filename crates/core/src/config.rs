@@ -177,8 +177,15 @@ pub enum ReceiverModel {
 pub struct NocWorkloadConfig {
     /// Destination pattern of injected packets.
     pub traffic: TrafficKind,
-    /// Oblivious routing policy (dimension-order, O1TURN or Valiant).
+    /// Routing policy (dimension-order, O1TURN, Valiant, minimal-quadrant
+    /// RLB, or congestion-adaptive).
     pub routing: RoutingKind,
+    /// Virtual channels per link; 0 means "the policy's deadlock-safe
+    /// minimum" ([`RoutingKind::safe_vcs`]). Explicit values below that
+    /// minimum are rejected by [`SystemConfig::validate`] — the
+    /// channel-dependency-graph contract in `wi_noc::deadlock` only
+    /// covers the safe allocation.
+    pub vcs: usize,
     /// Link service-time distribution.
     pub service: ServiceDistribution,
     /// Independent DES replications per operating point (error bars).
@@ -198,6 +205,7 @@ impl NocWorkloadConfig {
         NocWorkloadConfig {
             traffic: TrafficKind::Uniform,
             routing: RoutingKind::DimensionOrder,
+            vcs: 0,
             service: ServiceDistribution::Exponential,
             replications: 3,
             injection_rate: 0.1,
@@ -211,6 +219,7 @@ impl NocWorkloadConfig {
             injection_rate: self.injection_rate,
             traffic: self.traffic,
             routing: self.routing,
+            vcs: self.vcs,
             service: self.service,
             fault: self.fault,
             seed,
@@ -435,6 +444,8 @@ impl SystemConfig {
         }
         if let Some(problem) = self.noc.routing.problem() {
             problems.push(format!("NoC routing: {problem}"));
+        } else if let Some(problem) = self.noc.routing.vc_problem(self.noc.vcs) {
+            problems.push(format!("NoC routing: {problem}"));
         }
         if let Some(problem) = self.noc.fault.problem() {
             problems.push(format!("NoC fault model: {problem}"));
@@ -620,6 +631,13 @@ mod tests {
             ..w
         };
         assert_eq!(randomized.des_config(1).routing, RoutingKind::valiant());
+        assert_eq!(des.vcs, 0, "paper default lets the policy pick its VCs");
+        let adaptive = NocWorkloadConfig {
+            routing: RoutingKind::Adaptive,
+            vcs: 6,
+            ..w
+        };
+        assert_eq!(adaptive.des_config(1).vcs, 6);
         let sweep = w.sweep_config(vec![0.05, 0.1], 7);
         assert_eq!(sweep.replications, 3);
         assert_eq!(sweep.rates, vec![0.05, 0.1]);
@@ -643,6 +661,20 @@ mod tests {
             problems.iter().any(|p| p.contains("NoC fault model")),
             "{problems:?}"
         );
+    }
+
+    #[test]
+    fn validation_catches_undersized_vc_configs() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.noc.routing = RoutingKind::Adaptive;
+        cfg.noc.vcs = 2; // Adaptive needs its 4 Linder–Harden networks.
+        let problems = cfg.validate();
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("virtual channels"), "{problems:?}");
+        cfg.noc.vcs = 0; // auto: the policy's safe minimum
+        assert!(cfg.validate().is_empty(), "{:?}", cfg.validate());
+        cfg.noc.vcs = 8; // headroom above the minimum is fine
+        assert!(cfg.validate().is_empty(), "{:?}", cfg.validate());
     }
 
     #[test]

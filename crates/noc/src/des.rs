@@ -93,6 +93,17 @@ pub struct DesConfig {
     /// and reproduces the fault-free simulation bit for bit (pinned by
     /// the `zero_error_model_is_bit_identical_to_baseline` test).
     pub fault: FaultConfig,
+    /// Virtual channels per link. `0` (the default) means auto: the
+    /// policy's deadlock-safe minimum
+    /// ([`crate::routing::RoutingKind::safe_vcs`]). Explicit counts below
+    /// that minimum are rejected at run time; counts at or above it are
+    /// *inert* for the unbounded-FIFO servers this DES models (VCs share
+    /// the physical wire, so timing never changes — pinned by the
+    /// `explicit_vc_config_is_bit_identical_to_auto` test). The adaptive
+    /// policy reads the per-(link, VC) queue state as its congestion
+    /// signal; the deadlock-freedom contract per count lives in
+    /// `wi_noc::deadlock` and `tests/properties.rs`.
+    pub vcs: usize,
 }
 
 impl Default for DesConfig {
@@ -108,6 +119,7 @@ impl Default for DesConfig {
             seed: 0xDE5,
             max_events: 50_000_000,
             fault: FaultConfig::default(),
+            vcs: 0,
         }
     }
 }
@@ -189,6 +201,9 @@ mod tests {
             RoutingKind::O1Turn,
             RoutingKind::valiant(),
             RoutingKind::Valiant { choices: 3 },
+            RoutingKind::rlb(),
+            RoutingKind::RlbValiant { choices: 3 },
+            RoutingKind::Adaptive,
         ] {
             for topo in [Topology::mesh2d(4, 4), Topology::mesh3d(3, 3, 3)] {
                 for seed in [1u64, 42, 0xDE5] {
@@ -209,6 +224,70 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn explicit_vc_config_is_bit_identical_to_auto() {
+        // VCs share the physical wire, so the per-link VC count must
+        // never change timing: an explicit (over-provisioned) count
+        // reproduces the auto-count run — and therefore the pre-VC
+        // engine — bit for bit, for every policy including adaptive.
+        for topo in [Topology::mesh2d(4, 4), Topology::mesh3d(3, 3, 3)] {
+            for kind in ALL_ROUTING {
+                for seed in [1u64, 42, 0xDE5] {
+                    let auto = DesConfig {
+                        routing: kind,
+                        ..quick(0.2, seed)
+                    };
+                    let explicit = DesConfig {
+                        vcs: kind.safe_vcs() + 2,
+                        ..auto
+                    };
+                    assert_eq!(
+                        simulate(&topo, &auto),
+                        simulate(&topo, &explicit),
+                        "{} seed {seed} diverged on {:?}",
+                        kind.name(),
+                        topo.kind()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_routing_stays_minimal_at_low_load() {
+        // With every queue idle the adaptive tie-break picks a fixed
+        // productive link per hop, so routes stay minimal and low-load
+        // latency must sit within a few percent of dimension-order's.
+        let topo = Topology::mesh3d(3, 3, 3);
+        let base = quick(0.05, 11);
+        let dor = simulate(&topo, &base).mean_latency;
+        let ada = simulate(
+            &topo,
+            &DesConfig {
+                routing: RoutingKind::Adaptive,
+                ..base
+            },
+        )
+        .mean_latency;
+        assert!(
+            (ada - dor).abs() / dor < 0.10,
+            "adaptive {ada} vs dor {dor} at low load"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid vc config")]
+    fn undersized_vc_config_panics() {
+        simulate(
+            &Topology::mesh2d(3, 3),
+            &DesConfig {
+                routing: RoutingKind::Adaptive,
+                vcs: 2,
+                ..DesConfig::default()
+            },
+        );
     }
 
     #[test]
@@ -437,11 +516,13 @@ mod tests {
     }
 
     /// All routing kinds the fault tests cycle through.
-    const ALL_ROUTING: [RoutingKind; 4] = [
+    const ALL_ROUTING: [RoutingKind; 6] = [
         RoutingKind::DimensionOrder,
         RoutingKind::O1Turn,
         RoutingKind::Valiant { choices: 2 },
         RoutingKind::Valiant { choices: 3 },
+        RoutingKind::RlbValiant { choices: 2 },
+        RoutingKind::Adaptive,
     ];
 
     /// A fault config exercising every mechanism at once: heterogeneous

@@ -39,7 +39,7 @@
 use super::fault::corrupt_unit;
 use super::traffic::{TrafficCtx, TrafficPattern};
 use super::{DesConfig, DesResult, ServiceDistribution};
-use crate::routing::{route_choice, RouteTable, RoutingKind};
+use crate::routing::{adaptive_network, route_choice, RouteTable, RoutingKind};
 use crate::topology::Topology;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -206,6 +206,12 @@ struct PacketSlot {
     /// ARQ retransmissions already spent on the current hop.
     attempt: u32,
     dst: u32,
+    /// Virtual channel, fixed at injection. For adaptive routing this is
+    /// the packet's Linder–Harden virtual network
+    /// ([`adaptive_network`]); oblivious policies keep VC bookkeeping out
+    /// of the hot loop entirely (their allocation rules live in
+    /// [`crate::deadlock`]), so the field stays 0.
+    vc: u8,
     measured: bool,
 }
 
@@ -249,12 +255,44 @@ pub struct Engine {
     packets: Vec<PacketSlot>,
     free: Vec<u32>,
     link_free: Vec<f64>,
+    /// Per-(link, VC) earliest-free times — the queue-state the adaptive
+    /// policy reads per hop. Sized `num_links × vcs` per run; timing is
+    /// still governed by the physical `link_free` server (VCs share the
+    /// wire), so this is visibility + tie-break state, not extra servers.
+    vc_free: Vec<f64>,
     ej_free: Vec<f64>,
+    /// `nbr_link[router·6 + 2·dim + positive]` — the unit-distance mesh
+    /// link leaving `router` along `dim` in that direction, `u32::MAX`
+    /// when absent. Lets the adaptive hot loop enumerate productive links
+    /// with array reads instead of `HashMap` probes. Express links that
+    /// skip routers (hybrid radio chains) never enter the table.
+    nbr_link: Vec<u32>,
     /// Per-link static error probability, precomputed per run from the
     /// fault config (all zeros when faults are off).
     link_p: Vec<f64>,
     /// Per-link retransmission counts (drives `worst_link_retries`).
     link_retries: Vec<u64>,
+}
+
+/// Builds the [`Engine::nbr_link`] neighbor table for a topology.
+fn neighbor_links(topo: &Topology) -> Vec<u32> {
+    let mut nbr = vec![u32::MAX; topo.num_routers() * 6];
+    'links: for (l, link) in topo.links().iter().enumerate() {
+        let a = topo.coord(link.src);
+        let b = topo.coord(link.dst);
+        let mut step: Option<(usize, bool)> = None;
+        for dim in 0..3 {
+            match a[dim].abs_diff(b[dim]) {
+                0 => {}
+                1 if step.is_none() => step = Some((dim, a[dim] < b[dim])),
+                _ => continue 'links,
+            }
+        }
+        if let Some((dim, positive)) = step {
+            nbr[link.src * 6 + 2 * dim + usize::from(positive)] = l as u32;
+        }
+    }
+    nbr
 }
 
 impl Engine {
@@ -288,7 +326,9 @@ impl Engine {
             packets: Vec::new(),
             free: Vec::new(),
             link_free: vec![0.0; topo.num_links()],
+            vc_free: Vec::new(),
             ej_free: vec![0.0; topo.num_modules()],
+            nbr_link: neighbor_links(topo),
             link_p: vec![0.0; topo.num_links()],
             link_retries: vec![0; topo.num_links()],
         }
@@ -325,7 +365,9 @@ impl Engine {
             packets: Vec::new(),
             free: Vec::new(),
             link_free: vec![0.0; topo.num_links()],
+            vc_free: Vec::new(),
             ej_free: vec![0.0; topo.num_modules()],
+            nbr_link: neighbor_links(topo),
             link_p: vec![0.0; topo.num_links()],
             link_retries: vec![0; topo.num_links()],
         }
@@ -359,6 +401,9 @@ impl Engine {
         if let Some(problem) = config.fault.problem() {
             panic!("invalid fault config: {problem}");
         }
+        if let Some(problem) = config.routing.vc_problem(config.vcs) {
+            panic!("invalid vc config: {problem}");
+        }
         if self.routes.kind() != config.routing {
             self.routes = Arc::new(RouteTable::with_policy(&self.topo, config.routing));
         }
@@ -372,18 +417,33 @@ impl Engine {
             packets,
             free,
             link_free,
+            vc_free,
             ej_free,
+            nbr_link,
             link_p,
             link_retries,
         } = self;
         let routes: &RouteTable = routes;
         let route_choices = routes.num_choices();
+        let adaptive = config.routing == RoutingKind::Adaptive;
+        let vcs = if config.vcs == 0 {
+            config.routing.safe_vcs()
+        } else {
+            config.vcs
+        };
 
         heap.clear();
         packets.clear();
         free.clear();
         link_free.clear();
         link_free.resize(*num_links, 0.0);
+        // Per-(link, VC) visibility only feeds the adaptive choice, so
+        // oblivious runs skip the array entirely — the pre-VC hot loop,
+        // bit for bit *and* byte for byte.
+        vc_free.clear();
+        if adaptive {
+            vc_free.resize(*num_links * vcs, 0.0);
+        }
         ej_free.clear();
         ej_free.resize(n, 0.0);
         link_retries.clear();
@@ -455,15 +515,32 @@ impl Engine {
                 let dst = config.traffic.dest(module, ctx, &mut rng);
                 let measured = injected >= config.warmup_packets && injected < total_tracked;
                 let choice = route_choice(config.seed, injected as u64, module, dst, route_choices);
-                let span = routes.span_choice(module, dst, choice);
+                // Adaptive packets carry no precomputed route: `route_lo`
+                // holds the *current router* instead of a table offset,
+                // and the hop budget is the Manhattan distance (adaptive
+                // routing is minimal). The VC is the packet's virtual
+                // network, fixed here for its whole life.
+                let (route_lo, hops, vc) = if adaptive {
+                    let src_r = topo.router_of(module);
+                    let dst_r = topo.router_of(dst);
+                    (
+                        src_r as u32,
+                        topo.router_distance(src_r, dst_r) as u32,
+                        adaptive_network(topo.coord(src_r), topo.coord(dst_r)) as u8,
+                    )
+                } else {
+                    let span = routes.span_choice(module, dst, choice);
+                    (span.start as u32, span.len() as u32, 0u8)
+                };
                 let slot = PacketSlot {
                     t_inject: now,
                     pkt: injected as u64,
-                    route_lo: span.start as u32,
-                    remaining: span.len() as u32,
-                    hops: span.len() as u32,
+                    route_lo,
+                    remaining: hops,
+                    hops,
                     attempt: 0,
                     dst: dst as u32,
+                    vc,
                     measured,
                 };
                 let pid = match free.pop() {
@@ -506,10 +583,49 @@ impl Engine {
                     // still occupies the link for the full service time
                     // (the receiver only detects the bad frame on
                     // arrival).
-                    let l = routes.flat_links()[p.route_lo as usize] as usize;
+                    let l = if adaptive {
+                        // Congestion-aware choice among the productive
+                        // links (one per unfinished dimension): ascending
+                        // (server-free, vc-free, link id). A pure
+                        // function of queue state — shared verbatim with
+                        // the reference oracle, so no RNG and no
+                        // bit-divergence. All-idle ties fall to the
+                        // lowest link id, i.e. dimension order at low
+                        // load; an ARQ retry re-runs the scan and may
+                        // steer around the congestion it just hit.
+                        let cur = p.route_lo as usize;
+                        let here = topo.coord(cur);
+                        let target = topo.coord(topo.router_of(p.dst as usize));
+                        let mut best = usize::MAX;
+                        let mut best_key = (f64::INFINITY, f64::INFINITY, u32::MAX);
+                        for dim in 0..3 {
+                            if here[dim] == target[dim] {
+                                continue;
+                            }
+                            let positive = here[dim] < target[dim];
+                            let cand = nbr_link[cur * 6 + 2 * dim + usize::from(positive)] as usize;
+                            let key = (
+                                link_free[cand].max(now),
+                                vc_free[cand * vcs + p.vc as usize].max(now),
+                                cand as u32,
+                            );
+                            if key < best_key {
+                                best_key = key;
+                                best = cand;
+                            }
+                        }
+                        best
+                    } else {
+                        routes.flat_links()[p.route_lo as usize] as usize
+                    };
                     let start = now.max(link_free[l]);
                     let finish = start + svc;
                     link_free[l] = finish;
+                    if adaptive {
+                        // The VC lane the packet occupies frees with the
+                        // wire — occupied by corrupted frames too.
+                        vc_free[l * vcs + p.vc as usize] = finish;
+                    }
                     // Pure-hash corruption decision — consumes no RNG, so
                     // the `faults` short-circuit (and any zero-probability
                     // config) leaves the event stream untouched.
@@ -520,7 +636,12 @@ impl Engine {
                                 < p_err
                     };
                     if !corrupted {
-                        packets[pid].route_lo += 1;
+                        if adaptive {
+                            // Advance to the link's downstream router.
+                            packets[pid].route_lo = topo.links()[l].dst as u32;
+                        } else {
+                            packets[pid].route_lo += 1;
+                        }
                         packets[pid].remaining -= 1;
                         packets[pid].attempt = 0;
                         // Next router pipeline, then next queue.

@@ -24,10 +24,17 @@
 //! table), retries push fresh heap events, and the corruption decision
 //! shares the engine's pure `(seed, packet, hop, attempt)` hash — so
 //! the bit-identical contract extends to faulty runs.
+//!
+//! Adaptive routing is re-materialized naively too: every hop re-derives
+//! the productive candidate links through per-hop
+//! [`Topology::link_between`] `HashMap` probes (no neighbor table) and
+//! applies the same pure (server-free, vc-free, link id) comparison the
+//! engine's arena loop uses — congestion-aware decisions never touch the
+//! RNG, so the bit-identical contract survives them.
 
 use super::fault::corrupt_unit;
 use super::{DesConfig, DesResult, ServiceDistribution};
-use crate::routing::{policy_route, route_choice};
+use crate::routing::{adaptive_network, policy_route, route_choice, RoutingKind};
 use crate::topology::Topology;
 use rand::Rng;
 use std::cmp::Reverse;
@@ -63,10 +70,19 @@ enum Event {
 
 struct Packet {
     t_inject: f64,
-    /// Link ids along the path.
+    /// Link ids along the path (empty under adaptive routing, which has
+    /// no precomputed path — every hop is re-derived from queue state).
     links: Vec<usize>,
     dst_module: usize,
     next_stage: usize,
+    /// Inter-router hops the packet must make (`links.len()` for
+    /// precomputed routes, the Manhattan distance under adaptive).
+    total_hops: usize,
+    /// Current router (meaningful under adaptive routing only).
+    cur_router: usize,
+    /// Virtual channel: the packet's Linder–Harden virtual network under
+    /// adaptive routing, 0 otherwise.
+    vc: usize,
     /// ARQ retransmissions already spent on the current hop.
     attempt: u32,
     measured: bool,
@@ -98,7 +114,14 @@ pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
         heap.push(Reverse((TimeKey(t), seq, id)));
     };
 
+    let adaptive = config.routing == RoutingKind::Adaptive;
+    let vcs = if config.vcs == 0 {
+        config.routing.safe_vcs()
+    } else {
+        config.vcs
+    };
     let mut link_free = vec![0.0f64; topo.num_links()];
+    let mut vc_free = vec![0.0f64; if adaptive { topo.num_links() * vcs } else { 0 }];
     let mut ej_free = vec![0.0f64; n];
     let mut packets: Vec<Packet> = Vec::new();
 
@@ -149,13 +172,29 @@ pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
                     dst,
                     config.routing.choices(),
                 );
-                let path = policy_route(topo, config.routing, module, dst, choice);
                 let measured = injected >= config.warmup_packets && injected < total_tracked;
+                let (links, total_hops, cur_router, vc) = if adaptive {
+                    let src_r = topo.router_of(module);
+                    let dst_r = topo.router_of(dst);
+                    (
+                        Vec::new(),
+                        topo.router_distance(src_r, dst_r),
+                        src_r,
+                        adaptive_network(topo.coord(src_r), topo.coord(dst_r)),
+                    )
+                } else {
+                    let path = policy_route(topo, config.routing, module, dst, choice);
+                    let hops = path.links.len();
+                    (path.links, hops, 0, 0)
+                };
                 packets.push(Packet {
                     t_inject: now,
-                    links: path.links,
+                    links,
                     dst_module: dst,
                     next_stage: 0,
+                    total_hops,
+                    cur_router,
+                    vc,
                     attempt: 0,
                     measured,
                 });
@@ -182,13 +221,53 @@ pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
                     ServiceDistribution::Deterministic => config.params.service_time,
                 };
                 let stage = packets[packet].next_stage;
-                if stage < packets[packet].links.len() {
+                if stage < packets[packet].total_hops {
                     // Inter-router link stage. A corrupted transmission
                     // still occupies the link for the full service time.
-                    let l = packets[packet].links[stage];
+                    let l = if adaptive {
+                        // Naive re-derivation of the congestion-aware
+                        // choice: probe every productive neighbor through
+                        // the topology's link map and apply the same pure
+                        // (server-free, vc-free, link id) order the arena
+                        // engine computes from its neighbor table.
+                        let cur = packets[packet].cur_router;
+                        let here = topo.coord(cur);
+                        let target = topo.coord(topo.router_of(packets[packet].dst_module));
+                        let mut best = usize::MAX;
+                        let mut best_key = (f64::INFINITY, f64::INFINITY, u32::MAX);
+                        for dim in 0..3 {
+                            if here[dim] == target[dim] {
+                                continue;
+                            }
+                            let mut next = here;
+                            if here[dim] < target[dim] {
+                                next[dim] += 1;
+                            } else {
+                                next[dim] -= 1;
+                            }
+                            let cand = topo
+                                .link_between(cur, topo.router_at(next))
+                                .expect("adaptive routing needs the full mesh neighborhood");
+                            let key = (
+                                link_free[cand].max(now),
+                                vc_free[cand * vcs + packets[packet].vc].max(now),
+                                cand as u32,
+                            );
+                            if key < best_key {
+                                best_key = key;
+                                best = cand;
+                            }
+                        }
+                        best
+                    } else {
+                        packets[packet].links[stage]
+                    };
                     let start = now.max(link_free[l]);
                     let finish = start + svc;
                     link_free[l] = finish;
+                    if adaptive {
+                        vc_free[l * vcs + packets[packet].vc] = finish;
+                    }
                     // Naive re-derivation of the per-hop error
                     // probability (the engine precomputes the static
                     // part per link); the corruption decision is the
@@ -199,6 +278,9 @@ pub fn simulate(topo: &Topology, config: &DesConfig) -> DesResult {
                     let corrupted = p_err > 0.0
                         && corrupt_unit(config.seed, packet as u64, stage as u32, attempt) < p_err;
                     if !corrupted {
+                        if adaptive {
+                            packets[packet].cur_router = topo.links()[l].dst;
+                        }
                         packets[packet].next_stage += 1;
                         packets[packet].attempt = 0;
                         // Next router pipeline, then next queue.

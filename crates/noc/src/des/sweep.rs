@@ -89,8 +89,18 @@ pub struct SweepResult {
     pub saturation_knee: Option<f64>,
 }
 
-/// Threads used by the auto-parallel entry point.
+/// Threads used by the auto-parallel entry point: the `WI_TEST_THREADS`
+/// environment variable when set to a positive integer (the CI matrix
+/// runs the suite at 1 and 4 to exercise the thread-invariance contract
+/// end to end), otherwise all available cores.
 fn auto_threads() -> usize {
+    if let Ok(s) = std::env::var("WI_TEST_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -354,6 +364,29 @@ mod tests {
                     routing.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_under_adaptive_routing() {
+        // Adaptive decisions are pure functions of each replication's own
+        // queue state, so sweeps must stay bit-identical at any thread
+        // count under the congestion-aware policy + VCs too (1/8/64
+        // spans serial, partial and over-subscribed fan-out).
+        let topo = Topology::mesh3d(3, 3, 3);
+        let cfg = SweepConfig::new(
+            vec![0.05, 0.2, 0.45],
+            3,
+            DesConfig {
+                routing: RoutingKind::Adaptive,
+                traffic: TrafficKind::Transpose,
+                ..quick_base(0xADA)
+            },
+        );
+        let serial = sweep_with_threads(&topo, &cfg, 1);
+        for threads in [8, 64] {
+            let par = sweep_with_threads(&topo, &cfg, threads);
+            assert_eq!(serial, par, "adaptive diverged at {threads} threads");
         }
     }
 

@@ -14,7 +14,9 @@
 //! that still want the CSR.
 
 use super::grid::ExpandedGrid;
-use crate::routing::{valiant_intermediate, RouteTable, RoutingKind, O1TURN_ORDERS};
+use crate::routing::{
+    rlb_intermediate, valiant_intermediate, RouteTable, RoutingKind, O1TURN_ORDERS,
+};
 
 /// Per-tile-class route programs for one policy over one expanded grid.
 /// O(1) memory regardless of grid size; cheap to clone.
@@ -74,6 +76,11 @@ impl ClassRouter {
                 let here = self.walk(self.grid.coord(src), self.grid.coord(mid), [0, 1, 2], out);
                 self.walk(here, self.grid.coord(dst), [0, 1, 2], out);
             }
+            RoutingKind::RlbValiant { .. } => {
+                let mid = rlb_intermediate(self.grid.coord(src), self.grid.coord(dst), choice);
+                let here = self.walk(self.grid.coord(src), mid, [0, 1, 2], out);
+                self.walk(here, self.grid.coord(dst), [0, 1, 2], out);
+            }
             RoutingKind::O1Turn => {
                 self.walk(
                     self.grid.coord(src),
@@ -82,7 +89,10 @@ impl ClassRouter {
                     out,
                 );
             }
-            RoutingKind::DimensionOrder => {
+            // Adaptive's route *program* is its dimension-order escape
+            // route, matching `RouteTable::with_policy` — hop-by-hop
+            // adaptivity lives in the DES engines, not the table layer.
+            RoutingKind::DimensionOrder | RoutingKind::Adaptive => {
                 self.walk(self.grid.coord(src), self.grid.coord(dst), [0, 1, 2], out);
             }
         }
@@ -160,12 +170,14 @@ mod tests {
     use super::*;
     use crate::routing::policy_route_routers;
 
-    fn kinds() -> [RoutingKind; 4] {
+    fn kinds() -> [RoutingKind; 6] {
         [
             RoutingKind::DimensionOrder,
             RoutingKind::O1Turn,
             RoutingKind::valiant(),
             RoutingKind::Valiant { choices: 3 },
+            RoutingKind::RlbValiant { choices: 3 },
+            RoutingKind::Adaptive,
         ]
     }
 

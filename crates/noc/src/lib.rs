@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod deadlock;
 pub mod des;
 pub mod icdb;
 pub mod irregular;
@@ -60,6 +61,7 @@ pub mod routing;
 pub mod topology;
 
 pub use analytic::{AnalyticModel, RouterParams};
+pub use deadlock::ChannelDepGraph;
 pub use des::traffic::{TrafficKind, TrafficPattern};
 pub use des::{
     simulate, sweep, DesConfig, DesResult, Engine, RatePoint, ServiceDistribution, SweepConfig,

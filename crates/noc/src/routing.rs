@@ -1,5 +1,6 @@
-//! Routing policies: deterministic dimension-order (XYZ) routing plus the
-//! standard oblivious randomized remedies, O1TURN and Valiant.
+//! Routing policies: deterministic dimension-order (XYZ) routing, the
+//! standard oblivious randomized remedies (O1TURN, Valiant and the
+//! minimal-quadrant RLB variant), and congestion-aware adaptive routing.
 //!
 //! The analytic model of ref \[14\] needs deterministic routes so that
 //! per-link flows are exact sums over source/destination pairs. Dimension-
@@ -8,7 +9,7 @@
 //! use. Under non-uniform traffic, however, dimension-order routing
 //! concentrates flows (the PR-2 sweeps measured hotspot and bit-reversal
 //! saturation knees 2–4× below uniform), so this module also materializes
-//! the classic oblivious alternatives behind one [`RoutingKind`]:
+//! the classic alternatives behind one [`RoutingKind`]:
 //!
 //! * [`RoutingKind::DimensionOrder`] — one route per pair, X then Y then Z.
 //! * [`RoutingKind::O1Turn`] — one route per dimension-order permutation
@@ -18,12 +19,30 @@
 //!   seed-chosen random intermediate router with two dimension-order legs
 //!   (Valiant's randomized load balancing; non-minimal, but traffic-
 //!   oblivious worst-case optimal).
+//! * [`RoutingKind::RlbValiant`] — Valiant restricted to the minimal
+//!   quadrant: the intermediate is hashed *inside the src–dst bounding
+//!   box* ([`rlb_intermediate`]), so both dimension-order legs stay
+//!   minimal in total — Valiant's load spreading without its 2× uniform-
+//!   traffic hop penalty (randomized local balancing).
+//! * [`RoutingKind::Adaptive`] — congestion-aware fully adaptive minimal
+//!   routing: no precomputed route at all. At every hop the engine picks
+//!   the productive link (one per unfinished dimension) whose server —
+//!   and, as tie-break, whose virtual channel — frees earliest. Deadlock
+//!   freedom comes from Linder–Harden-style **virtual networks**: a
+//!   packet's VC is fixed at injection by [`adaptive_network`] (the signs
+//!   of its remaining y/z displacement), so inside one VC the y and z
+//!   coordinates move monotonically and x monotonically per packet — the
+//!   channel-dependency graph over (link, VC) nodes is acyclic, which
+//!   `wi_noc::deadlock` machine-checks.
 //!
-//! Every policy is **precomputed**: [`RouteTable::with_policy`] stores the
-//! whole choice set per router pair in flat CSR form, so the simulator's
-//! hot loop stays allocation-free, and a packet selects its route with the
-//! deterministic hash [`route_choice`] — no RNG draws, which keeps the
-//! arena engine bit-identical to the naive oracle under every policy.
+//! Every policy but `Adaptive` is **precomputed**:
+//! [`RouteTable::with_policy`] stores the whole choice set per router pair
+//! in flat CSR form, so the simulator's hot loop stays allocation-free,
+//! and a packet selects its route with the deterministic hash
+//! [`route_choice`] — no RNG draws, which keeps the arena engine
+//! bit-identical to the naive oracle under every policy. `Adaptive`
+//! decisions are likewise pure functions of queue state shared between
+//! the engine and the oracle (never the RNG), so the same contract holds.
 
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
@@ -49,8 +68,14 @@ pub const VALIANT_DEFAULT_CHOICES: usize = 8;
 /// (per-replication seeds must not force a table rebuild).
 const VALIANT_SALT: u64 = 0x5EED_0420_0DD5_5A1F;
 
-/// An oblivious routing policy (serde-able plain data, for configuration
-/// types and CLI flags).
+/// Fixed salt for the RLB minimal-quadrant intermediate construction —
+/// distinct from [`VALIANT_SALT`] so the two policies never correlate.
+const RLB_SALT: u64 = 0x0DD5_5A1F_5EED_0420;
+
+/// A routing policy (serde-able plain data, for configuration types and
+/// CLI flags). All but [`RoutingKind::Adaptive`] are oblivious and
+/// precomputed into a [`RouteTable`]; `Adaptive` decisions happen per hop
+/// in the simulator from live queue state.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RoutingKind {
     /// Deterministic X-then-Y-then-Z routing: one route per pair.
@@ -65,6 +90,20 @@ pub enum RoutingKind {
         /// Precomputed intermediate routers per pair.
         choices: usize,
     },
+    /// Randomized local balancing: Valiant with the intermediate hashed
+    /// inside the src–dst bounding box ([`rlb_intermediate`]), so both
+    /// dimension-order legs together stay minimal.
+    RlbValiant {
+        /// Precomputed intermediate routers per pair.
+        choices: usize,
+    },
+    /// Congestion-aware fully adaptive minimal routing over
+    /// Linder–Harden-style virtual networks ([`adaptive_network`]). Its
+    /// [`RouteTable`] stores the dimension-order escape route per pair
+    /// (what the analytic model and route-program consumers see); the
+    /// DES engines ignore the table and pick the least-loaded productive
+    /// link per hop.
+    Adaptive,
 }
 
 impl RoutingKind {
@@ -75,12 +114,22 @@ impl RoutingKind {
         }
     }
 
+    /// An RLB minimal-quadrant Valiant policy with the default choice
+    /// count.
+    pub fn rlb() -> Self {
+        RoutingKind::RlbValiant {
+            choices: VALIANT_DEFAULT_CHOICES,
+        }
+    }
+
     /// Short lowercase name (CLI / table labels).
     pub fn name(&self) -> &'static str {
         match *self {
             RoutingKind::DimensionOrder => "dor",
             RoutingKind::O1Turn => "o1turn",
             RoutingKind::Valiant { .. } => "valiant",
+            RoutingKind::RlbValiant { .. } => "rlb",
+            RoutingKind::Adaptive => "adaptive",
         }
     }
 
@@ -90,11 +139,57 @@ impl RoutingKind {
             RoutingKind::DimensionOrder => 1,
             RoutingKind::O1Turn => O1TURN_ORDERS.len(),
             RoutingKind::Valiant { choices } => choices,
+            RoutingKind::RlbValiant { choices } => choices,
+            RoutingKind::Adaptive => 1,
+        }
+    }
+
+    /// The minimum virtual-channel count under which the policy is
+    /// deadlock-free — the per-link VC count the simulators allocate when
+    /// the configured count is `0` (auto). One VC per independent acyclic
+    /// sub-relation of the channel-dependency graph:
+    ///
+    /// * dimension-order: 1 — the classic DOR acyclicity argument;
+    /// * O1TURN: 6 — one VC per permutation ([`O1TURN_ORDERS`]), each a
+    ///   fixed-order sub-network that is DOR-acyclic on its own;
+    /// * Valiant / RLB: 2 — one VC per dimension-order leg (the VC
+    ///   switches at the intermediate, so no leg-2 channel ever feeds a
+    ///   leg-1 channel);
+    /// * adaptive: 4 — one VC per Linder–Harden virtual network
+    ///   ([`adaptive_network`]).
+    ///
+    /// `tests/properties.rs` machine-checks each claim by building the
+    /// channel-dependency graph from these very allocation rules
+    /// (`wi_noc::deadlock`) and asserting acyclicity.
+    pub fn safe_vcs(&self) -> usize {
+        match *self {
+            RoutingKind::DimensionOrder => 1,
+            RoutingKind::O1Turn => 6,
+            RoutingKind::Valiant { .. } => 2,
+            RoutingKind::RlbValiant { .. } => 2,
+            RoutingKind::Adaptive => 4,
+        }
+    }
+
+    /// A human-readable problem with an explicit per-link VC count for
+    /// this policy (`None` when valid). `0` means auto
+    /// ([`RoutingKind::safe_vcs`]) and is always valid; an explicit count
+    /// below `safe_vcs()` would break the deadlock-freedom contract.
+    pub fn vc_problem(&self, vcs: usize) -> Option<String> {
+        if vcs != 0 && vcs < self.safe_vcs() {
+            Some(format!(
+                "{} routing needs at least {} virtual channels for deadlock freedom, got {vcs}",
+                self.name(),
+                self.safe_vcs()
+            ))
+        } else {
+            None
         }
     }
 
     /// Parses a CLI spelling: `dor` (also `xyz`, `dimension-order`),
-    /// `o1turn`, `valiant` (default choice count), `valiant:<k>`.
+    /// `o1turn`, `valiant` (default choice count), `valiant:<k>`,
+    /// `rlb` / `rlb:<k>` (minimal-quadrant Valiant), `adaptive`.
     pub fn parse(s: &str) -> Option<RoutingKind> {
         match s {
             "dor" | "xyz" | "dimension-order" | "dimensionorder" => {
@@ -102,16 +197,20 @@ impl RoutingKind {
             }
             "o1turn" => Some(RoutingKind::O1Turn),
             "valiant" => Some(RoutingKind::valiant()),
+            "rlb" => Some(RoutingKind::rlb()),
+            "adaptive" => Some(RoutingKind::Adaptive),
             _ => {
                 let mut parts = s.split(':');
-                if parts.next() != Some("valiant") {
-                    return None;
-                }
+                let head = parts.next()?;
                 let choices: usize = parts.next()?.parse().ok()?;
                 if parts.next().is_some() {
                     return None;
                 }
-                Some(RoutingKind::Valiant { choices })
+                match head {
+                    "valiant" => Some(RoutingKind::Valiant { choices }),
+                    "rlb" => Some(RoutingKind::RlbValiant { choices }),
+                    _ => None,
+                }
             }
         }
     }
@@ -119,12 +218,17 @@ impl RoutingKind {
     /// A human-readable configuration problem, if any (`None` when valid).
     pub fn problem(&self) -> Option<String> {
         match *self {
-            RoutingKind::Valiant { choices: 0 } => {
-                Some("valiant routing needs at least one choice per pair".into())
+            RoutingKind::Valiant { choices: 0 } | RoutingKind::RlbValiant { choices: 0 } => Some(
+                format!("{} routing needs at least one choice per pair", self.name()),
+            ),
+            RoutingKind::Valiant { choices } | RoutingKind::RlbValiant { choices }
+                if choices > 4096 =>
+            {
+                Some(format!(
+                    "{} choice count {choices} exceeds the 4096 table cap",
+                    self.name()
+                ))
             }
-            RoutingKind::Valiant { choices } if choices > 4096 => Some(format!(
-                "valiant choice count {choices} exceeds the 4096 table cap"
-            )),
             _ => None,
         }
     }
@@ -162,6 +266,47 @@ pub fn valiant_intermediate(num_routers: usize, src: usize, dst: usize, choice: 
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
     (z % num_routers as u64) as usize
+}
+
+/// The intermediate coordinate of RLB choice `choice` for the coordinate
+/// pair `(src, dst)`: each dimension is hashed independently *inside the
+/// src–dst bounding box*, so the two dimension-order legs through it sum
+/// to exactly the Manhattan distance — Valiant's path diversity without
+/// its hop penalty. Pure coordinate arithmetic (no topology lookup), so
+/// the database-expanded route programs ([`crate::icdb`]) share it
+/// bit for bit.
+pub fn rlb_intermediate(src: [usize; 3], dst: [usize; 3], choice: usize) -> [usize; 3] {
+    let pack = |c: [usize; 3]| (c[0] as u64) | ((c[1] as u64) << 21) | ((c[2] as u64) << 42);
+    let mut mid = [0usize; 3];
+    for dim in 0..3 {
+        let lo = src[dim].min(dst[dim]);
+        let hi = src[dim].max(dst[dim]);
+        mid[dim] = if lo == hi {
+            lo
+        } else {
+            let mut z = RLB_SALT
+                .wrapping_add((choice as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(pack(src).rotate_left(17) ^ pack(dst))
+                .wrapping_add((dim as u64) << 61);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            lo + (z % (hi - lo + 1) as u64) as usize
+        };
+    }
+    mid
+}
+
+/// The Linder–Harden virtual network — and therefore the virtual channel
+/// — of an adaptively routed packet, fixed at injection from the signs of
+/// its y/z displacement: network `0` moves +y/+z, `1` moves −y/+z, `2`
+/// moves +y/−z, `3` moves −y/−z (a finished dimension joins the `+`
+/// side). Inside one network every hop moves y and z monotonically in
+/// the network's direction and x monotonically toward the packet's own
+/// destination, so the per-network channel-dependency graph is acyclic —
+/// the deadlock-freedom argument `wi_noc::deadlock` machine-checks.
+pub fn adaptive_network(src: [usize; 3], dst: [usize; 3]) -> usize {
+    usize::from(dst[1] < src[1]) | (usize::from(dst[2] < src[2]) << 1)
 }
 
 /// A routed path between two modules.
@@ -297,6 +442,14 @@ fn policy_route_into(
             extend_ordered(topo, src, mid, [0, 1, 2], path);
             extend_ordered(topo, mid, dst, [0, 1, 2], path);
         }
+        RoutingKind::RlbValiant { .. } => {
+            let mid = topo.router_at(rlb_intermediate(topo.coord(src), topo.coord(dst), choice));
+            extend_ordered(topo, src, mid, [0, 1, 2], path);
+            extend_ordered(topo, mid, dst, [0, 1, 2], path);
+        }
+        // Adaptive materializes its dimension-order escape route — the
+        // route the analytic model charges and the route-program layer
+        // serves; the DES engines route hop by hop instead.
         _ => extend_ordered(topo, src, dst, choice_order(kind, choice), path),
     }
 }
@@ -590,6 +743,11 @@ pub fn all_pairs_routable_with(topo: &Topology, kind: RoutingKind) -> bool {
             for c in 0..kind.choices() {
                 let waypoints: [usize; 2] = match kind {
                     RoutingKind::Valiant { .. } => [valiant_intermediate(n, s, d, c), d],
+                    RoutingKind::RlbValiant { .. } => [
+                        topo.router_at(rlb_intermediate(topo.coord(s), topo.coord(d), c)),
+                        d,
+                    ],
+                    // Adaptive's escape route is the dimension-order one.
                     _ => [d, d],
                 };
                 let order = choice_order(kind, c);
@@ -708,6 +866,8 @@ mod tests {
             RoutingKind::DimensionOrder,
             RoutingKind::O1Turn,
             RoutingKind::Valiant { choices: 5 },
+            RoutingKind::RlbValiant { choices: 5 },
+            RoutingKind::Adaptive,
         ] {
             assert!(
                 all_pairs_routable_with(&Topology::mesh3d(3, 3, 3), kind),
@@ -872,6 +1032,93 @@ mod tests {
     }
 
     #[test]
+    fn rlb_routes_are_minimal_two_dor_legs() {
+        // The RLB intermediate lives in the src–dst bounding box, so the
+        // two legs sum to exactly the Manhattan distance — unlike plain
+        // Valiant, which detours.
+        let topo = Topology::mesh3d(4, 4, 4);
+        let kind = RoutingKind::RlbValiant { choices: 6 };
+        let table = RouteTable::with_policy(&topo, kind);
+        for s in 0..topo.num_modules() {
+            for d in 0..topo.num_modules() {
+                let min = topo.router_distance(topo.router_of(s), topo.router_of(d));
+                for c in 0..kind.choices() {
+                    assert_eq!(
+                        table.links_choice(s, d, c).len(),
+                        min,
+                        "pair ({s},{d}) choice {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rlb_intermediate_stays_in_bounding_box_and_diversifies() {
+        let (src, dst) = ([0usize, 3, 1], [3usize, 0, 3]);
+        let mut distinct = std::collections::HashSet::new();
+        for c in 0..8 {
+            let mid = rlb_intermediate(src, dst, c);
+            for dim in 0..3 {
+                let lo = src[dim].min(dst[dim]);
+                let hi = src[dim].max(dst[dim]);
+                assert!((lo..=hi).contains(&mid[dim]), "choice {c} dim {dim}");
+            }
+            distinct.insert(mid);
+        }
+        assert!(distinct.len() > 2, "only {} distinct mids", distinct.len());
+        // Degenerate box: the intermediate is pinned.
+        assert_eq!(rlb_intermediate([2, 2, 2], [2, 2, 2], 5), [2, 2, 2]);
+    }
+
+    #[test]
+    fn adaptive_table_is_the_dimension_order_escape() {
+        let topo = Topology::mesh3d(3, 3, 3);
+        let adaptive = RouteTable::with_policy(&topo, RoutingKind::Adaptive);
+        let dor = RouteTable::new(&topo);
+        assert_eq!(adaptive.kind(), RoutingKind::Adaptive);
+        for s in 0..topo.num_modules() {
+            for d in 0..topo.num_modules() {
+                assert_eq!(adaptive.links(s, d), dor.links(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_network_fixes_vc_from_displacement_signs() {
+        assert_eq!(adaptive_network([0, 0, 0], [3, 2, 1]), 0); // +y, +z
+        assert_eq!(adaptive_network([0, 2, 0], [3, 0, 1]), 1); // -y, +z
+        assert_eq!(adaptive_network([0, 0, 2], [3, 2, 1]), 2); // +y, -z
+        assert_eq!(adaptive_network([0, 2, 2], [3, 0, 1]), 3); // -y, -z
+                                                               // Finished dimensions join the + side.
+        assert_eq!(adaptive_network([1, 1, 1], [0, 1, 1]), 0);
+        assert!(adaptive_network([0, 9, 9], [0, 0, 0]) < 4);
+    }
+
+    #[test]
+    fn safe_vc_counts_and_vc_validation() {
+        assert_eq!(RoutingKind::DimensionOrder.safe_vcs(), 1);
+        assert_eq!(RoutingKind::O1Turn.safe_vcs(), 6);
+        assert_eq!(RoutingKind::valiant().safe_vcs(), 2);
+        assert_eq!(RoutingKind::rlb().safe_vcs(), 2);
+        assert_eq!(RoutingKind::Adaptive.safe_vcs(), 4);
+        for kind in [
+            RoutingKind::DimensionOrder,
+            RoutingKind::O1Turn,
+            RoutingKind::valiant(),
+            RoutingKind::rlb(),
+            RoutingKind::Adaptive,
+        ] {
+            assert!(kind.vc_problem(0).is_none(), "{}: 0 is auto", kind.name());
+            assert!(kind.vc_problem(kind.safe_vcs()).is_none());
+            assert!(kind.vc_problem(kind.safe_vcs() + 2).is_none());
+            if kind.safe_vcs() > 1 {
+                assert!(kind.vc_problem(kind.safe_vcs() - 1).is_some());
+            }
+        }
+    }
+
+    #[test]
     fn routing_kind_parses_and_validates() {
         assert_eq!(RoutingKind::parse("dor"), Some(RoutingKind::DimensionOrder));
         assert_eq!(RoutingKind::parse("xyz"), Some(RoutingKind::DimensionOrder));
@@ -883,15 +1130,30 @@ mod tests {
         );
         assert_eq!(RoutingKind::parse("valiant:x"), None);
         assert_eq!(RoutingKind::parse("nope"), None);
+        assert_eq!(RoutingKind::parse("rlb"), Some(RoutingKind::rlb()));
+        assert_eq!(
+            RoutingKind::parse("rlb:4"),
+            Some(RoutingKind::RlbValiant { choices: 4 })
+        );
+        assert_eq!(RoutingKind::parse("rlb:x"), None);
+        assert_eq!(RoutingKind::parse("adaptive"), Some(RoutingKind::Adaptive));
 
         assert!(RoutingKind::DimensionOrder.problem().is_none());
         assert!(RoutingKind::O1Turn.problem().is_none());
+        assert!(RoutingKind::Adaptive.problem().is_none());
+        assert!(RoutingKind::rlb().problem().is_none());
         assert!(RoutingKind::Valiant { choices: 0 }.problem().is_some());
         assert!(RoutingKind::Valiant { choices: 9999 }.problem().is_some());
+        assert!(RoutingKind::RlbValiant { choices: 0 }.problem().is_some());
+        assert!(RoutingKind::RlbValiant { choices: 9999 }
+            .problem()
+            .is_some());
 
         assert_eq!(RoutingKind::DimensionOrder.choices(), 1);
         assert_eq!(RoutingKind::O1Turn.choices(), 6);
         assert_eq!(RoutingKind::Valiant { choices: 3 }.choices(), 3);
+        assert_eq!(RoutingKind::RlbValiant { choices: 3 }.choices(), 3);
+        assert_eq!(RoutingKind::Adaptive.choices(), 1);
     }
 
     #[test]

@@ -8,7 +8,8 @@ use wireless_interconnect::channel::pathloss::{fit_pathloss_exponent, PathlossMo
 use wireless_interconnect::ldpc::code::{Encoder, LdpcCode};
 use wireless_interconnect::linkbudget::budget::LinkBudget;
 use wireless_interconnect::noc::analytic::{AnalyticModel, RouterParams};
-use wireless_interconnect::noc::icdb::{ClassRouter, ExpandedGrid};
+use wireless_interconnect::noc::deadlock::ChannelDepGraph;
+use wireless_interconnect::noc::icdb::{ClassRouter, ExpandedGrid, HybridBoards};
 use wireless_interconnect::noc::routing::{
     all_pairs_routable_with, route, valiant_intermediate, RouteTable, RoutingKind,
 };
@@ -103,17 +104,20 @@ proptest! {
         nx in 2usize..5,
         ny in 2usize..5,
         nz in 1usize..4,
-        policy_idx in 0usize..3,
+        policy_idx in 0usize..5,
         valiant_choices in 1usize..6,
     ) {
         // Every route of every policy table must be a contiguous chain of
         // real links from source to destination router, and either
-        // minimal (dimension-order, O1TURN) or exactly the two minimal
-        // legs through its Valiant intermediate.
+        // minimal (dimension-order, O1TURN, RLB's in-box legs, the
+        // adaptive escape route) or exactly the two legs through its
+        // Valiant intermediate.
         let topo = Topology::mesh3d(nx, ny, nz);
         let kind = match policy_idx {
             0 => RoutingKind::DimensionOrder,
             1 => RoutingKind::O1Turn,
+            2 => RoutingKind::RlbValiant { choices: valiant_choices },
+            3 => RoutingKind::Adaptive,
             _ => RoutingKind::Valiant { choices: valiant_choices },
         };
         prop_assert!(all_pairs_routable_with(&topo, kind));
@@ -160,7 +164,7 @@ proptest! {
         nx in 2usize..5,
         ny in 2usize..5,
         nz in 1usize..4,
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..6,
     ) {
         // The database-expanded grid's per-tile-class route programs must
         // agree link for link with the legacy CSR table on every random
@@ -169,6 +173,8 @@ proptest! {
             0 => RoutingKind::DimensionOrder,
             1 => RoutingKind::O1Turn,
             2 => RoutingKind::valiant(),
+            3 => RoutingKind::RlbValiant { choices: 3 },
+            4 => RoutingKind::Adaptive,
             _ => RoutingKind::Valiant { choices: 3 },
         };
         let topo = Topology::mesh3d(nx, ny, nz);
@@ -191,6 +197,52 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn channel_dependency_graphs_are_acyclic(
+        nx in 2usize..5,
+        ny in 2usize..5,
+        nz in 1usize..4,
+        policy_idx in 0usize..5,
+        choices in 1usize..6,
+        boards in 2usize..4,
+        radios in 1usize..3,
+    ) {
+        // The machine-checked deadlock-freedom contract: on random 2D
+        // meshes (nz = 1) and 3D meshes, the channel-dependency graph
+        // over (link, VC) nodes — built from the actual route and
+        // VC-allocation functions at the policy's safe VC count — must
+        // be acyclic for every routing kind, including the adaptive
+        // transition relation. Dally & Seitz: acyclic CDG ⇒ the
+        // simulated schedules are realizable deadlock-free on a real
+        // finite-buffer fabric.
+        let kind = match policy_idx {
+            0 => RoutingKind::DimensionOrder,
+            1 => RoutingKind::O1Turn,
+            2 => RoutingKind::Valiant { choices },
+            3 => RoutingKind::RlbValiant { choices },
+            _ => RoutingKind::Adaptive,
+        };
+        let topo = Topology::mesh3d(nx, ny, nz);
+        let g = ChannelDepGraph::for_policy(&topo, kind);
+        prop_assert!(g.num_edges() > 0, "{} built no dependencies", kind.name());
+        prop_assert!(
+            g.is_acyclic(),
+            "{} CDG has a cycle on {}x{}x{} at {} VCs",
+            kind.name(), nx, ny, nz, g.vcs()
+        );
+        // Hybrid wired+wireless boards: radio hops bump the VC index, so
+        // the chained-board route program stays acyclic too.
+        let r = radios.min(ny);
+        let hb = HybridBoards::with_radio_count(boards, [nx, ny, nz], r);
+        let hg = ChannelDepGraph::for_hybrid(&hb);
+        prop_assert!(hg.num_edges() > 0);
+        prop_assert!(
+            hg.is_acyclic(),
+            "hybrid {} boards of {}x{}x{} (r={}) CDG has a cycle",
+            boards, nx, ny, nz, r
+        );
     }
 
     #[test]

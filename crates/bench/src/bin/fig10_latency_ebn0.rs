@@ -28,15 +28,19 @@
 //! Monte-Carlo frames are fanned out over all available cores with
 //! results bit-identical to a serial run (see `wi_ldpc::ber`).
 
+use std::path::PathBuf;
 use std::time::Instant;
-use wi_bench::{batch_flag, fmt, forbid_both, has_flag, help_flag, print_table, search_flag};
+use wi_bench::{
+    batch_flag, die, flag_value, fmt, forbid_both, has_flag, help_flag, print_table, search_flag,
+};
 use wi_ldpc::ber::{
-    search_required_ebn0, BerSimOptions, BlockBerTarget, CoupledBerTarget, SearchConfig,
-    SearchOutcome,
+    search_required_ebn0, BerSimOptions, BerTarget, BlockBerTarget, CachedBerTarget,
+    CoupledBerTarget, SearchConfig, SearchOutcome, SearchReport,
 };
 use wi_ldpc::decoder::{BpConfig, CheckRule};
 use wi_ldpc::window::{CoupledCode, WindowDecoder};
 use wi_ldpc::LdpcCode;
+use wi_sweep::{block_target_hash, coupled_target_hash, StoreFrameCache};
 
 const USAGE: &str = "\
 fig10_latency_ebn0 — required Eb/N0 vs structural decoding latency (Fig. 10)
@@ -73,6 +77,13 @@ FLAGS:
                          8; default 8). Bit-identical per frame at every
                          width -- a pure throughput knob (1 = the scalar
                          decoders)
+    --store <dir>        persist every (seed, frame, Eb/N0) frame
+                         evaluation in a wi_sweep result-store directory
+                         and reuse any already stored -- a re-run of the
+                         same preset is served almost entirely from the
+                         cache with bit-identical output (frame values
+                         are pure; see the Sweep orchestration section
+                         of docs/ARCHITECTURE.md)
     --help, -h           print this help
 
 Monte-Carlo frames are automatically fanned out over all available CPU
@@ -88,6 +99,32 @@ fn outcome_cell(outcome: SearchOutcome, search: &SearchConfig) -> String {
         SearchOutcome::BelowLo => format!("<{:.2}", search.lo_db),
         SearchOutcome::AboveHi => format!(">{:.2}", search.hi_db),
         SearchOutcome::Unresolved { best } => format!("~{best:.2}"),
+    }
+}
+
+/// Runs one required-Eb/N0 search, through the store-backed frame cache
+/// when `--store` was given, accumulating hit/miss counters.
+fn searched(
+    target: &dyn BerTarget,
+    target_hash: u64,
+    store_dir: Option<&PathBuf>,
+    target_ber: f64,
+    opts: &BerSimOptions,
+    search: &SearchConfig,
+    counters: &mut (u64, u64),
+) -> SearchReport {
+    match store_dir {
+        Some(dir) => {
+            let cache = StoreFrameCache::open(dir, target_hash)
+                .unwrap_or_else(|e| die(&format!("--store {}: {e}", dir.display())));
+            let cached = CachedBerTarget::new(target, &cache);
+            let report = search_required_ebn0(&cached, target_ber, opts, search);
+            let (h, m) = cache.counters();
+            counters.0 += h;
+            counters.1 += m;
+            report
+        }
+        None => search_required_ebn0(target, target_ber, opts, search),
     }
 }
 
@@ -162,9 +199,18 @@ fn main() {
         search.hi_db
     );
 
+    let store_dir = flag_value("--store").map(PathBuf::from);
+    if let Some(dir) = &store_dir {
+        println!(
+            "frame store: {} (pure frame evaluations cached)",
+            dir.display()
+        );
+    }
+
     let started = Instant::now();
     let mut probes = 0u64;
     let mut frames = 0u64;
+    let mut counters = (0u64, 0u64);
     let mut rows = Vec::new();
     let cc_sweeps: Vec<(usize, Vec<usize>)> = if quick {
         vec![(25, vec![4, 6])]
@@ -180,7 +226,15 @@ fn main() {
         for &w in windows {
             let wd = WindowDecoder::new(w, iters).with_rule(check_rule);
             let target = CoupledBerTarget::new(&code, wd).with_batch(batch);
-            let report = search_required_ebn0(&target, target_ber, &opts, &search);
+            let report = searched(
+                &target,
+                coupled_target_hash(*n, w, iters, &check_rule),
+                store_dir.as_ref(),
+                target_ber,
+                &opts,
+                &search,
+                &mut counters,
+            );
             probes += report.probes;
             frames += report.frames;
             rows.push(vec![
@@ -203,7 +257,15 @@ fn main() {
             check_rule,
         };
         let target = BlockBerTarget::new(&code, config, 0.5).with_batch(batch);
-        let report = search_required_ebn0(&target, target_ber, &opts, &search);
+        let report = searched(
+            &target,
+            block_target_hash(n, iters, &check_rule),
+            store_dir.as_ref(),
+            target_ber,
+            &opts,
+            &search,
+            &mut counters,
+        );
         probes += report.probes;
         frames += report.frames;
         rows.push(vec![
@@ -223,6 +285,18 @@ fn main() {
         search.strategy.name(),
         started.elapsed().as_secs_f64()
     );
+    if store_dir.is_some() {
+        let (hits, misses) = counters;
+        let total = hits + misses;
+        println!(
+            "frame store: {hits} hits / {misses} misses ({:.0}% served from store)",
+            if total == 0 {
+                0.0
+            } else {
+                100.0 * hits as f64 / total as f64
+            }
+        );
+    }
     println!("\npaper anchor: at Eb/N0 = 3 dB the LDPC-CC needs 200 info bits of latency");
     println!("while the LDPC-BC needs 400 — a 200-bit latency gain from coupling.");
 }

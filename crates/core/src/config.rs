@@ -427,7 +427,7 @@ impl SystemConfig {
         if let Some(problem) = self.coding.check_rule.problem() {
             problems.push(problem);
         }
-        if let Some(problem) = self.coding.search.problem() {
+        for problem in self.coding.search.problems() {
             problems.push(format!("Eb/N0 search: {problem}"));
         }
         if let Some(problem) = wi_ldpc::batch::lanes_problem(self.coding.batch) {
@@ -444,10 +444,11 @@ impl SystemConfig {
         }
         if let Some(problem) = self.noc.routing.problem() {
             problems.push(format!("NoC routing: {problem}"));
-        } else if let Some(problem) = self.noc.routing.vc_problem(self.noc.vcs) {
+        }
+        if let Some(problem) = self.noc.routing.vc_problem(self.noc.vcs) {
             problems.push(format!("NoC routing: {problem}"));
         }
-        if let Some(problem) = self.noc.fault.problem() {
+        for problem in self.noc.fault.problems() {
             problems.push(format!("NoC fault model: {problem}"));
         }
         problems
@@ -611,6 +612,28 @@ mod tests {
             ..SearchConfig::default()
         };
         assert!(cfg.validate().is_empty());
+    }
+
+    #[test]
+    fn validation_reports_every_problem_at_once() {
+        // A sweep spec with several bad axes must fail with all of them
+        // listed in one shot, not one-per-rerun.
+        let mut cfg = SystemConfig::paper_default();
+        cfg.coding.search.tol_db = -1.0;
+        cfg.coding.search.grid_points = 1;
+        cfg.coding.search.max_frames = 0;
+        cfg.noc.routing = RoutingKind::Valiant { choices: 5000 };
+        cfg.noc.vcs = 1; // below valiant's safe minimum of 2
+        cfg.noc.fault.stuck_fraction = 2.0;
+        cfg.noc.fault.arq.backoff = 0.5;
+        let problems = cfg.validate();
+        assert_eq!(problems.len(), 7, "{problems:?}");
+        let search = problems.iter().filter(|p| p.contains("Eb/N0")).count();
+        assert_eq!(search, 3, "{problems:?}");
+        let routing = problems.iter().filter(|p| p.contains("routing")).count();
+        assert_eq!(routing, 2, "all routing problems at once: {problems:?}");
+        let fault = problems.iter().filter(|p| p.contains("fault")).count();
+        assert_eq!(fault, 2, "all fault problems at once: {problems:?}");
     }
 
     #[test]

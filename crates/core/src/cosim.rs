@@ -28,7 +28,7 @@
 use crate::config::SystemConfig;
 use serde::{Deserialize, Serialize};
 use wi_channel::pathloss::PathlossModel;
-use wi_ldpc::ber::{ber_curve, BerSimOptions, BerTarget};
+use wi_ldpc::ber::{ber_curve, BerSimOptions, BerTarget, CachedBerTarget, FrameEvalCache};
 use wi_linkbudget::budget::LinkBudget;
 use wi_noc::des::LinkErrorModel;
 
@@ -86,6 +86,26 @@ impl FerCurve {
                 .map(|(ebn0, est)| (ebn0, est.fer()))
                 .collect(),
         )
+    }
+
+    /// [`measure`](FerCurve::measure) through a [`FrameEvalCache`] — the
+    /// co-sim curve as a sweep-store client. Frames already in the cache
+    /// (from a previous curve, an Eb/N0 search, or another spec that
+    /// visited this operating point) are reused instead of re-simulated;
+    /// everything newly simulated is recorded. The returned curve is
+    /// bit-identical to the uncached [`measure`](FerCurve::measure) —
+    /// cached stats *are* the target's stats (the `CachedBerTarget`
+    /// contract).
+    ///
+    /// The cache must be scoped to `target` by the caller (the key does
+    /// not identify the target — see `wi_ldpc::ber::FrameEvalCache`).
+    pub fn measure_cached(
+        target: &dyn BerTarget,
+        cache: &dyn FrameEvalCache,
+        grid: &[f64],
+        opts: &BerSimOptions,
+    ) -> Self {
+        Self::measure(&CachedBerTarget::new(target, cache), grid, opts)
     }
 
     /// The measured `(ebn0_db, fer)` points, in grid order.
@@ -273,6 +293,32 @@ mod tests {
             );
             assert_eq!(scalar, batched, "batch width {batch} changed the curve");
         }
+    }
+
+    #[test]
+    fn cached_measure_reuses_frames_across_curves() {
+        use wi_ldpc::ber::MemoryFrameCache;
+        let code = CoupledCode::paper_cc(10, 8, 0xC051);
+        let target = CoupledBerTarget::new(&code, wi_ldpc::window::WindowDecoder::new(3, 8));
+        let opts = BerSimOptions {
+            target_errors: u64::MAX,
+            max_frames: 24,
+            min_frames: 24,
+            seed: 0xC051,
+        };
+        let grid = [0.0, 3.0, 6.0];
+        let plain = FerCurve::measure(&target, &grid, &opts);
+        let cache = MemoryFrameCache::new();
+        let cold = FerCurve::measure_cached(&target, &cache, &grid, &opts);
+        assert_eq!(plain, cold, "caching must not perturb the curve");
+        let (_, misses) = cache.counters();
+        // A second curve on an overlapping grid re-simulates only the
+        // new operating point.
+        let warm = FerCurve::measure_cached(&target, &cache, &[0.0, 3.0, 4.5, 6.0], &opts);
+        let (_, misses2) = cache.counters();
+        assert_eq!(misses2 - misses, 24, "only the 4.5 dB point is new");
+        assert_eq!(warm.fer_at(0.0), plain.fer_at(0.0));
+        assert_eq!(warm.fer_at(6.0), plain.fer_at(6.0));
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`cosim`] — the faulty-link co-simulation glue: per-link Eb/N0 from
 //!   the link budget, measured LDPC frame-error curves, and the
 //!   heterogeneous per-link error model the NoC DES injects.
+//! * [`hash`] — stable content hashing of [`config::SystemConfig`], the
+//!   address the `wi_sweep` result store keys cells by.
 //!
 //! # Example
 //!
@@ -35,9 +37,11 @@
 pub mod config;
 pub mod cosim;
 pub mod eval;
+pub mod hash;
 
 pub use config::{
     BoardConfig, CodingConfig, ReceiverModel, StackConfig, SystemConfig, WirelessLinkConfig,
 };
 pub use cosim::{ebn0_db_from_snr, link_class_ebn0, link_error_model, FerCurve, LinkClassEbn0};
 pub use eval::{evaluate, LinkReport, SystemReport};
+pub use hash::{StableHash, StableHasher};

@@ -71,7 +71,10 @@ use crate::decoder::{BpConfig, BpDecoder, DecoderWorkspace};
 use crate::window::{CoupledCode, WindowDecoder, WindowWorkspace};
 use serde::{Deserialize, Serialize};
 use std::any::Any;
+use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use wi_num::rng::{derive_seed, seeded_rng, Gaussian};
 use wi_num::stats::{normal_ci, sample_variance_from_sums};
 
@@ -614,6 +617,197 @@ impl BerTarget for CoupledBerTarget<'_> {
     }
 }
 
+/// Key component for one cached frame evaluation: the Eb/N0 operating
+/// point by exact bit pattern. Two floats that print the same but differ
+/// in the last ulp are different operating points — collapsing them
+/// would serve a frame simulated under a different noise scale.
+pub fn ebn0_key(ebn0_db: f64) -> u64 {
+    ebn0_db.to_bits()
+}
+
+/// A store of per-frame evaluation results, keyed by
+/// `(ebn0 bit pattern, seed, frame index)`.
+///
+/// The [`BerTarget`] purity contract — frame `f` at `ebn0_db` is a pure
+/// function of `(seed, f)` for a given target — is exactly what makes a
+/// frame's [`FrameStats`] cacheable: the key omits *how* the frame was
+/// produced (worker, chunking, batch width) because none of it can
+/// change the answer. What the key also omits is the **target itself**:
+/// scoping a cache to one target (one code, decoder config and rate) is
+/// the *caller's* obligation. [`CachedBerTarget`] documents this; the
+/// sweep store discharges it by deriving one cache namespace per target
+/// hash.
+///
+/// `get` is called exactly once per frame evaluated through
+/// [`CachedBerTarget`], so an implementation counting hits and misses
+/// inside `get` observes exact totals.
+pub trait FrameEvalCache: Sync {
+    /// Looks up frame `frame` of stream `seed` at operating point
+    /// `ebn0_bits` (see [`ebn0_key`]).
+    fn get(&self, ebn0_bits: u64, seed: u64, frame: u64) -> Option<FrameStats>;
+
+    /// Records a freshly simulated frame.
+    fn put(&self, ebn0_bits: u64, seed: u64, frame: u64, stats: FrameStats);
+}
+
+/// A heap [`FrameEvalCache`]: a mutex-guarded map with hit/miss
+/// counters. The in-process complement of the sweep store's on-disk
+/// cache — used by tests and by single-run callers (e.g. a co-sim FER
+/// curve reusing frames across its own Eb/N0 grid).
+#[derive(Debug, Default)]
+pub struct MemoryFrameCache {
+    map: Mutex<HashMap<(u64, u64, u64), FrameStats>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoryFrameCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MemoryFrameCache::default()
+    }
+
+    /// `(hits, misses)` observed so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Cached frame count.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl FrameEvalCache for MemoryFrameCache {
+    fn get(&self, ebn0_bits: u64, seed: u64, frame: u64) -> Option<FrameStats> {
+        let hit = self
+            .map
+            .lock()
+            .unwrap()
+            .get(&(ebn0_bits, seed, frame))
+            .copied();
+        match hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn put(&self, ebn0_bits: u64, seed: u64, frame: u64, stats: FrameStats) {
+        self.map
+            .lock()
+            .unwrap()
+            .insert((ebn0_bits, seed, frame), stats);
+    }
+}
+
+/// Scratch of a [`CachedBerTarget`]: the inner target's workspace plus
+/// the per-call lookup buffer ([`BerWorkspace`] holds a single typed
+/// slot, so the wrapper nests the inner workspace rather than sharing).
+#[derive(Default)]
+struct CachedScratch {
+    inner_ws: BerWorkspace,
+    found: Vec<Option<FrameStats>>,
+}
+
+/// Wraps a [`BerTarget`] so every frame evaluation consults a
+/// [`FrameEvalCache`] first and records what it simulates.
+///
+/// Cached hits reproduce the wrapped target's output bit for bit (the
+/// stats *are* the wrapped target's stats), so every search strategy,
+/// curve and report produced through the wrapper is byte-identical to an
+/// uncached run — the property the sweep store's warm-run assertions
+/// pin.
+///
+/// **Scoping:** the cache key does not identify the target; handing one
+/// cache to two different targets (different code, check rule,
+/// iterations or window) serves wrong results. One cache per target.
+pub struct CachedBerTarget<'a> {
+    inner: &'a dyn BerTarget,
+    cache: &'a dyn FrameEvalCache,
+}
+
+impl<'a> CachedBerTarget<'a> {
+    /// Wraps `inner` with `cache`. The cache must be dedicated to
+    /// `inner` (see the type docs).
+    pub fn new(inner: &'a dyn BerTarget, cache: &'a dyn FrameEvalCache) -> Self {
+        CachedBerTarget { inner, cache }
+    }
+}
+
+impl BerTarget for CachedBerTarget<'_> {
+    fn bits_per_frame(&self) -> u64 {
+        self.inner.bits_per_frame()
+    }
+
+    fn rate(&self) -> f64 {
+        self.inner.rate()
+    }
+
+    fn eval_frames(
+        &self,
+        ws: &mut BerWorkspace,
+        ebn0_db: f64,
+        seed: u64,
+        frames: Range<u64>,
+    ) -> FrameStats {
+        fold_frames_each(self, ws, ebn0_db, seed, frames)
+    }
+
+    fn batch_width(&self) -> usize {
+        self.inner.batch_width()
+    }
+
+    fn eval_frames_each(
+        &self,
+        ws: &mut BerWorkspace,
+        ebn0_db: f64,
+        seed: u64,
+        first: u64,
+        out: &mut [FrameStats],
+    ) {
+        let bits = ebn0_key(ebn0_db);
+        let scratch = ws.state(CachedScratch::default);
+        scratch.found.clear();
+        scratch
+            .found
+            .extend((0..out.len()).map(|i| self.cache.get(bits, seed, first + i as u64)));
+        // Misses are simulated in maximal contiguous runs so the inner
+        // target still sees full-width batches wherever possible.
+        let mut i = 0;
+        while i < out.len() {
+            if let Some(hit) = scratch.found[i] {
+                out[i] = hit;
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < out.len() && scratch.found[i].is_none() {
+                i += 1;
+            }
+            self.inner.eval_frames_each(
+                &mut scratch.inner_ws,
+                ebn0_db,
+                seed,
+                first + start as u64,
+                &mut out[start..i],
+            );
+            for (k, stats) in out[start..i].iter().enumerate() {
+                self.cache
+                    .put(bits, seed, first + (start + k) as u64, *stats);
+            }
+        }
+    }
+}
+
 /// Frames dispatched per worker per fan-out round. Each round spawns
 /// scoped threads (tens of µs per worker), so this must cover many frames
 /// even for ~25 µs min-sum decodes; the cost of a larger round is only
@@ -1072,36 +1266,45 @@ impl Default for SearchConfig {
 }
 
 impl SearchConfig {
-    /// Returns a human-readable problem when the configuration is
-    /// unusable, `None` when valid. The single source of truth shared by
+    /// Returns every human-readable problem with the configuration
+    /// (empty when valid), so a caller assembling a sweep spec sees all
+    /// offending fields at once instead of fixing them one rerun at a
+    /// time. The single source of truth shared by
     /// [`search_required_ebn0`] and system-level config validation.
-    pub fn problem(&self) -> Option<String> {
+    pub fn problems(&self) -> Vec<String> {
+        let mut problems = Vec::new();
         // `cmp` spellings chosen so NaN fails validation too.
         if self.lo_db.partial_cmp(&self.hi_db) != Some(std::cmp::Ordering::Less) {
-            return Some(format!(
+            problems.push(format!(
                 "search bracket [{}, {}] dB must be non-empty",
                 self.lo_db, self.hi_db
             ));
         }
         if self.tol_db.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             let tol = self.tol_db;
-            return Some(format!("search tolerance {tol} dB must be positive"));
+            problems.push(format!("search tolerance {tol} dB must be positive"));
         }
         if self.probes_per_round == 0 {
-            return Some("concurrent search needs at least one probe per round".into());
+            problems.push("concurrent search needs at least one probe per round".into());
         }
         if self.grid_points < 2 {
             let points = self.grid_points;
-            return Some(format!("paired grid needs at least 2 points, got {points}"));
+            problems.push(format!("paired grid needs at least 2 points, got {points}"));
         }
         if self.ci_z.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             let z = self.ci_z;
-            return Some(format!("CI multiplier {z} must be positive"));
+            problems.push(format!("CI multiplier {z} must be positive"));
         }
         if self.max_frames == 0 {
-            return Some("search frame cap must be at least 1".into());
+            problems.push("search frame cap must be at least 1".into());
         }
-        None
+        problems
+    }
+
+    /// The first problem from [`problems`](SearchConfig::problems),
+    /// `None` when valid.
+    pub fn problem(&self) -> Option<String> {
+        self.problems().into_iter().next()
     }
 
     /// Panics unless the configuration is usable (see
@@ -1673,5 +1876,73 @@ mod tests {
             ..SearchConfig::default()
         };
         search_required_ebn0(&target, 1e-2, &BerSimOptions::default(), &search);
+    }
+
+    #[test]
+    fn search_config_collects_every_problem() {
+        let bad = SearchConfig {
+            lo_db: 5.0,
+            hi_db: 1.0,
+            tol_db: -0.5,
+            grid_points: 1,
+            ..SearchConfig::default()
+        };
+        let problems = bad.problems();
+        assert_eq!(problems.len(), 3, "{problems:?}");
+        assert_eq!(bad.problem().as_deref(), Some(problems[0].as_str()));
+        assert!(SearchConfig::default().problems().is_empty());
+    }
+
+    #[test]
+    fn cached_target_is_bit_identical_and_then_all_hits() {
+        let code = CoupledCode::paper_cc(15, 10, 3);
+        let target = CoupledBerTarget::new(&code, WindowDecoder::new(4, 10)).with_batch(4);
+        let opts = BerSimOptions {
+            target_errors: 60,
+            max_frames: 40,
+            min_frames: 10,
+            seed: 0xCAC4E,
+        };
+        let search = SearchConfig {
+            tol_db: 0.5,
+            ..SearchConfig::default()
+        };
+        let plain = search_required_ebn0_with_threads(&target, 1e-2, &opts, &search, 2);
+
+        let cache = MemoryFrameCache::new();
+        let cached = CachedBerTarget::new(&target, &cache);
+        let cold = search_required_ebn0_with_threads(&cached, 1e-2, &opts, &search, 2);
+        assert_eq!(plain, cold, "cache wrapper must not perturb the search");
+        let (h0, m0) = cache.counters();
+        assert!(m0 > 0, "cold run must populate the cache");
+
+        let warm = search_required_ebn0_with_threads(&cached, 1e-2, &opts, &search, 2);
+        assert_eq!(plain, warm, "warm run must reproduce the report exactly");
+        let (h1, m1) = cache.counters();
+        assert_eq!(m1, m0, "warm run must simulate nothing new");
+        assert!(h1 > h0, "warm run must be served from the cache");
+    }
+
+    #[test]
+    fn cached_target_interleaves_hits_and_misses() {
+        // Pre-warm odd frames only, then evaluate a full range: the
+        // wrapper must stitch cached and simulated frames into the same
+        // stats the bare target produces, at any batch width.
+        let code = LdpcCode::paper_block(30, 5);
+        let target = BlockBerTarget::new(&code, BpConfig::default(), 0.5).with_batch(4);
+        let cache = MemoryFrameCache::new();
+        let mut ws = BerWorkspace::new();
+        let bare = target.eval_frames(&mut ws, 2.0, 7, 0..33);
+        let key = ebn0_key(2.0);
+        for f in (1..33).step_by(2) {
+            let mut one = [FrameStats::default()];
+            target.eval_frames_each(&mut ws, 2.0, 7, f, &mut one);
+            cache.put(key, 7, f, one[0]);
+        }
+        let cached = CachedBerTarget::new(&target, &cache);
+        let stitched = cached.eval_frames(&mut ws, 2.0, 7, 0..33);
+        assert_eq!(bare, stitched);
+        let (hits, misses) = cache.counters();
+        assert_eq!((hits, misses), (16, 17));
     }
 }

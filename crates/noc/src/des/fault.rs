@@ -249,20 +249,22 @@ impl FaultConfig {
             || !matches!(self.burst, BurstModel::Off)
     }
 
-    /// Validation (mirrors `TrafficKind::problem` / `RoutingKind::problem`):
-    /// `None` when the configuration is simulatable.
-    pub fn problem(&self) -> Option<String> {
+    /// Validation (mirrors `TrafficKind::problem` / `RoutingKind::problem`),
+    /// returning *every* problem (empty when simulatable) so a bad sweep
+    /// spec reports all offending fault fields at once.
+    pub fn problems(&self) -> Vec<String> {
+        let mut problems = Vec::new();
         if let Some(p) = self.model.problem() {
-            return Some(p);
+            problems.push(p);
         }
         if !(0.0..=1.0).contains(&self.stuck_fraction) {
-            return Some(format!(
+            problems.push(format!(
                 "stuck-link fraction {} outside [0, 1]",
                 self.stuck_fraction
             ));
         }
         if !(0.0..=1.0).contains(&self.stuck_p) {
-            return Some(format!(
+            problems.push(format!(
                 "stuck-link probability {} outside [0, 1]",
                 self.stuck_p
             ));
@@ -275,25 +277,30 @@ impl FaultConfig {
         } = self.burst
         {
             if !(period > 0.0 && period.is_finite()) {
-                return Some(format!("burst period {period} must be positive"));
-            }
-            if !(0.0..=period).contains(&duration) {
-                return Some(format!("burst duration {duration} outside [0, period]"));
+                problems.push(format!("burst period {period} must be positive"));
+            } else if !(0.0..=period).contains(&duration) {
+                problems.push(format!("burst duration {duration} outside [0, period]"));
             }
             if !(0.0..=1.0).contains(&fraction) {
-                return Some(format!("burst fraction {fraction} outside [0, 1]"));
+                problems.push(format!("burst fraction {fraction} outside [0, 1]"));
             }
             if !(0.0..=1.0).contains(&p) {
-                return Some(format!("burst probability {p} outside [0, 1]"));
+                problems.push(format!("burst probability {p} outside [0, 1]"));
             }
         }
         if !(self.arq.timeout > 0.0 && self.arq.timeout.is_finite()) {
-            return Some(format!("ARQ timeout {} must be positive", self.arq.timeout));
+            problems.push(format!("ARQ timeout {} must be positive", self.arq.timeout));
         }
         if !(self.arq.backoff >= 1.0 && self.arq.backoff.is_finite()) {
-            return Some(format!("ARQ backoff {} must be >= 1", self.arq.backoff));
+            problems.push(format!("ARQ backoff {} must be >= 1", self.arq.backoff));
         }
-        None
+        problems
+    }
+
+    /// The first problem from [`problems`](FaultConfig::problems),
+    /// `None` when simulatable.
+    pub fn problem(&self) -> Option<String> {
+        self.problems().into_iter().next()
     }
 
     /// Time-independent error probability of `link`: the base model's

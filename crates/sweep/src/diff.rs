@@ -1,0 +1,416 @@
+//! Comparing two result sets — sweep stores or committed
+//! `BENCH_<sha>.json` baselines — with relative-regression thresholds,
+//! plus the ingest path that folds a bench baseline into a
+//! [`ResultStore`] so bench history and sweep results live in one
+//! queryable place.
+
+use crate::json::Json;
+use crate::store::{CellKey, CellRecord, ResultStore};
+use std::io;
+use std::path::Path;
+use wi_system::hash::StableHasher;
+
+/// A flat, ordered `name -> value` view of one result source. For
+/// stores the names are `"<cell label> <metric>"`; for bench baselines
+/// they are `"<bench name> median_ns"` etc. Lower is treated as better
+/// everywhere (latencies, ns/iter, required Eb/N0 — every metric this
+/// repo regresses on shrinks when things improve).
+#[derive(Clone, Debug)]
+pub struct MetricSet {
+    /// Where the numbers came from (path, for messages).
+    pub source: String,
+    /// `(name, value)` in source order; last occurrence of a name wins.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl MetricSet {
+    /// Loads from a path: a directory is opened as a [`ResultStore`], a
+    /// file is parsed as a `BENCH_<sha>.json` baseline.
+    pub fn load(path: &Path) -> io::Result<MetricSet> {
+        if path.is_dir() {
+            Ok(MetricSet::from_store(
+                &ResultStore::open(path)?,
+                &path.display().to_string(),
+            ))
+        } else {
+            MetricSet::from_bench_json(path)
+        }
+    }
+
+    /// Flattens every stored record's metrics.
+    pub fn from_store(store: &ResultStore, source: &str) -> MetricSet {
+        let mut metrics = Vec::new();
+        for record in store.iter() {
+            for (name, value) in &record.metrics {
+                metrics.push((format!("{} {}", record.label, name), *value));
+            }
+        }
+        MetricSet {
+            source: source.to_string(),
+            metrics,
+        }
+    }
+
+    /// Parses a committed bench baseline
+    /// (`{"commit": ..., "results": [{"name", "min_ns", "median_ns",
+    /// "mean_ns", "samples"}, ...]}`).
+    pub fn from_bench_json(path: &Path) -> io::Result<MetricSet> {
+        let baseline = BenchBaseline::read(path)?;
+        let mut metrics = Vec::new();
+        for r in &baseline.results {
+            metrics.push((format!("{} median_ns", r.name), r.median_ns));
+            metrics.push((format!("{} min_ns", r.name), r.min_ns));
+        }
+        Ok(MetricSet {
+            source: path.display().to_string(),
+            metrics,
+        })
+    }
+
+    fn lookup(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// One metric present in both sets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffEntry {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Relative change, `new / old - 1` (`+0.25` = 25 % worse when
+    /// lower is better). Infinite when the baseline is zero and the
+    /// candidate is not.
+    pub change: f64,
+}
+
+/// Outcome of [`diff`].
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Metrics in both sets, in baseline order.
+    pub entries: Vec<DiffEntry>,
+    /// Names only in the baseline.
+    pub only_old: Vec<String>,
+    /// Names only in the candidate.
+    pub only_new: Vec<String>,
+    /// The relative threshold the report was built with.
+    pub threshold: f64,
+}
+
+impl DiffReport {
+    /// Entries worse than the threshold (`change > threshold`).
+    pub fn regressions(&self) -> Vec<&DiffEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.change > self.threshold)
+            .collect()
+    }
+
+    /// Entries better than the threshold (`change < -threshold`).
+    pub fn improvements(&self) -> Vec<&DiffEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.change < -self.threshold)
+            .collect()
+    }
+
+    /// Human-readable summary; one line per out-of-threshold metric.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let (reg, imp) = (self.regressions(), self.improvements());
+        out.push_str(&format!(
+            "compared {} metrics (threshold {:.1}%): {} regressed, {} improved, {} within threshold\n",
+            self.entries.len(),
+            self.threshold * 100.0,
+            reg.len(),
+            imp.len(),
+            self.entries.len() - reg.len() - imp.len(),
+        ));
+        for e in &reg {
+            out.push_str(&format!(
+                "  REGRESSION {:+.1}%  {}  ({:?} -> {:?})\n",
+                e.change * 100.0,
+                e.name,
+                e.old,
+                e.new
+            ));
+        }
+        for e in &imp {
+            out.push_str(&format!(
+                "  improved   {:+.1}%  {}  ({:?} -> {:?})\n",
+                e.change * 100.0,
+                e.name,
+                e.old,
+                e.new
+            ));
+        }
+        if !self.only_old.is_empty() {
+            out.push_str(&format!(
+                "  only in baseline: {}\n",
+                self.only_old.join(", ")
+            ));
+        }
+        if !self.only_new.is_empty() {
+            out.push_str(&format!(
+                "  only in candidate: {}\n",
+                self.only_new.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// Compares `new` against the `old` baseline with a relative
+/// `threshold` (e.g. `0.10` flags a >10 % change either way).
+pub fn diff(old: &MetricSet, new: &MetricSet, threshold: f64) -> DiffReport {
+    let mut entries = Vec::new();
+    let mut only_old = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (name, old_value) in &old.metrics {
+        if !seen.insert(name.clone()) {
+            continue; // keep first mention's position, value via lookup
+        }
+        let old_value = old.lookup(name).unwrap_or(*old_value);
+        match new.lookup(name) {
+            Some(new_value) => {
+                let change = if old_value == 0.0 {
+                    if new_value == 0.0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    new_value / old_value - 1.0
+                };
+                entries.push(DiffEntry {
+                    name: name.clone(),
+                    old: old_value,
+                    new: new_value,
+                    change,
+                });
+            }
+            None => only_old.push(name.clone()),
+        }
+    }
+    let only_new = new
+        .metrics
+        .iter()
+        .filter(|(n, _)| !seen.contains(n))
+        .map(|(n, _)| n.clone())
+        .collect::<std::collections::HashSet<_>>()
+        .into_iter()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    DiffReport {
+        entries,
+        only_old,
+        only_new,
+        threshold,
+    }
+}
+
+/// One `BENCH_<sha>.json` entry.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean of samples.
+    pub mean_ns: f64,
+    /// Sample count.
+    pub samples: u64,
+}
+
+/// A parsed `BENCH_<sha>.json` baseline.
+#[derive(Clone, Debug)]
+pub struct BenchBaseline {
+    /// Full commit SHA the baseline was measured at.
+    pub commit: String,
+    /// True when measured in `WI_BENCH_QUICK` mode.
+    pub quick: bool,
+    /// Per-benchmark timings.
+    pub results: Vec<BenchResult>,
+}
+
+impl BenchBaseline {
+    /// Reads and validates a baseline file.
+    pub fn read(path: &Path) -> io::Result<BenchBaseline> {
+        let bad = |msg: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {msg}", path.display()),
+            )
+        };
+        let text = std::fs::read_to_string(path)?;
+        let v = Json::parse(&text).map_err(|e| bad(&format!("not JSON ({e})")))?;
+        let commit = v
+            .get("commit")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing \"commit\""))?
+            .to_string();
+        let quick = v.get("quick_mode").and_then(Json::as_bool).unwrap_or(false);
+        let results = v
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing \"results\""))?
+            .iter()
+            .map(|r| {
+                let num = |key: &str| r.get(key).and_then(Json::as_f64);
+                Some(BenchResult {
+                    name: r.get("name")?.as_str()?.to_string(),
+                    min_ns: num("min_ns")?,
+                    median_ns: num("median_ns")?,
+                    mean_ns: num("mean_ns")?,
+                    samples: r.get("samples").and_then(Json::as_u64).unwrap_or(0),
+                })
+            })
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| bad("malformed results entry"))?;
+        Ok(BenchBaseline {
+            commit,
+            quick,
+            results,
+        })
+    }
+}
+
+/// Folds a bench baseline into a store: one record per benchmark,
+/// keyed `(hash(bench name), hash(commit), hash("bench"))` so every
+/// commit's measurement of a benchmark is a distinct cell and history
+/// accumulates across ingests.
+pub fn ingest_bench(path: &Path, store: &mut ResultStore) -> io::Result<usize> {
+    let baseline = BenchBaseline::read(path)?;
+    let short: String = baseline.commit.chars().take(12).collect();
+    for r in &baseline.results {
+        let record = CellRecord {
+            key: CellKey {
+                config: str_hash(&r.name),
+                seed: str_hash(&baseline.commit),
+                eval: str_hash("bench"),
+            },
+            kind: "bench".to_string(),
+            label: format!("{} @{short}", r.name),
+            axes: vec![
+                ("bench".to_string(), r.name.clone()),
+                ("commit".to_string(), short.clone()),
+            ],
+            metrics: vec![
+                ("median_ns".to_string(), r.median_ns),
+                ("min_ns".to_string(), r.min_ns),
+                ("mean_ns".to_string(), r.mean_ns),
+                ("samples".to_string(), r.samples as f64),
+            ],
+            text: String::new(),
+        };
+        store.put(record)?;
+    }
+    Ok(baseline.results.len())
+}
+
+fn str_hash(s: &str) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(s);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_json(commit: &str, medians: &[(&str, f64)]) -> String {
+        let results = medians
+            .iter()
+            .map(|(name, median)| {
+                format!(
+                    "{{\"name\":\"{name}\",\"min_ns\":{m},\"median_ns\":{median},\"mean_ns\":{median},\"samples\":5}}",
+                    m = median * 0.9
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"commit\":\"{commit}\",\"ref\":\"main\",\"quick_mode\":true,\"results\":[{results}]}}")
+    }
+
+    fn write_temp(name: &str, text: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("{name}_{}", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    #[test]
+    fn flags_injected_20_percent_median_regression() {
+        let old = write_temp(
+            "wi_diff_old.json",
+            &bench_json("aaaa", &[("fft_4096", 1000.0), ("knee_sweep", 400.0)]),
+        );
+        let new = write_temp(
+            "wi_diff_new.json",
+            &bench_json("bbbb", &[("fft_4096", 1250.0), ("knee_sweep", 401.0)]),
+        );
+        let report = diff(
+            &MetricSet::load(&old).unwrap(),
+            &MetricSet::load(&new).unwrap(),
+            0.10,
+        );
+        let reg = report.regressions();
+        // min_ns tracks median_ns in the fixture, so the regressed
+        // bench trips both of its metrics and nothing else.
+        assert_eq!(reg.len(), 2, "{}", report.render());
+        assert!(reg.iter().all(|e| e.name.starts_with("fft_4096")));
+        assert!(reg.iter().any(|e| e.name == "fft_4096 median_ns"));
+        assert!((reg[0].change - 0.25).abs() < 1e-12);
+        assert!(report.improvements().is_empty());
+        assert!(report.render().contains("REGRESSION"));
+        std::fs::remove_file(old).unwrap();
+        std::fs::remove_file(new).unwrap();
+    }
+
+    #[test]
+    fn missing_and_added_metrics_are_reported_not_flagged() {
+        let old = MetricSet {
+            source: "a".into(),
+            metrics: vec![("x median_ns".into(), 10.0), ("gone min_ns".into(), 5.0)],
+        };
+        let new = MetricSet {
+            source: "b".into(),
+            metrics: vec![("x median_ns".into(), 10.5), ("fresh min_ns".into(), 7.0)],
+        };
+        let report = diff(&old, &new, 0.10);
+        assert_eq!(report.entries.len(), 1);
+        assert!(report.regressions().is_empty());
+        assert_eq!(report.only_old, vec!["gone min_ns".to_string()]);
+        assert_eq!(report.only_new, vec!["fresh min_ns".to_string()]);
+    }
+
+    #[test]
+    fn ingest_accumulates_commits_and_store_diff_sees_them() {
+        let a = write_temp(
+            "wi_ingest_a.json",
+            &bench_json("a1b2c3d4e5f6a7", &[("fft", 100.0)]),
+        );
+        let b = write_temp(
+            "wi_ingest_b.json",
+            &bench_json("b2c3d4e5f6a7b8", &[("fft", 130.0)]),
+        );
+        let mut store = ResultStore::in_memory();
+        assert_eq!(ingest_bench(&a, &mut store).unwrap(), 1);
+        assert_eq!(ingest_bench(&b, &mut store).unwrap(), 1);
+        assert_eq!(store.len(), 2, "one cell per (bench, commit)");
+        // Re-ingesting the same file is idempotent on keys.
+        ingest_bench(&a, &mut store).unwrap();
+        assert_eq!(store.len(), 2);
+        std::fs::remove_file(a).unwrap();
+        std::fs::remove_file(b).unwrap();
+    }
+}

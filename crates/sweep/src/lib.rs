@@ -1,0 +1,45 @@
+//! `wi_sweep` — a batched, cached, resumable design-space-exploration
+//! service over the wireless-interconnect models.
+//!
+//! The crate turns "run the simulator at every point of this grid" into
+//! a durable, content-addressed computation:
+//!
+//! * [`spec`] — a serde-able [`SweepSpec`]: named axes over
+//!   [`SystemConfig`](wi_system::SystemConfig) fields expanded into
+//!   the cartesian product of validated cells, each paired with a seed
+//!   set.
+//! * [`store`] — the on-disk [`ResultStore`], keyed
+//!   `(config hash, seed, eval hash)`: JSONL shards with an in-memory
+//!   index. Re-running a spec skips completed cells; a killed sweep
+//!   resumes exactly where it stopped.
+//! * [`cache`] — the frame-evaluation cache ([`StoreFrameCache`]):
+//!   every `(seed, frame, ebn0)` BER evaluation is stored once and
+//!   reused across search rounds, curves, specs and processes.
+//! * [`exec`] — the sharded executor ([`run`]): cells fan out across
+//!   worker threads under the thread-invariant `derive_seed`
+//!   discipline, so the folded output ([`fold`]) is bit-identical at
+//!   any thread count and any interruption schedule.
+//! * [`diff`](mod@diff) — comparing two stores or two committed
+//!   `BENCH_<sha>.json` baselines with relative-regression thresholds,
+//!   and ingesting bench baselines into a store.
+//! * [`json`] — the tiny canonical JSON layer everything above
+//!   serializes through (the workspace's `serde` is marker-only).
+//!
+//! The `sweep` binary (`cargo run --bin sweep -- …`) exposes `run`,
+//! `status`, `query`, `diff` and `ingest` over these pieces.
+
+pub mod cache;
+pub mod diff;
+pub mod exec;
+pub mod json;
+pub mod spec;
+pub mod store;
+
+pub use cache::StoreFrameCache;
+pub use diff::{diff, ingest_bench, BenchBaseline, DiffReport, MetricSet};
+pub use exec::{fold, run, RunError, RunOptions, RunSummary};
+pub use spec::{
+    block_target_hash, cell_key, coding_target_hash, coupled_target_hash, Axis, Cell, EvalSpec,
+    SweepSpec,
+};
+pub use store::{CellKey, CellRecord, ResultStore};

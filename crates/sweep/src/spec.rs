@@ -1,0 +1,621 @@
+//! Declarative sweep specifications over [`SystemConfig`] grids.
+//!
+//! A [`SweepSpec`] names a base preset, a list of [`Axis`] values (each
+//! axis a named `SystemConfig` field with the values to visit), a seed
+//! set, and an [`EvalSpec`] saying what to measure per cell. `expand()`
+//! takes the cartesian product of the axes × seeds into [`Cell`]s —
+//! each a fully *validated* `SystemConfig` — and reports **every**
+//! problem across the whole grid at once (the collect-all
+//! `SystemConfig::validate`), so a bad spec fails in one round trip,
+//! not one axis per rerun.
+//!
+//! Axis values are strings in the CLI spellings the bench bins already
+//! use (`routing=adaptive`, `traffic=hotspot:0:0.2`, `check_rule=minsum`),
+//! so a spec file reads like the command lines it replaces.
+
+use crate::json::{obj, Json};
+use wi_ldpc::decoder::CheckRule;
+use wi_noc::des::traffic::TrafficKind;
+use wi_noc::routing::RoutingKind;
+use wi_system::config::SystemConfig;
+use wi_system::hash::{StableHash, StableHasher};
+
+/// One named axis: a `SystemConfig` field and the values it sweeps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Axis {
+    /// Field name (see [`apply_axis`] for the accepted set).
+    pub field: String,
+    /// Values in CLI spelling, visited in order.
+    pub values: Vec<String>,
+}
+
+/// What to measure in each cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalSpec {
+    /// Required-Eb/N0 search on the cell's coding configuration (the
+    /// fig10 measurement), run through the frame-evaluation cache.
+    Ebn0Search {
+        /// BER the search targets.
+        target_ber: f64,
+        /// Bit errors collected per probe before stopping.
+        target_errors: u64,
+        /// Per-probe frame cap.
+        max_frames: u64,
+        /// Per-probe frame floor.
+        min_frames: u64,
+    },
+    /// Injection-rate sweep to the saturation knee on the cell's NoC
+    /// workload (the design-space knee matrix).
+    NocKnee {
+        /// Injection rates (flits/cycle/module), ascending.
+        rates: Vec<f64>,
+        /// Warmup packets per replication.
+        warmup_packets: usize,
+        /// Measured packets per replication.
+        measured_packets: usize,
+        /// Event budget per replication.
+        max_events: u64,
+    },
+}
+
+impl EvalSpec {
+    /// Short kind tag stored with each cell record.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EvalSpec::Ebn0Search { .. } => "ebn0_search",
+            EvalSpec::NocKnee { .. } => "noc_knee",
+        }
+    }
+
+    /// Stable hash of the evaluation — the `eval` component of a cell
+    /// key. Two specs measuring the same thing on the same config+seed
+    /// share a stored result; any budget change is a different cell.
+    pub fn eval_hash(&self) -> u64 {
+        let mut h = StableHasher::new();
+        match self {
+            EvalSpec::Ebn0Search {
+                target_ber,
+                target_errors,
+                max_frames,
+                min_frames,
+            } => {
+                h.write_discriminant(1);
+                h.write_f64(*target_ber);
+                h.write_u64(*target_errors);
+                h.write_u64(*max_frames);
+                h.write_u64(*min_frames);
+            }
+            EvalSpec::NocKnee {
+                rates,
+                warmup_packets,
+                measured_packets,
+                max_events,
+            } => {
+                h.write_discriminant(2);
+                h.write_u64(rates.len() as u64);
+                for r in rates {
+                    h.write_f64(*r);
+                }
+                h.write_usize(*warmup_packets);
+                h.write_usize(*measured_packets);
+                h.write_u64(*max_events);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// A declarative sweep: base preset × axes × seeds, one evaluation kind.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSpec {
+    /// Display name.
+    pub name: String,
+    /// Base preset the axes perturb (`"paper"` is the only preset).
+    pub base: String,
+    /// Swept fields, slowest-varying first.
+    pub axes: Vec<Axis>,
+    /// Seeds; every axis combination runs once per seed.
+    pub seeds: Vec<u64>,
+    /// Per-cell measurement.
+    pub eval: EvalSpec,
+}
+
+/// One expanded, validated grid point.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Position in expansion order (seeds innermost).
+    pub index: usize,
+    /// The fully applied configuration.
+    pub config: SystemConfig,
+    /// This cell's RNG seed.
+    pub seed: u64,
+    /// `(field, value)` pairs that produced `config`, in axis order.
+    pub axes: Vec<(String, String)>,
+}
+
+impl Cell {
+    /// Human-readable cell label: `field=value` pairs plus the seed.
+    pub fn label(&self) -> String {
+        let mut parts: Vec<String> = self.axes.iter().map(|(f, v)| format!("{f}={v}")).collect();
+        parts.push(format!("seed={:#x}", self.seed));
+        parts.join(" ")
+    }
+}
+
+/// Applies one axis value to a configuration. Returns an error string
+/// when the field is unknown or the value does not parse; range problems
+/// are left to `SystemConfig::validate` (which reports them all).
+pub fn apply_axis(config: &mut SystemConfig, field: &str, value: &str) -> Result<(), String> {
+    fn num<T: std::str::FromStr>(field: &str, value: &str) -> Result<T, String> {
+        value
+            .parse()
+            .map_err(|_| format!("axis {field}: bad value '{value}'"))
+    }
+    match field {
+        "boards" => config.boards = num(field, value)?,
+        "board_spacing_m" => config.board_spacing_m = num(field, value)?,
+        "tx_power_dbm" => config.link.tx_power_dbm = num(field, value)?,
+        "bandwidth_hz" => config.link.bandwidth_hz = num(field, value)?,
+        "lifting" => config.coding.lifting = num(field, value)?,
+        "window" => config.coding.window = num(field, value)?,
+        "iterations" => config.coding.iterations = num(field, value)?,
+        "batch" => config.coding.batch = num(field, value)?,
+        "check_rule" => {
+            config.coding.check_rule = parse_check_rule(value)
+                .ok_or_else(|| format!("axis check_rule: bad value '{value}'"))?
+        }
+        "search_lo_db" => config.coding.search.lo_db = num(field, value)?,
+        "search_hi_db" => config.coding.search.hi_db = num(field, value)?,
+        "search_tol_db" => config.coding.search.tol_db = num(field, value)?,
+        "routing" => {
+            config.noc.routing = RoutingKind::parse(value)
+                .ok_or_else(|| format!("axis routing: bad value '{value}'"))?
+        }
+        "vcs" => config.noc.vcs = num(field, value)?,
+        "traffic" => {
+            config.noc.traffic = TrafficKind::parse(value)
+                .ok_or_else(|| format!("axis traffic: bad value '{value}'"))?
+        }
+        "injection_rate" => config.noc.injection_rate = num(field, value)?,
+        "replications" => config.noc.replications = num(field, value)?,
+        "stuck_fraction" => config.noc.fault.stuck_fraction = num(field, value)?,
+        "stuck_p" => config.noc.fault.stuck_p = num(field, value)?,
+        "link_error_p" => {
+            config.noc.fault.model = wi_noc::des::LinkErrorModel::Uniform {
+                p: num(field, value)?,
+            }
+        }
+        _ => return Err(format!("unknown axis '{field}'")),
+    }
+    Ok(())
+}
+
+/// Parses a check rule in CLI spelling: `sum-product`, `table` /
+/// `table:<bits>`, `minsum` / `minsum:<alpha>`.
+pub fn parse_check_rule(s: &str) -> Option<CheckRule> {
+    match s {
+        "sum-product" | "sumproduct" | "exact" => Some(CheckRule::SumProduct),
+        "table" => Some(CheckRule::sum_product_table()),
+        "minsum" | "min-sum" => Some(CheckRule::min_sum()),
+        _ => {
+            let (head, arg) = s.split_once(':')?;
+            match head {
+                "table" => Some(CheckRule::SumProductTable {
+                    bits: arg.parse().ok()?,
+                }),
+                "minsum" | "min-sum" => Some(CheckRule::MinSum {
+                    alpha: arg.parse().ok()?,
+                }),
+                _ => None,
+            }
+        }
+    }
+}
+
+impl SweepSpec {
+    /// Expands the spec into validated cells (axes' cartesian product ×
+    /// seeds, seeds innermost). On failure returns **every** problem
+    /// found anywhere in the grid, deduplicated, each prefixed with the
+    /// axis values of the offending cell.
+    pub fn expand(&self) -> Result<Vec<Cell>, Vec<String>> {
+        let base = match self.base.as_str() {
+            "paper" => SystemConfig::paper_default(),
+            other => return Err(vec![format!("unknown base preset '{other}'")]),
+        };
+        let mut problems: Vec<String> = Vec::new();
+        if self.seeds.is_empty() {
+            problems.push("spec needs at least one seed".into());
+        }
+        if let EvalSpec::NocKnee { rates, .. } = &self.eval {
+            if rates.is_empty() {
+                problems.push("noc_knee eval needs at least one rate".into());
+            }
+            if rates.iter().any(|&r| r <= 0.0) {
+                problems.push("noc_knee rates must be positive".into());
+            }
+        }
+        for axis in &self.axes {
+            if axis.values.is_empty() {
+                problems.push(format!("axis {} has no values", axis.field));
+            }
+        }
+        if !problems.is_empty() {
+            return Err(problems);
+        }
+
+        let mut cells = Vec::new();
+        let mut odometer = vec![0usize; self.axes.len()];
+        'grid: loop {
+            let mut config = base;
+            let mut axes = Vec::with_capacity(self.axes.len());
+            for (axis, &i) in self.axes.iter().zip(&odometer) {
+                let value = &axis.values[i];
+                if let Err(e) = apply_axis(&mut config, &axis.field, value) {
+                    push_unique(&mut problems, e);
+                }
+                axes.push((axis.field.clone(), value.clone()));
+            }
+            let prefix = axes
+                .iter()
+                .map(|(f, v)| format!("{f}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            for problem in config.validate() {
+                push_unique(
+                    &mut problems,
+                    if prefix.is_empty() {
+                        problem
+                    } else {
+                        format!("[{prefix}] {problem}")
+                    },
+                );
+            }
+            for &seed in &self.seeds {
+                cells.push(Cell {
+                    index: cells.len(),
+                    config,
+                    seed,
+                    axes: axes.clone(),
+                });
+            }
+            // Advance the odometer, last axis fastest.
+            for pos in (0..self.axes.len()).rev() {
+                odometer[pos] += 1;
+                if odometer[pos] < self.axes[pos].values.len() {
+                    continue 'grid;
+                }
+                odometer[pos] = 0;
+            }
+            break;
+        }
+        if problems.is_empty() {
+            Ok(cells)
+        } else {
+            Err(problems)
+        }
+    }
+
+    /// Serializes to the canonical JSON form [`SweepSpec::from_json`]
+    /// parses.
+    pub fn to_json(&self) -> Json {
+        let eval = match &self.eval {
+            EvalSpec::Ebn0Search {
+                target_ber,
+                target_errors,
+                max_frames,
+                min_frames,
+            } => obj(vec![
+                ("kind", Json::Str("ebn0_search".into())),
+                ("target_ber", Json::Num(*target_ber)),
+                ("target_errors", Json::u64(*target_errors)),
+                ("max_frames", Json::u64(*max_frames)),
+                ("min_frames", Json::u64(*min_frames)),
+            ]),
+            EvalSpec::NocKnee {
+                rates,
+                warmup_packets,
+                measured_packets,
+                max_events,
+            } => obj(vec![
+                ("kind", Json::Str("noc_knee".into())),
+                (
+                    "rates",
+                    Json::Arr(rates.iter().map(|&r| Json::Num(r)).collect()),
+                ),
+                ("warmup_packets", Json::u64(*warmup_packets as u64)),
+                ("measured_packets", Json::u64(*measured_packets as u64)),
+                ("max_events", Json::u64(*max_events)),
+            ]),
+        };
+        obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("base", Json::Str(self.base.clone())),
+            (
+                "axes",
+                Json::Arr(
+                    self.axes
+                        .iter()
+                        .map(|a| {
+                            obj(vec![
+                                ("field", Json::Str(a.field.clone())),
+                                (
+                                    "values",
+                                    Json::Arr(
+                                        a.values.iter().map(|v| Json::Str(v.clone())).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "seeds",
+                Json::Arr(self.seeds.iter().map(|&s| Json::u64(s)).collect()),
+            ),
+            ("eval", eval),
+        ])
+    }
+
+    /// Parses a spec document. Axis values may be JSON strings or
+    /// numbers (numbers are canonicalized to their string spelling).
+    pub fn from_json(v: &Json) -> Result<SweepSpec, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("spec needs a 'name' string")?
+            .to_string();
+        let base = v
+            .get("base")
+            .and_then(Json::as_str)
+            .unwrap_or("paper")
+            .to_string();
+        let mut axes = Vec::new();
+        for a in v.get("axes").and_then(Json::as_arr).unwrap_or(&[]) {
+            let field = a
+                .get("field")
+                .and_then(Json::as_str)
+                .ok_or("axis needs a 'field' string")?
+                .to_string();
+            let values = a
+                .get("values")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("axis {field} needs a 'values' array"))?
+                .iter()
+                .map(value_string)
+                .collect::<Result<Vec<_>, _>>()?;
+            axes.push(Axis { field, values });
+        }
+        let seeds = v
+            .get("seeds")
+            .and_then(Json::as_arr)
+            .ok_or("spec needs a 'seeds' array")?
+            .iter()
+            .map(|s| s.as_u64().ok_or_else(|| format!("bad seed {s:?}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let eval = v.get("eval").ok_or("spec needs an 'eval' object")?;
+        let eval = match eval.get("kind").and_then(Json::as_str) {
+            Some("ebn0_search") => EvalSpec::Ebn0Search {
+                target_ber: eval
+                    .get("target_ber")
+                    .and_then(Json::as_f64)
+                    .ok_or("ebn0_search needs target_ber")?,
+                target_errors: eval
+                    .get("target_errors")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(60),
+                max_frames: eval.get("max_frames").and_then(Json::as_u64).unwrap_or(400),
+                min_frames: eval.get("min_frames").and_then(Json::as_u64).unwrap_or(8),
+            },
+            Some("noc_knee") => EvalSpec::NocKnee {
+                rates: eval
+                    .get("rates")
+                    .and_then(Json::as_arr)
+                    .ok_or("noc_knee needs a 'rates' array")?
+                    .iter()
+                    .map(|r| r.as_f64().ok_or_else(|| format!("bad rate {r:?}")))
+                    .collect::<Result<Vec<_>, _>>()?,
+                warmup_packets: eval
+                    .get("warmup_packets")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(500) as usize,
+                measured_packets: eval
+                    .get("measured_packets")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(4_000) as usize,
+                max_events: eval
+                    .get("max_events")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(1_000_000),
+            },
+            other => return Err(format!("unknown eval kind {other:?}")),
+        };
+        Ok(SweepSpec {
+            name,
+            base,
+            axes,
+            seeds,
+            eval,
+        })
+    }
+}
+
+/// A cell's store key components: `(config hash, seed, eval hash)`.
+pub fn cell_key(cell: &Cell, eval: &EvalSpec) -> (u64, u64, u64) {
+    (cell.config.config_hash(), cell.seed, eval.eval_hash())
+}
+
+fn value_string(v: &Json) -> Result<String, String> {
+    match v {
+        Json::Str(s) => Ok(s.clone()),
+        Json::Num(n) if n.fract() == 0.0 && n.abs() < 1e15 => Ok(format!("{}", *n as i64)),
+        Json::Num(n) => Ok(format!("{n:?}")),
+        other => Err(format!("bad axis value {other:?}")),
+    }
+}
+
+fn push_unique(problems: &mut Vec<String>, problem: String) {
+    if !problems.contains(&problem) {
+        problems.push(problem);
+    }
+}
+
+/// Hash identity of the BER target a coding configuration implies —
+/// the namespace one frame-evaluation cache is scoped to. Folds exactly
+/// the fields that change a frame's simulated value: the code (lifting,
+/// the fig10 termination/seed conventions of
+/// `CodingConfig::coupled_code`), the window decoder (window,
+/// iterations, check rule) and nothing else — **not** the batch width
+/// (bit-identical per frame at any width) and **not** the search
+/// budget (which frames run, never their values).
+pub fn coding_target_hash(coding: &wi_system::config::CodingConfig) -> u64 {
+    coupled_target_hash(
+        coding.lifting,
+        coding.window,
+        coding.iterations,
+        &coding.check_rule,
+    )
+}
+
+/// Namespace hash for an explicitly-constructed LDPC-CC window target
+/// following the repo's fig10 conventions (`CoupledCode::paper_cc(n,
+/// 20, 0xCC00 + n)`) — those conventions make `(lifting, window,
+/// iterations, check rule)` a complete identity.
+pub fn coupled_target_hash(
+    lifting: usize,
+    window: usize,
+    iterations: usize,
+    check_rule: &CheckRule,
+) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_discriminant(1); // coupled-code target family
+    h.write_usize(lifting);
+    h.write_usize(window);
+    h.write_usize(iterations);
+    check_rule.stable_hash(&mut h);
+    h.finish()
+}
+
+/// Namespace hash for an LDPC block-code target following the fig10
+/// conventions (`LdpcCode::paper_block(n, 0xBC00 + n)`, rate-0.5
+/// Eb/N0 accounting).
+pub fn block_target_hash(n: usize, iterations: usize, check_rule: &CheckRule) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_discriminant(2); // block-code target family
+    h.write_usize(n);
+    h.write_usize(iterations);
+    check_rule.stable_hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            name: "tiny".into(),
+            base: "paper".into(),
+            axes: vec![
+                Axis {
+                    field: "routing".into(),
+                    values: vec!["dor".into(), "adaptive".into()],
+                },
+                Axis {
+                    field: "traffic".into(),
+                    values: vec!["uniform".into(), "hotspot:0:0.2".into(), "transpose".into()],
+                },
+            ],
+            seeds: vec![0xDE5, 7],
+            eval: EvalSpec::NocKnee {
+                rates: vec![0.1, 0.3],
+                warmup_packets: 100,
+                measured_packets: 500,
+                max_events: 200_000,
+            },
+        }
+    }
+
+    #[test]
+    fn expansion_is_a_cartesian_product_in_order() {
+        let cells = tiny_spec().expand().unwrap();
+        assert_eq!(cells.len(), 2 * 3 * 2);
+        // Slowest-varying first, seeds innermost.
+        assert_eq!(cells[0].axes[0].1, "dor");
+        assert_eq!(cells[0].axes[1].1, "uniform");
+        assert_eq!(cells[0].seed, 0xDE5);
+        assert_eq!(cells[1].seed, 7);
+        assert_eq!(cells[2].axes[1].1, "hotspot:0:0.2");
+        assert_eq!(cells[6].axes[0].1, "adaptive");
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        // Applied, not just labeled.
+        assert_eq!(cells[6].config.noc.routing, RoutingKind::Adaptive);
+    }
+
+    #[test]
+    fn expansion_reports_every_problem_at_once() {
+        let mut spec = tiny_spec();
+        spec.axes[0].values = vec!["dor".into(), "no-such-policy".into()];
+        spec.axes[1].values = vec!["uniform".into(), "hotspot:9999:0.2".into()];
+        let problems = spec.expand().unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("no-such-policy")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("hotspot")),
+            "{problems:?}"
+        );
+        // Deduplicated per distinct message: the bad routing value
+        // parses once (axis-level), the bad hotspot node once per cell
+        // label that reaches validation — never once per seed.
+        let bad_axis = problems
+            .iter()
+            .filter(|p| p.starts_with("axis routing"))
+            .count();
+        assert_eq!(bad_axis, 1, "{problems:?}");
+        let hotspot = problems.iter().filter(|p| p.contains("9999")).count();
+        assert_eq!(hotspot, 2, "{problems:?}");
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let spec = tiny_spec();
+        let text = spec.to_json().to_string();
+        let back = SweepSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(text, back.to_json().to_string());
+    }
+
+    #[test]
+    fn cell_keys_distinguish_config_seed_and_eval() {
+        let spec = tiny_spec();
+        let cells = spec.expand().unwrap();
+        let k0 = cell_key(&cells[0], &spec.eval);
+        let k1 = cell_key(&cells[1], &spec.eval); // same config, other seed
+        let k2 = cell_key(&cells[2], &spec.eval); // other config, same seed
+        assert_eq!(k0.0, k1.0);
+        assert_ne!(k0.1, k1.1);
+        assert_ne!(k0.0, k2.0);
+        let other_eval = EvalSpec::NocKnee {
+            rates: vec![0.1, 0.3, 0.5],
+            warmup_packets: 100,
+            measured_packets: 500,
+            max_events: 200_000,
+        };
+        assert_ne!(spec.eval.eval_hash(), other_eval.eval_hash());
+    }
+
+    #[test]
+    fn target_hash_ignores_throughput_knobs() {
+        let mut a = SystemConfig::paper_default().coding;
+        let mut b = a;
+        b.batch = 1;
+        b.search.tol_db = 0.7;
+        assert_eq!(coding_target_hash(&a), coding_target_hash(&b));
+        a.iterations += 1;
+        assert_ne!(coding_target_hash(&a), coding_target_hash(&b));
+    }
+}

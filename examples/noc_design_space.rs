@@ -11,9 +11,11 @@
 
 use wireless_interconnect::noc::analytic::{AnalyticModel, RouterParams};
 use wireless_interconnect::noc::des::traffic::{TrafficKind, TrafficPattern};
-use wireless_interconnect::noc::des::{simulate, sweep, sweep_policies, DesConfig, SweepConfig};
-use wireless_interconnect::noc::routing::RoutingKind;
+use wireless_interconnect::noc::des::{simulate, sweep, DesConfig, SweepConfig};
 use wireless_interconnect::noc::topology::Topology;
+use wireless_interconnect::sweep::exec::{fold, run, RunOptions};
+use wireless_interconnect::sweep::spec::{cell_key, Axis, EvalSpec, SweepSpec};
+use wireless_interconnect::sweep::store::{CellKey, ResultStore};
 use wireless_interconnect::system::config::NocWorkloadConfig;
 
 fn main() {
@@ -115,40 +117,63 @@ fn main() {
     // Once a pattern has collapsed the dimension-order knee, oblivious
     // randomized routing is the standard remedy: O1TURN spreads minimal
     // paths over the six dimension orders, Valiant detours through random
-    // intermediates. Saturation knees per policy on the winner:
+    // intermediates. Saturation knees per policy on the winner — run as a
+    // wi_sweep design-space sweep: traffic x routing axes over the
+    // paper-default SystemConfig (whose stack IS the 4x4x4 mesh), each
+    // cell a pure (config, seed, eval) function. With `--store <dir>`
+    // the matrix is resumable: a killed run continues where it stopped
+    // and a re-run recomputes nothing.
     println!("\n4x4x4 3D mesh saturation knees (flits/cycle/module) per routing policy:");
-    let policies = [
-        RoutingKind::DimensionOrder,
-        RoutingKind::O1Turn,
-        RoutingKind::valiant(),
-    ];
+    let traffics = ["hotspot:0:0.2", "transpose", "bitrev"];
+    let routings = ["dor", "o1turn", "valiant"];
+    let spec = SweepSpec {
+        name: "noc-design-space-knees".into(),
+        base: "paper".into(),
+        axes: vec![
+            Axis {
+                field: "traffic".into(),
+                values: traffics.iter().map(|s| s.to_string()).collect(),
+            },
+            Axis {
+                field: "routing".into(),
+                values: routings.iter().map(|s| s.to_string()).collect(),
+            },
+        ],
+        // DesConfig::default().seed — the seed the pre-sweep version of
+        // this example used, so the knee matrix is unchanged.
+        seeds: vec![0xDE5],
+        eval: EvalSpec::NocKnee {
+            rates: vec![0.1, 0.2, 0.3, 0.4, 0.5],
+            warmup_packets: 500,
+            measured_packets: 4_000,
+            max_events: 1_000_000,
+        },
+    };
+    let mut store = match std::env::args().skip_while(|a| a != "--store").nth(1) {
+        Some(dir) => ResultStore::open(std::path::Path::new(&dir)).expect("open --store dir"),
+        None => ResultStore::in_memory(),
+    };
+    run(&spec, &mut store, &RunOptions::default()).expect("knee sweep");
+    let cells = spec.expand().expect("valid spec");
     print!("  {:12}", "pattern");
-    for p in policies {
-        print!("  {:8}", p.name());
+    for r in routings {
+        print!("  {r:<8}");
     }
     println!();
-    for traffic in [
-        TrafficKind::Hotspot {
-            node: 0,
-            fraction: 0.2,
-        },
-        TrafficKind::Transpose,
-        TrafficKind::BitReversal,
-    ] {
-        let cfg = SweepConfig::new(
-            vec![0.1, 0.2, 0.3, 0.4, 0.5],
-            workload.replications,
-            DesConfig {
-                traffic,
-                warmup_packets: 500,
-                measured_packets: 4_000,
-                max_events: 1_000_000,
-                ..DesConfig::default()
-            },
-        );
-        print!("  {:12}", traffic.name());
-        for (_, result) in sweep_policies(&topo, &cfg, &policies) {
-            match result.saturation_knee {
+    for (row, traffic) in traffics.iter().enumerate() {
+        print!("  {:12}", TrafficKind::parse(traffic).unwrap().name());
+        for col in 0..routings.len() {
+            let cell = &cells[row * routings.len() + col];
+            let (config, seed, eval) = cell_key(cell, &spec.eval);
+            let record = store
+                .get(&CellKey { config, seed, eval })
+                .expect("cell just ran");
+            let knee = record
+                .metrics
+                .iter()
+                .find(|(name, _)| name == "knee")
+                .map(|(_, k)| *k);
+            match knee {
                 Some(k) => print!("  {k:<8.2}"),
                 None => print!("  {:<8}", ">0.50"),
             }
@@ -157,6 +182,13 @@ fn main() {
     }
     println!("\nO1TURN recovers the transpose/bit-reversal collapse at no extra");
     println!("hops; Valiant pays detours but is insensitive to the pattern.");
+
+    // `--fold` dumps the raw per-rate latencies behind the matrix, in
+    // deterministic fold order (byte-identical at any thread count or
+    // resume point).
+    if std::env::args().any(|a| a == "--fold") {
+        print!("\n{}", fold(&spec, &store).expect("fold"));
+    }
 }
 
 fn explore(candidates: &[(&str, Topology)], params: RouterParams) {

@@ -19,6 +19,7 @@
 //! | [`noc`] | §IV | topologies, queueing model, DES |
 //! | [`ldpc`] | §V | LDPC-CC, window decoder, BER harness |
 //! | [`system`] | all | end-to-end system evaluation |
+//! | [`sweep`] | all | batched, cached, resumable design-space sweeps |
 //! | [`num`] | — | shared numerics |
 //!
 //! A deeper workspace tour (engines, retained oracles, verification
@@ -46,4 +47,5 @@ pub use wi_linkbudget as linkbudget;
 pub use wi_noc as noc;
 pub use wi_num as num;
 pub use wi_quantrx as quantrx;
+pub use wi_sweep as sweep;
 pub use wi_system as system;
